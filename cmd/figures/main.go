@@ -1,0 +1,61 @@
+// Command figures regenerates the paper's evaluation figures as text
+// tables: measured series from this repository's implementation at
+// laptop scale, and modeled series for the paper's 4-socket platform.
+//
+// Usage:
+//
+//	figures                 # all figures, default scale
+//	figures -fig 3          # one figure (3..15, skew, crossings)
+//	figures -quick          # ~8x smaller measured workloads
+//	figures -tuples 4194304 # measured workload size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (e.g. 3, fig3, skew, crossings); empty = all")
+	quick := flag.Bool("quick", false, "shrink measured workloads ~8x")
+	tuples := flag.Int("tuples", 0, "measured workload size in tuples (default 1M)")
+	threads := flag.Int("threads", 0, "measured worker goroutines (default 4)")
+	regions := flag.Int("regions", 0, "simulated NUMA regions (default 4)")
+	list := flag.Bool("list", false, "list available figures")
+	flag.Parse()
+
+	cfg := figures.Config{
+		PartTuples: *tuples,
+		SortTuples: *tuples,
+		Threads:    *threads,
+		Regions:    *regions,
+		Quick:      *quick,
+	}
+
+	if *list {
+		for _, g := range figures.All() {
+			fmt.Printf("%-10s %s\n", g.ID, g.Name)
+		}
+		return
+	}
+
+	if *fig != "" {
+		g := figures.ByID(*fig)
+		if g == nil && !strings.HasPrefix(*fig, "fig") {
+			g = figures.ByID("fig" + *fig)
+		}
+		if g == nil {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
+			os.Exit(1)
+		}
+		g.Run(cfg).Render(os.Stdout)
+		return
+	}
+	for _, g := range figures.All() {
+		g.Run(cfg).Render(os.Stdout)
+	}
+}

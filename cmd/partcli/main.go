@@ -1,0 +1,153 @@
+// Command partcli runs one partitioning pass over a generated workload
+// and reports throughput and balance — a quick explorer for the paper's
+// partitioning menu (variant x function x fanout).
+//
+// Examples:
+//
+//	partcli -fanout 1024 -fn radix -variant nip-ooc
+//	partcli -fanout 360 -fn range -variant blocks -threads 4
+//	partcli -fanout 64 -fn hash -variant sync -dist zipf -theta 1.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	partsort "repro"
+	"repro/internal/gen"
+	"repro/internal/kv"
+	"repro/internal/part"
+	"repro/internal/pfunc"
+	"repro/internal/splitter"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1<<21, "tuples")
+		fanout  = flag.Int("fanout", 256, "partitions (power of two for radix/hash)")
+		fnName  = flag.String("fn", "radix", "partition function: radix, hash, range")
+		variant = flag.String("variant", "nip-ooc", "variant: nip-ic, ip-ic, nip-ooc, ip-ooc, blocks, sync, parallel")
+		dist    = flag.String("dist", "uniform", "distribution: uniform, dense, zipf")
+		theta   = flag.Float64("theta", 1.2, "Zipf parameter")
+		width   = flag.Int("width", 32, "key width: 32 or 64")
+		threads = flag.Int("threads", 1, "workers (parallel/sync/blocks variants)")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+	switch *width {
+	case 32:
+		run[uint32](*n, *fanout, *fnName, *variant, *dist, *theta, *threads, *seed)
+	case 64:
+		run[uint64](*n, *fanout, *fnName, *variant, *dist, *theta, *threads, *seed)
+	default:
+		fatal("width must be 32 or 64")
+	}
+}
+
+func run[K kv.Key](n, fanout int, fnName, variant, dist string, theta float64, threads int, seed uint64) {
+	var keys []K
+	switch dist {
+	case "uniform":
+		keys = gen.Uniform[K](n, 0, seed)
+	case "dense":
+		keys = gen.Dense[K](n, seed)
+	case "zipf":
+		keys = gen.ZipfKeys[K](n, uint64(n), theta, seed)
+	default:
+		fatal("unknown distribution " + dist)
+	}
+	vals := partsort.RIDs[K](n)
+
+	var fn pfunc.Func[K]
+	switch fnName {
+	case "radix":
+		fn = pfunc.NewRadix[K](0, uint(log2(fanout)))
+	case "hash":
+		fn = pfunc.NewHash[K](fanout)
+	case "range":
+		sample := splitter.Sample(keys, 64*fanout, seed+1)
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		delims := splitter.EqualDepth(sample, fanout)
+		fn = partsort.NewRangeIndex(delims)
+	default:
+		fatal("unknown function " + fnName)
+	}
+
+	var hist []int
+	var d time.Duration
+	switch variant {
+	case "nip-ic":
+		dstK, dstV := make([]K, n), make([]K, n)
+		hist = part.Histogram(keys, fn)
+		d = timeIt(func() { part.NonInPlaceInCache(keys, vals, dstK, dstV, fnWrap[K]{fn}, hist) })
+	case "ip-ic":
+		hist = part.Histogram(keys, fn)
+		d = timeIt(func() { part.InPlaceInCache(keys, vals, fnWrap[K]{fn}, hist) })
+	case "nip-ooc":
+		dstK, dstV := make([]K, n), make([]K, n)
+		hist = part.Histogram(keys, fn)
+		starts, _ := part.Starts(hist)
+		d = timeIt(func() { part.NonInPlaceOutOfCache(keys, vals, dstK, dstV, fnWrap[K]{fn}, starts) })
+	case "ip-ooc":
+		hist = part.Histogram(keys, fn)
+		d = timeIt(func() { part.InPlaceOutOfCache(keys, vals, fnWrap[K]{fn}, hist) })
+	case "blocks":
+		d = timeIt(func() {
+			b := part.ToBlocksInPlaceParallel(keys, vals, fnWrap[K]{fn}, part.DefaultBlockTuples, threads)
+			hist = b.Counts
+		})
+	case "sync":
+		hist = part.Histogram(keys, fn)
+		d = timeIt(func() { part.InPlaceSynchronized(keys, vals, fnWrap[K]{fn}, hist, threads) })
+	case "parallel":
+		dstK, dstV := make([]K, n), make([]K, n)
+		d = timeIt(func() { hist = part.ParallelNonInPlace(keys, vals, dstK, dstV, fnWrap[K]{fn}, threads) })
+	default:
+		fatal("unknown variant " + variant)
+	}
+
+	minB, maxB, nonEmpty := n, 0, 0
+	for _, h := range hist {
+		if h > 0 {
+			nonEmpty++
+		}
+		minB, maxB = min(minB, h), max(maxB, h)
+	}
+	fmt.Printf("%s/%s %d-way over %d %d-bit tuples: %.2f ms (%.1f Mtuples/s)\n",
+		variant, fnName, len(hist), n, kv.Width[K](),
+		float64(d.Microseconds())/1000, float64(n)/d.Seconds()/1e6)
+	fmt.Printf("balance: min %d / mean %d / max %d tuples, %d/%d partitions non-empty\n",
+		minB, n/len(hist), maxB, nonEmpty, len(hist))
+}
+
+// fnWrap fixes the concrete type for the generic kernels when fn is held
+// as an interface.
+type fnWrap[K kv.Key] struct{ f pfunc.Func[K] }
+
+func (w fnWrap[K]) Partition(k K) int { return w.f.Partition(k) }
+func (w fnWrap[K]) Fanout() int       { return w.f.Fanout() }
+
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func log2(p int) int {
+	l := 0
+	for 1<<l < p {
+		l++
+	}
+	if 1<<l != p {
+		fatal("fanout must be a power of two for radix/hash")
+	}
+	return l
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "partcli:", msg)
+	os.Exit(1)
+}

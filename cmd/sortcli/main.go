@@ -1,0 +1,209 @@
+// Command sortcli sorts columnar key/payload files (or generated
+// workloads) with the paper's three sorting algorithms.
+//
+// File format: raw little-endian unsigned integers of the selected width,
+// one file per column. Without -keys, a workload is generated.
+//
+// Examples:
+//
+//	sortcli -n 10000000 -dist zipf -theta 1.2 -algo msb -threads 4
+//	sortcli -keys keys.bin -vals rids.bin -width 64 -algo lsb -out sorted
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	partsort "repro"
+	"repro/internal/gen"
+	"repro/internal/kv"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1<<20, "tuples to generate when no -keys file is given")
+		dist    = flag.String("dist", "uniform", "generated distribution: uniform, dense, zipf, sorted, reversed")
+		theta   = flag.Float64("theta", 1.0, "Zipf parameter for -dist zipf")
+		domain  = flag.Uint64("domain", 0, "key domain size (0 = full width)")
+		algo    = flag.String("algo", "lsb", "sorting algorithm: lsb, msb, cmp")
+		width   = flag.Int("width", 32, "key/payload width in bits: 32 or 64")
+		threads = flag.Int("threads", 4, "worker goroutines")
+		regions = flag.Int("regions", 1, "simulated NUMA regions")
+		keysIn  = flag.String("keys", "", "key column file (raw little-endian)")
+		valsIn  = flag.String("vals", "", "payload column file (default: record ids)")
+		out     = flag.String("out", "", "output prefix; writes <out>.keys and <out>.vals")
+		stats   = flag.Bool("stats", false, "print the per-phase breakdown")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		dict    = flag.Bool("dict", false, "dictionary-compress keys before sorting (order-preserving), decode after — reduces LSB passes on sparse domains")
+		verify  = flag.Bool("verify", false, "keep a copy of the input and verify the output multiset (and stability for lsb)")
+	)
+	flag.Parse()
+
+	switch *width {
+	case 32:
+		run[uint32](*n, *dist, *theta, *domain, *algo, *threads, *regions, *keysIn, *valsIn, *out, *stats, *seed, *dict, *verify)
+	case 64:
+		run[uint64](*n, *dist, *theta, *domain, *algo, *threads, *regions, *keysIn, *valsIn, *out, *stats, *seed, *dict, *verify)
+	default:
+		fatal("width must be 32 or 64")
+	}
+}
+
+func run[K kv.Key](n int, dist string, theta float64, domain uint64, algo string,
+	threads, regions int, keysIn, valsIn, out string, stats bool, seed uint64, dict, verify bool) {
+
+	var keys, vals []K
+	if keysIn != "" {
+		keys = mustRead[K](keysIn)
+		if valsIn != "" {
+			vals = mustRead[K](valsIn)
+			if len(vals) != len(keys) {
+				fatal("key and payload files have different lengths")
+			}
+		} else {
+			vals = partsort.RIDs[K](len(keys))
+		}
+	} else {
+		switch dist {
+		case "uniform":
+			keys = gen.Uniform[K](n, domain, seed)
+		case "dense":
+			keys = gen.Dense[K](n, seed)
+		case "zipf":
+			d := domain
+			if d == 0 {
+				d = uint64(n)
+			}
+			keys = gen.ZipfKeys[K](n, d, theta, seed)
+		case "sorted":
+			keys = gen.Sorted[K](n, domain, seed)
+		case "reversed":
+			keys = gen.Reversed[K](n, domain, seed)
+		default:
+			fatal("unknown distribution " + dist)
+		}
+		vals = partsort.RIDs[K](len(keys))
+	}
+
+	var origK, origV []K
+	if verify {
+		origK = append([]K(nil), keys...)
+		origV = append([]K(nil), vals...)
+	}
+
+	var d *partsort.Dictionary[K]
+	if dict {
+		var err error
+		dictStart := time.Now()
+		d = partsort.BuildDictionary(keys)
+		keys, err = d.EncodeAll(keys)
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("dictionary: %d distinct values -> %d-bit dense codes (built in %.2f ms)\n",
+			d.Cardinality(), bitsFor(d.Cardinality()), float64(time.Since(dictStart).Microseconds())/1000)
+	}
+
+	var st partsort.SortStats
+	opt := &partsort.SortOptions{Threads: threads, Regions: regions, Stats: &st}
+	start := time.Now()
+	switch algo {
+	case "lsb":
+		partsort.SortLSB(keys, vals, opt)
+	case "msb":
+		partsort.SortMSB(keys, vals, opt)
+	case "cmp":
+		partsort.SortCMP(keys, vals, opt)
+	default:
+		fatal("unknown algorithm " + algo)
+	}
+	elapsed := time.Since(start)
+
+	if !partsort.IsSorted(keys) {
+		fatal("output not sorted (bug)")
+	}
+	if d != nil {
+		var err error
+		keys, err = d.DecodeAll(keys)
+		if err != nil {
+			fatal(err.Error())
+		}
+		if !partsort.IsSorted(keys) {
+			fatal("decoded output not sorted (order-preservation bug)")
+		}
+	}
+	fmt.Printf("%s sorted %d %d-bit tuples in %.2f ms (%.1f Mtuples/s)\n",
+		algo, len(keys), kv.Width[K](), float64(elapsed.Microseconds())/1000,
+		float64(len(keys))/elapsed.Seconds()/1e6)
+	if stats {
+		fmt.Printf("  histogram %v  partition %v  shuffle %v  local %v  cache %v  (%d passes)\n",
+			st.Histogram, st.Partition, st.Shuffle, st.LocalRadix, st.CacheSort, st.Passes)
+	}
+
+	if verify {
+		if !partsort.SameMultiset(origK, origV, keys, vals) {
+			fatal("verification failed: output tuple multiset differs from input")
+		}
+		if algo == "lsb" && valsIn == "" && !partsort.IsStableSorted(keys, vals) {
+			fatal("verification failed: lsb output not stable")
+		}
+		fmt.Println("verified: sorted, multiset preserved" + map[bool]string{true: ", stable", false: ""}[algo == "lsb" && valsIn == ""])
+	}
+
+	if out != "" {
+		mustWrite(out+".keys", keys)
+		mustWrite(out+".vals", vals)
+		fmt.Printf("wrote %s.keys and %s.vals\n", out, out)
+	}
+}
+
+func mustRead[K kv.Key](path string) []K {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err.Error())
+	}
+	w := kv.Width[K]() / 8
+	if len(data)%w != 0 {
+		fatal(fmt.Sprintf("%s: size %d not a multiple of %d bytes", path, len(data), w))
+	}
+	out := make([]K, len(data)/w)
+	for i := range out {
+		if w == 4 {
+			out[i] = K(binary.LittleEndian.Uint32(data[i*4:]))
+		} else {
+			out[i] = K(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+	}
+	return out
+}
+
+func mustWrite[K kv.Key](path string, col []K) {
+	w := kv.Width[K]() / 8
+	data := make([]byte, len(col)*w)
+	for i, v := range col {
+		if w == 4 {
+			binary.LittleEndian.PutUint32(data[i*4:], uint32(v))
+		} else {
+			binary.LittleEndian.PutUint64(data[i*8:], uint64(v))
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err.Error())
+	}
+}
+
+func bitsFor(card int) int {
+	b := 0
+	for 1<<b < card {
+		b++
+	}
+	return max(b, 1)
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "sortcli:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command tracecli replays partitioning address streams through the
+// trace-driven cache+TLB simulator with a configurable machine profile —
+// an exploration tool for the memory-hierarchy effects of Section 3.2.
+//
+// Examples:
+//
+//	tracecli -fanout 1024                  # buffered vs unbuffered at one fanout
+//	tracecli -sweep                        # the full fanout sweep
+//	tracecli -tlb 32 -l1 16384 -sweep      # a smaller machine
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/gen"
+	"repro/internal/memmodel"
+	"repro/internal/pfunc"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1<<18, "tuples to trace")
+		fanout  = flag.Int("fanout", 1024, "partitions (power of two)")
+		sweep   = flag.Bool("sweep", false, "sweep fanouts 8..8192 instead of one")
+		inplace = flag.Bool("inplace", false, "trace the in-place (swap cycle) variants")
+		machine = flag.String("machine", "paper", "base machine profile: paper, modern")
+		profile = flag.String("profile", "", "JSON file overriding memmodel.Profile fields")
+		dump    = flag.Bool("dump-profile", false, "print the effective profile as JSON and exit")
+		tlb     = flag.Int("tlb", 0, "override TLB entries")
+		l1      = flag.Int("l1", 0, "override L1 bytes")
+		l2      = flag.Int("l2", 0, "override L2 bytes")
+		pages   = flag.Int("page", 0, "override page bytes")
+	)
+	flag.Parse()
+
+	var prof memmodel.Profile
+	switch *machine {
+	case "paper":
+		prof = memmodel.PaperProfile()
+	case "modern":
+		prof = memmodel.ModernProfile()
+	default:
+		fmt.Fprintln(os.Stderr, "tracecli: unknown machine", *machine)
+		os.Exit(1)
+	}
+	if *profile != "" {
+		data, err := os.ReadFile(*profile)
+		if err == nil {
+			err = json.Unmarshal(data, &prof)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecli:", err)
+			os.Exit(1)
+		}
+	}
+	if *tlb > 0 {
+		prof.TLBEntries = *tlb
+	}
+	if *l1 > 0 {
+		prof.L1Bytes = *l1
+	}
+	if *l2 > 0 {
+		prof.L2Bytes = *l2
+	}
+	if *pages > 0 {
+		prof.PageBytes = *pages
+	}
+	if *dump {
+		out, _ := json.MarshalIndent(prof, "", "  ")
+		fmt.Println(string(out))
+		return
+	}
+
+	fanouts := []int{*fanout}
+	if *sweep {
+		fanouts = []int{8, 32, 128, 512, 2048, 8192}
+	}
+
+	keys := gen.Uniform[uint32](*n, 0, 7)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "P\tvariant\tTLBmiss/t\tL1miss/t\tL3miss/t\tlatency ns/t")
+	for _, f := range fanouts {
+		if f&(f-1) != 0 {
+			fmt.Fprintln(os.Stderr, "tracecli: fanout must be a power of two")
+			os.Exit(1)
+		}
+		fn := pfunc.NewHash[uint32](f)
+		parts := make([]int, *n)
+		for i, k := range keys {
+			parts[i] = fn.Partition(k)
+		}
+		for _, buffered := range []bool{false, true} {
+			var sim *memmodel.CacheSim
+			name := map[bool]string{false: "unbuffered", true: "buffered"}[buffered]
+			if *inplace {
+				sim = memmodel.InPlacePartitionTrace(prof, parts, f, 8, buffered)
+				name = "inplace-" + name
+			} else {
+				sim = memmodel.PartitionTrace(prof, parts, f, 8, buffered)
+			}
+			nn := float64(*n)
+			fmt.Fprintf(w, "%d\t%s\t%.3f\t%.3f\t%.3f\t%.1f\n",
+				f, name,
+				float64(sim.TLBMiss)/nn, float64(sim.L1Miss)/nn,
+				float64(sim.L3Miss)/nn, sim.StreamNs()/nn)
+		}
+	}
+	w.Flush()
+}

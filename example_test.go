@@ -1,0 +1,59 @@
+package partsort_test
+
+import (
+	"fmt"
+
+	partsort "repro"
+)
+
+func ExampleSortLSB() {
+	keys := []uint32{170, 45, 75, 90, 802, 24, 2, 66}
+	rids := partsort.RIDs[uint32](len(keys))
+	partsort.SortLSB(keys, rids, nil)
+	fmt.Println(keys)
+	// Output: [2 24 45 66 75 90 170 802]
+}
+
+func ExampleSortMSB() {
+	keys := []uint64{1 << 40, 3, 1 << 20, 42}
+	rids := partsort.RIDs[uint64](len(keys))
+	partsort.SortMSB(keys, rids, nil)
+	fmt.Println(keys)
+	// Output: [3 42 1048576 1099511627776]
+}
+
+func ExamplePartition() {
+	keys := []uint32{7, 2, 9, 4, 1, 8, 3, 6}
+	vals := partsort.RIDs[uint32](len(keys))
+	dstK := make([]uint32, len(keys))
+	dstV := make([]uint32, len(keys))
+	fn := partsort.Radix[uint32](0, 1) // 2-way on the low bit
+	hist := partsort.Partition(keys, vals, dstK, dstV, fn, 1)
+	fmt.Println(hist) // tuples per partition
+	fmt.Println(dstK) // evens then odds, each in input order (stable)
+	// Output:
+	// [4 4]
+	// [2 4 8 6 7 9 1 3]
+}
+
+func ExampleNewRangeIndex() {
+	delims := []uint32{10, 20, 30} // 4 ranges
+	ix := partsort.NewRangeIndex(delims)
+	fmt.Println(ix.Lookup(5), ix.Lookup(10), ix.Lookup(25), ix.Lookup(99))
+	// Output: 0 1 2 3
+}
+
+func ExamplePartitionBlocks() {
+	keys := []uint32{5, 1, 4, 0, 3, 2, 7, 6}
+	vals := partsort.RIDs[uint32](len(keys))
+	fn := partsort.Radix[uint32](2, 3) // 2-way on bit 2: 0-3 vs 4-7
+	bl := partsort.PartitionBlocks(keys, vals, fn, 4, 1)
+	fmt.Println(bl.Counts())
+	starts := bl.Compact(1)
+	fmt.Println(starts)
+	fmt.Println(keys[:starts[1]]) // partition 0 contiguous in place
+	// Output:
+	// [4 4]
+	// [0 4 8]
+	// [1 0 3 2]
+}

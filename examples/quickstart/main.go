@@ -1,0 +1,51 @@
+// Quickstart: generate a columnar table of (key, rid) tuples, sort it with
+// each of the three algorithms, and verify the results.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	partsort "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	const n = 1 << 21 // 2M tuples
+
+	fmt.Printf("generating %d uniform 32-bit tuples\n", n)
+	base := gen.Uniform[uint32](n, 0, 1)
+
+	run := func(name string, sort func(k, v []uint32)) {
+		keys := append([]uint32(nil), base...)
+		rids := partsort.RIDs[uint32](n)
+		start := time.Now()
+		sort(keys, rids)
+		elapsed := time.Since(start)
+		if !partsort.IsSorted(keys) {
+			panic(name + ": output not sorted")
+		}
+		origRids := partsort.RIDs[uint32](n)
+		if !partsort.SameMultiset(base, origRids, keys, rids) {
+			panic(name + ": tuples lost or corrupted")
+		}
+		fmt.Printf("%-4s sorted %d tuples in %8.2f ms (%6.1f Mtuples/s)\n",
+			name, n, float64(elapsed.Microseconds())/1000,
+			float64(n)/elapsed.Seconds()/1e6)
+	}
+
+	opt := &partsort.SortOptions{Threads: 4, Regions: 4}
+	run("LSB", func(k, v []uint32) { partsort.SortLSB(k, v, opt) })
+	run("MSB", func(k, v []uint32) { partsort.SortMSB(k, v, opt) })
+	run("CMP", func(k, v []uint32) { partsort.SortCMP(k, v, opt) })
+
+	// LSB is stable: payloads of equal keys keep input order. Demonstrate
+	// on a small-domain column where every key repeats many times.
+	keys := gen.Uniform[uint32](n, 1000, 7)
+	rids := partsort.RIDs[uint32](n)
+	partsort.SortLSB(keys, rids, opt)
+	if !partsort.IsStableSorted(keys, rids) {
+		panic("LSB lost stability")
+	}
+	fmt.Println("LSB stability verified on a 1000-value domain")
+}

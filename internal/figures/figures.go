@@ -1,0 +1,170 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Section 5). Each figure function produces a Table holding
+// two families of series:
+//
+//   - measured: real wall-clock of this repository's Go implementation at
+//     a laptop-scale workload (sizes configurable),
+//   - modeled: the internal/memmodel analytic model evaluated for the
+//     paper's 4-socket Xeon platform at paper-scale workloads.
+//
+// The measured series validates that the implementation works and shows
+// the shapes a single-node Go build can show; the modeled series
+// reproduces the hardware-dependent shapes (TLB cliffs, bandwidth
+// plateaus, SMT boosts, NUMA penalties) that a 1-core VM cannot exhibit
+// physically. EXPERIMENTS.md records both against the paper's numbers.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Config scales the measured workloads.
+type Config struct {
+	// PartTuples is the input size for partitioning figures (default 1M).
+	PartTuples int
+	// SortTuples is the base input size for sorting figures (default 1M).
+	SortTuples int
+	// Threads is the worker count for measured parallel runs (default 4).
+	Threads int
+	// Regions is the simulated NUMA region count (default 4).
+	Regions int
+	// Quick shrinks workloads ~8x for smoke runs.
+	Quick bool
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.PartTuples == 0 {
+		c.PartTuples = 1 << 20
+	}
+	if c.SortTuples == 0 {
+		c.SortTuples = 1 << 20
+	}
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.Regions == 0 {
+		c.Regions = 4
+	}
+	if c.Quick {
+		c.PartTuples /= 8
+		c.SortTuples /= 8
+	}
+	return c
+}
+
+// Table is one regenerated figure: a titled grid of formatted cells.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = pad(c, widths[i])
+	}
+	fmt.Fprintln(w, strings.Join(header, "  "))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, cell := range row {
+			cells[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(cells, "  "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f1, f2: numeric cell formatting.
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// mtps converts a run over n tuples into millions of tuples per second.
+func mtps(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds() / 1e6
+}
+
+// timeIt measures fn once.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Generator produces one figure.
+type Generator struct {
+	ID   string
+	Name string
+	Run  func(Config) *Table
+}
+
+// All returns every figure generator in paper order.
+func All() []Generator {
+	return []Generator{
+		{"fig3", "Shared-nothing partitioning, 32-bit", Fig3},
+		{"fig4", "Partitioning under Zipf skew", Fig4},
+		{"fig5", "Histogram generation, 32-bit", Fig5},
+		{"fig6", "Shared-nothing partitioning, 64-bit", Fig6},
+		{"fig7", "Out-of-cache partitioning scalability (SMT)", Fig7},
+		{"fig8", "Histogram generation, 64-bit", Fig8},
+		{"fig9", "Sort throughput vs input size, 32-bit", Fig9},
+		{"fig10", "Sort scalability (SMT), NUMA & non-NUMA", Fig10},
+		{"fig11", "Sort phase breakdown, 32-bit", Fig11},
+		{"fig12", "Sort throughput vs input size, 64-bit", Fig12},
+		{"fig13", "Sort phase breakdown, 64-bit", Fig13},
+		{"fig14", "NUMA-aware vs NUMA-oblivious sorts", Fig14},
+		{"fig15", "In-cache scalar vs SIMD comb-sort", Fig15},
+		{"skew", "Sorts under Zipf skew (Section 5 text)", FigSkew},
+		{"crossings", "NUMA crossing bounds (Sections 3.3, 4.2)", FigCrossings},
+		{"tlb", "Cache+TLB trace simulation of partitioning", FigTLB},
+		{"joins", "Join operators built from the menu", FigJoins},
+		{"ablation", "Design-choice ablations", FigAblation},
+	}
+}
+
+// ByID returns the generator with the given id, or nil.
+func ByID(id string) *Generator {
+	for _, g := range All() {
+		if g.ID == id {
+			return &g
+		}
+	}
+	return nil
+}

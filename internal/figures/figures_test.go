@@ -1,0 +1,73 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps figure smoke tests fast.
+func tinyConfig() Config {
+	return Config{PartTuples: 1 << 14, SortTuples: 1 << 14, Threads: 2, Regions: 2}
+}
+
+func TestAllGeneratorsProduceTables(t *testing.T) {
+	cfg := tinyConfig()
+	for _, g := range All() {
+		g := g
+		t.Run(g.ID, func(t *testing.T) {
+			tab := g.Run(cfg)
+			if tab == nil || tab.ID != g.ID {
+				t.Fatalf("generator %s returned %+v", g.ID, tab)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("row width %d != %d columns: %v", len(row), len(tab.Columns), row)
+				}
+			}
+			var sb strings.Builder
+			tab.Render(&sb)
+			out := sb.String()
+			if !strings.Contains(out, g.ID) || !strings.Contains(out, tab.Columns[0]) {
+				t.Fatalf("render missing header: %q", out[:min(200, len(out))])
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("fig3") == nil || ByID("skew") == nil {
+		t.Fatal("known ids not found")
+	}
+	if ByID("nope") != nil {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.PartTuples == 0 || c.Threads == 0 || c.Regions == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	q := Config{Quick: true}.WithDefaults()
+	if q.PartTuples >= c.PartTuples {
+		t.Fatal("quick mode should shrink workloads")
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Columns: []string{"a", "long-header"}}
+	tab.AddRow("123456", "7")
+	var sb strings.Builder
+	tab.Render(&sb)
+	lines := strings.Split(sb.String(), "\n")
+	if len(lines) < 3 {
+		t.Fatal("missing lines")
+	}
+	// Both columns should start at the same offset in header and row.
+	if strings.Index(lines[1], "long-header") != strings.Index(lines[2], "7") {
+		t.Fatalf("misaligned:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,297 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d times", same)
+	}
+}
+
+func TestRNGUint64nRange(t *testing.T) {
+	r := NewRNG(1)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGUint64nUniform(t *testing.T) {
+	r := NewRNG(7)
+	const n, buckets = 100000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	for b, c := range counts {
+		if c < n/buckets*8/10 || c > n/buckets*12/10 {
+			t.Fatalf("bucket %d has %d of %d", b, c, n)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestUniformDomain(t *testing.T) {
+	keys := Uniform[uint32](10000, 100, 5)
+	for _, k := range keys {
+		if k >= 100 {
+			t.Fatalf("key %d outside domain", k)
+		}
+	}
+	sparse := Uniform[uint64](10000, 0, 5)
+	var maxK uint64
+	for _, k := range sparse {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	if maxK < 1<<60 {
+		t.Fatalf("sparse max key %d suspiciously small", maxK)
+	}
+}
+
+func TestDenseDomain(t *testing.T) {
+	keys := Dense[uint32](5000, 9)
+	for _, k := range keys {
+		if int(k) >= 5000 {
+			t.Fatalf("dense key %d >= n", k)
+		}
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	keys := Permutation[uint32](1000, 11)
+	seen := make([]bool, 1000)
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	if kv.IsSorted(keys) {
+		t.Fatal("permutation came out sorted; shuffle is broken")
+	}
+}
+
+func TestRIDs(t *testing.T) {
+	vals := RIDs[uint64](10)
+	for i, v := range vals {
+		if v != uint64(i) {
+			t.Fatalf("rid[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSortedAndReversed(t *testing.T) {
+	s := Sorted[uint32](1000, 1<<20, 13)
+	if !kv.IsSorted(s) {
+		t.Fatal("Sorted output not sorted")
+	}
+	r := Reversed[uint32](1000, 1<<20, 13)
+	for i := 1; i < len(r); i++ {
+		if r[i-1] < r[i] {
+			t.Fatal("Reversed output not reversed")
+		}
+	}
+}
+
+func TestAlmostSorted(t *testing.T) {
+	n := 10000
+	keys := AlmostSorted[uint32](n, 1<<20, 0.05, 7)
+	inversions := 0
+	for i := 1; i < n; i++ {
+		if keys[i-1] > keys[i] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("no disturbance applied")
+	}
+	if inversions > n/5 {
+		t.Fatalf("too disturbed: %d inversions", inversions)
+	}
+	if kv.IsSorted(AlmostSorted[uint32](n, 1<<20, 0, 9)) == false {
+		t.Fatal("swapFrac 0 should stay sorted")
+	}
+}
+
+func TestAllEqual(t *testing.T) {
+	keys := AllEqual[uint32](100, 7)
+	for _, k := range keys {
+		if k != 7 {
+			t.Fatal("AllEqual produced a different key")
+		}
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	const n = 200000
+	const domain = 1 << 20
+	keys := ZipfKeys[uint32](n, domain, 1.2, 17)
+	counts := map[uint32]int{}
+	for _, k := range keys {
+		if uint64(k) >= domain {
+			t.Fatalf("key %d outside domain", k)
+		}
+		counts[k]++
+	}
+	// Under theta=1.2 the hottest key should take a macroscopic share.
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount < n/20 {
+		t.Fatalf("hottest key has %d of %d; not skewed enough for theta=1.2", maxCount, n)
+	}
+	// Uniform data must not have such a hot key.
+	uni := Uniform[uint32](n, domain, 17)
+	uniCounts := map[uint32]int{}
+	uniMax := 0
+	for _, k := range uni {
+		uniCounts[k]++
+		if uniCounts[k] > uniMax {
+			uniMax = uniCounts[k]
+		}
+	}
+	if uniMax >= n/20 {
+		t.Fatalf("uniform data unexpectedly skewed: max count %d", uniMax)
+	}
+}
+
+func TestZipfThetaOneSingularityHandled(t *testing.T) {
+	z := NewZipf(1000, 1.0, 3, false)
+	for i := 0; i < 1000; i++ {
+		if v := z.Next(); v >= 1000 {
+			t.Fatalf("value %d outside domain", v)
+		}
+	}
+}
+
+func TestZipfRankZeroIsHottest(t *testing.T) {
+	// Without scattering, rank 0 must be the most frequent value.
+	z := NewZipf(10000, 1.2, 5, false)
+	counts := map[uint64]int{}
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	for v, c := range counts {
+		if v != 0 && c > counts[0] {
+			t.Fatalf("value %d (count %d) hotter than rank 0 (count %d)", v, c, counts[0])
+		}
+	}
+}
+
+func TestZetaStaticMatchesDirectSum(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.99, 1.2} {
+		n := uint64(1 << 18)
+		var direct float64
+		for i := uint64(1); i <= n; i++ {
+			direct += math.Pow(1/float64(i), theta)
+		}
+		approx := zetaStatic(n, theta)
+		if math.Abs(direct-approx)/direct > 0.01 {
+			t.Fatalf("theta=%v: zetaStatic=%v direct=%v", theta, approx, direct)
+		}
+	}
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	keys := []uint64{900, 5, 900, 123456789, 5, 42}
+	d := BuildDictionary(keys)
+	if d.Cardinality() != 4 {
+		t.Fatalf("Cardinality = %d", d.Cardinality())
+	}
+	codes, err := d.EncodeAll(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.DecodeAll(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if back[i] != keys[i] {
+			t.Fatalf("roundtrip[%d] = %d, want %d", i, back[i], keys[i])
+		}
+	}
+}
+
+func TestDictionaryOrderPreserving(t *testing.T) {
+	keys := Uniform[uint64](2000, 0, 23)
+	d := BuildDictionary(keys)
+	codes, err := d.EncodeAll(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorting by code must equal sorting by value.
+	type pair struct{ k, c uint64 }
+	ps := make([]pair, len(keys))
+	for i := range keys {
+		ps[i] = pair{keys[i], codes[i]}
+	}
+	byKey := append([]pair(nil), ps...)
+	sort.Slice(byKey, func(i, j int) bool { return byKey[i].k < byKey[j].k })
+	byCode := append([]pair(nil), ps...)
+	sort.Slice(byCode, func(i, j int) bool { return byCode[i].c < byCode[j].c })
+	for i := range byKey {
+		if byKey[i].k != byCode[i].k {
+			t.Fatalf("order not preserved at %d", i)
+		}
+	}
+	// Codes are dense: [0, cardinality).
+	for _, c := range codes {
+		if int(c) >= d.Cardinality() {
+			t.Fatalf("code %d not dense", c)
+		}
+	}
+}
+
+func TestDictionaryErrors(t *testing.T) {
+	d := BuildDictionary([]uint32{1, 3, 5})
+	if _, err := d.Encode(2); err == nil {
+		t.Fatal("Encode of missing value should fail")
+	}
+	if _, err := d.Decode(3); err == nil {
+		t.Fatal("Decode of out-of-range code should fail")
+	}
+	if _, err := d.EncodeAll([]uint32{1, 2}); err == nil {
+		t.Fatal("EncodeAll with missing value should fail")
+	}
+	if _, err := d.DecodeAll([]uint32{0, 9}); err == nil {
+		t.Fatal("DecodeAll with bad code should fail")
+	}
+}

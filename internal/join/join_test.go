@@ -1,0 +1,171 @@
+package join
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+func mkRelations(nb, np int, domain uint64, seed uint64) (Relation[uint32], Relation[uint32]) {
+	build := Relation[uint32]{
+		Keys: gen.Uniform[uint32](nb, domain, seed),
+		Vals: gen.RIDs[uint32](nb),
+	}
+	probe := Relation[uint32]{
+		Keys: gen.Uniform[uint32](np, domain, seed+1),
+		Vals: gen.RIDs[uint32](np),
+	}
+	return build, probe
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	build, probe := mkRelations(500, 1500, 300, 7)
+	var ref, hj Counter[uint32]
+	NestedLoopJoin(build, probe, ref.Emit)
+	HashJoin(build, probe, hj.Emit, HashJoinOptions{Fanout: 16, Threads: 2})
+	if ref.N == 0 {
+		t.Fatal("setup produced no matches")
+	}
+	if hj.N != ref.N || hj.Checksum != ref.Checksum {
+		t.Fatalf("hash join: %d/%x, reference %d/%x", hj.N, hj.Checksum, ref.N, ref.Checksum)
+	}
+}
+
+func TestSortMergeJoinMatchesNestedLoop(t *testing.T) {
+	build, probe := mkRelations(400, 1200, 250, 9)
+	var ref, smj Counter[uint32]
+	NestedLoopJoin(build, probe, ref.Emit)
+	SortMergeJoin(build, probe, smj.Emit, SortMergeJoinOptions{Threads: 2})
+	if smj.N != ref.N || smj.Checksum != ref.Checksum {
+		t.Fatalf("sort-merge join: %d/%x, reference %d/%x", smj.N, smj.Checksum, ref.N, ref.Checksum)
+	}
+}
+
+func TestJoinsAgreeQuick(t *testing.T) {
+	f := func(bRaw, pRaw []uint32, fanoutBits uint8) bool {
+		// Clamp keys into a small domain to force matches.
+		build := Relation[uint32]{Keys: make([]uint32, len(bRaw)), Vals: gen.RIDs[uint32](len(bRaw))}
+		probe := Relation[uint32]{Keys: make([]uint32, len(pRaw)), Vals: gen.RIDs[uint32](len(pRaw))}
+		for i, k := range bRaw {
+			build.Keys[i] = k % 50
+		}
+		for i, k := range pRaw {
+			probe.Keys[i] = k % 50
+		}
+		var ref, hj, smj Counter[uint32]
+		NestedLoopJoin(build, probe, ref.Emit)
+		HashJoin(build, probe, hj.Emit, HashJoinOptions{Fanout: 1 << (fanoutBits%5 + 1), Threads: 2, PieceCutoff: 4})
+		SortMergeJoin(build, probe, smj.Emit, SortMergeJoinOptions{Threads: 1})
+		return hj.N == ref.N && hj.Checksum == ref.Checksum &&
+			smj.N == ref.N && smj.Checksum == ref.Checksum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashJoinDefaults(t *testing.T) {
+	build, probe := mkRelations(20000, 60000, 5000, 13)
+	var ref, hj Counter[uint32]
+	// Hash aggregate reference (nested loop too slow at this size).
+	ht := map[uint32][]uint32{}
+	for i, k := range build.Keys {
+		ht[k] = append(ht[k], build.Vals[i])
+	}
+	for j, k := range probe.Keys {
+		for _, bv := range ht[k] {
+			ref.Emit(Pair[uint32]{Key: k, BuildVal: bv, ProbeVal: probe.Vals[j]})
+		}
+	}
+	HashJoin(build, probe, hj.Emit, HashJoinOptions{}) // defaults
+	if hj.N != ref.N || hj.Checksum != ref.Checksum {
+		t.Fatalf("defaults join mismatch: %d vs %d", hj.N, ref.N)
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	var c Counter[uint32]
+	empty := Relation[uint32]{}
+	other := Relation[uint32]{Keys: []uint32{1, 2}, Vals: []uint32{0, 1}}
+	HashJoin(empty, other, c.Emit, HashJoinOptions{Fanout: 4})
+	HashJoin(other, empty, c.Emit, HashJoinOptions{Fanout: 4})
+	SortMergeJoin(empty, other, c.Emit, SortMergeJoinOptions{})
+	NestedLoopJoin(other, empty, c.Emit)
+	if c.N != 0 {
+		t.Fatalf("joins with empty inputs emitted %d rows", c.N)
+	}
+}
+
+func TestJoinSkewedKey(t *testing.T) {
+	// One hot key on both sides: the result is a big cross product.
+	n := 200
+	build := Relation[uint32]{Keys: gen.AllEqual[uint32](n, 42), Vals: gen.RIDs[uint32](n)}
+	probe := Relation[uint32]{Keys: gen.AllEqual[uint32](n, 42), Vals: gen.RIDs[uint32](n)}
+	var hj, smj Counter[uint32]
+	HashJoin(build, probe, hj.Emit, HashJoinOptions{Fanout: 8})
+	SortMergeJoin(build, probe, smj.Emit, SortMergeJoinOptions{})
+	want := uint64(n) * uint64(n)
+	if hj.N != want || smj.N != want {
+		t.Fatalf("cross product size: hash %d, smj %d, want %d", hj.N, smj.N, want)
+	}
+}
+
+func TestGroupByMatchesDirect(t *testing.T) {
+	keys := gen.ZipfKeys[uint32](20000, 500, 1.0, 3)
+	vals := gen.Uniform[uint32](20000, 1000, 5)
+	got := GroupBy(keys, vals, GroupByOptions{Threads: 2})
+	want := GroupByDirect(keys, vals)
+	if len(got) != len(want) {
+		t.Fatalf("group counts differ: %d vs %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok || g != w {
+			t.Fatalf("group %d: got %+v, want %+v", k, g, w)
+		}
+	}
+}
+
+func TestGroupByQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		keys := make([]uint32, len(raw))
+		for i, k := range raw {
+			keys[i] = k % 97
+		}
+		vals := gen.Uniform[uint32](len(raw), 1<<20, 9)
+		got := GroupBy(keys, vals, GroupByOptions{Fanout: 8, Threads: 3})
+		want := GroupByDirect(keys, vals)
+		if len(got) != len(want) {
+			return false
+		}
+		for k, w := range want {
+			if got[k] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggMerge(t *testing.T) {
+	var a Agg
+	for _, v := range []uint64{5, 1, 9, 9, 3} {
+		a.merge(v)
+	}
+	if a.Count != 5 || a.Sum != 27 || a.Min != 1 || a.Max != 9 {
+		t.Fatalf("agg = %+v", a)
+	}
+}
+
+func TestGroupByValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched columns")
+		}
+	}()
+	GroupBy([]uint32{1}, []uint32{}, GroupByOptions{})
+}

@@ -1,0 +1,96 @@
+package kv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidth(t *testing.T) {
+	if got := Width[uint32](); got != 32 {
+		t.Errorf("Width[uint32] = %d", got)
+	}
+	if got := Width[uint64](); got != 64 {
+		t.Errorf("Width[uint64] = %d", got)
+	}
+}
+
+func TestMaxKey(t *testing.T) {
+	if MaxKey[uint32]() != 0xFFFFFFFF {
+		t.Error("MaxKey[uint32]")
+	}
+	if MaxKey[uint64]() != 0xFFFFFFFFFFFFFFFF {
+		t.Error("MaxKey[uint64]")
+	}
+}
+
+func TestDomainBits(t *testing.T) {
+	cases := []struct {
+		keys []uint32
+		want int
+	}{
+		{nil, 1},
+		{[]uint32{0, 0, 0}, 1},
+		{[]uint32{1}, 1},
+		{[]uint32{2}, 2},
+		{[]uint32{255}, 8},
+		{[]uint32{256}, 9},
+		{[]uint32{0xFFFFFFFF}, 32},
+		{[]uint32{3, 7, 1023}, 10},
+	}
+	for _, c := range cases {
+		if got := DomainBits(c.keys); got != c.want {
+			t.Errorf("DomainBits(%v) = %d, want %d", c.keys, got, c.want)
+		}
+	}
+	if got := DomainBits([]uint64{1 << 40}); got != 41 {
+		t.Errorf("DomainBits(1<<40) = %d, want 41", got)
+	}
+}
+
+func TestChecksumPermutationInvariant(t *testing.T) {
+	f := func(keys []uint32, seed int64) bool {
+		perm := append([]uint32(nil), keys...)
+		r := rand.New(rand.NewSource(seed))
+		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		return ChecksumOf(keys) == ChecksumOf(perm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsChange(t *testing.T) {
+	keys := []uint32{1, 2, 3, 4, 5}
+	mut := []uint32{1, 2, 3, 4, 6}
+	if ChecksumOf(keys) == ChecksumOf(mut) {
+		t.Fatal("checksum failed to detect a changed element")
+	}
+	dup := []uint32{1, 2, 3, 5, 5}
+	if ChecksumOf(keys) == ChecksumOf(dup) {
+		t.Fatal("checksum failed to detect a duplicated element")
+	}
+}
+
+func TestChecksumPairsDetectsPayloadSwap(t *testing.T) {
+	keys := []uint32{10, 10, 20}
+	valsA := []uint32{1, 2, 3}
+	valsB := []uint32{1, 3, 2} // payload moved to a different key
+	if ChecksumPairs(keys, valsA) == ChecksumPairs(keys, valsB) {
+		t.Fatal("pair checksum failed to detect payload reassignment")
+	}
+	// Swapping payloads of equal keys keeps the multiset identical.
+	valsC := []uint32{2, 1, 3}
+	if ChecksumPairs(keys, valsA) != ChecksumPairs(keys, valsC) {
+		t.Fatal("pair checksum should be order-independent for equal keys")
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]uint32{}) || !IsSorted([]uint32{5}) || !IsSorted([]uint32{1, 1, 2}) {
+		t.Error("IsSorted false negative")
+	}
+	if IsSorted([]uint32{2, 1}) {
+		t.Error("IsSorted false positive")
+	}
+}

@@ -1,0 +1,189 @@
+package memmodel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestVariantAndMethodStrings(t *testing.T) {
+	names := map[string]bool{}
+	for _, v := range []Variant{NonInPlaceInCache, InPlaceInCache, NonInPlaceOutOfCache, InPlaceOutOfCache, Variant(99)} {
+		names[v.String()] = true
+	}
+	if len(names) != 5 {
+		t.Fatalf("variant names collide: %v", names)
+	}
+	for _, m := range []HistMethod{HistRadix, HistHash, HistRangeBinarySearch, HistRangeIndex} {
+		if m.String() == "unknown" {
+			t.Fatalf("method %d has no name", m)
+		}
+	}
+	for _, a := range []SortAlgo{SortLSB, SortMSB, SortCMP} {
+		if a.String() == "unknown" {
+			t.Fatalf("algo %d has no name", a)
+		}
+	}
+}
+
+func TestOptimalBits(t *testing.T) {
+	p := PaperProfile()
+	nip := OptimalBits(p, NonInPlaceOutOfCache, 4, 64)
+	if nip < 10 || nip > 12 {
+		t.Fatalf("non-in-place optimum %d bits, paper says 10-12", nip)
+	}
+	ip := OptimalBits(p, InPlaceOutOfCache, 4, 64)
+	if ip < 9 || ip > 11 {
+		t.Fatalf("in-place optimum %d bits, paper says 9-10", ip)
+	}
+	if ip > nip {
+		t.Fatal("in-place optimum should not exceed non-in-place")
+	}
+	ic := OptimalBits(p, NonInPlaceInCache, 4, 64)
+	if ic < 4 || ic > 7 {
+		t.Fatalf("in-cache optimum %d bits, paper says 5-6", ic)
+	}
+}
+
+func TestPassSecondsModes(t *testing.T) {
+	p := PaperProfile()
+	const n = 1_000_000_000
+	local := PassSeconds(p, NonInPlaceOutOfCache, NUMALocal, 1024, 4, 64, n, 0)
+	inter := PassSeconds(p, NonInPlaceOutOfCache, NUMAInterleaved, 1024, 4, 64, n, 0)
+	shuf := PassSeconds(p, NonInPlaceOutOfCache, NUMAShuffle, 4, 4, 64, n, 0)
+	if inter <= local {
+		t.Fatal("interleaved pass must be slower than local")
+	}
+	// Section 3.3: measured up to 55% slower on interleaved space; our
+	// calibration makes it 40-80%.
+	if inter > 2*local {
+		t.Fatalf("interleaved penalty implausible: %.2fx", inter/local)
+	}
+	// "Using an extra pass for NUMA shuffling always helps": penalty on a
+	// pass must exceed the amortized shuffle for multi-pass sorts.
+	if shuf <= 0 || shuf > local*2 {
+		t.Fatalf("shuffle cost out of range: %v vs pass %v", shuf, local)
+	}
+}
+
+func TestRandomAccessLatMonotone(t *testing.T) {
+	p := PaperProfile()
+	prev := 0.0
+	for _, lines := range []float64{4, 64, 1024, 16384, 1 << 20} {
+		lat := p.randomAccessLat(lines)
+		if lat < prev {
+			t.Fatalf("latency decreased at %v lines", lines)
+		}
+		prev = lat
+	}
+	if p.randomAccessLat(4) != p.L1Lat {
+		t.Fatal("tiny frontier should be L1-resident")
+	}
+	if p.randomAccessLat(1<<24) < 0.9*p.RAMLat {
+		t.Fatal("huge frontier should approach RAM latency")
+	}
+}
+
+func TestTLBMissProb(t *testing.T) {
+	p := PaperProfile()
+	if p.tlbMissProb(10) != 0 || p.tlbMissProb(64) != 0 {
+		t.Fatal("within reach should not miss")
+	}
+	if got := p.tlbMissProb(128); got <= 0.4 || got >= 0.6 {
+		t.Fatalf("128 pages on 64 entries should miss ~half: %v", got)
+	}
+}
+
+func TestPartitionTraceBufferedWritesFullLines(t *testing.T) {
+	p := PaperProfile()
+	parts := make([]int, 4096)
+	keys := gen.Uniform[uint32](len(parts), 0, 3)
+	for i, k := range keys {
+		parts[i] = int(k % 64)
+	}
+	buf := PartitionTrace(p, parts, 64, 8, true)
+	unbuf := PartitionTrace(p, parts, 64, 8, false)
+	// Buffered issues more raw accesses (buffer + flush) but fewer misses
+	// per tuple at large fanout; at small fanout both are TLB-clean.
+	if buf.Accesses <= unbuf.Accesses {
+		t.Fatal("buffered trace should issue extra buffer accesses")
+	}
+	if buf.TLBMiss > unbuf.TLBMiss+64 {
+		t.Fatal("buffered trace should not miss more")
+	}
+}
+
+func TestCombSortThroughputDecreasesWithN(t *testing.T) {
+	p := PaperProfile()
+	small := CombSortThroughput(p, 256, 4, true)
+	large := CombSortThroughput(p, 131072, 4, true)
+	if large >= small {
+		t.Fatal("larger arrays should sort slower per tuple (log n passes)")
+	}
+}
+
+func TestSortPhasesTotal(t *testing.T) {
+	ph := SortPhases{Alloc: 1, Histogram: 2, Partition: 3, Shuffle: 4, LocalRadix: 5, CacheSort: 6}
+	if ph.Total() != 21 {
+		t.Fatalf("Total = %v", ph.Total())
+	}
+}
+
+// TestShapesHoldOnModernProfile asserts the paper's architectural claims
+// are not artifacts of the 2014 machine: on an EPYC-class profile the same
+// orderings hold, with the in-cache collapse moved past the larger TLB.
+func TestShapesHoldOnModernProfile(t *testing.T) {
+	p := ModernProfile()
+	threads := p.Threads()
+	// In-cache still collapses — just past the much larger TLB reach.
+	small := PartitionPass(p, NonInPlaceInCache, 256, 4, threads, 0)
+	big := PartitionPass(p, NonInPlaceInCache, 8192, 4, threads, 0)
+	if big >= small {
+		t.Fatal("in-cache should still degrade at huge fanout")
+	}
+	// Out-of-cache still dominates at large fanout.
+	if PartitionPass(p, NonInPlaceOutOfCache, 8192, 4, threads, 0) <= big {
+		t.Fatal("buffered variant should still win at large fanout")
+	}
+	// Index still beats binary search.
+	if Histogram(p, HistRangeIndex, 1024, 4, threads) <= Histogram(p, HistRangeBinarySearch, 1024, 4, threads) {
+		t.Fatal("range index should beat binary search on modern hardware too")
+	}
+	// The MSB-beats-LSB-on-sparse-64-bit crossover survives.
+	mk := func(a SortAlgo) float64 {
+		return SortThroughput(p, SortConfig{Algo: a, KeyBytes: 8, Threads: threads,
+			N: 10_000_000_000, DomainBits: 64, NUMAAware: true, PreAllocated: true})
+	}
+	if mk(SortMSB) <= mk(SortLSB) {
+		t.Fatal("MSB should still beat LSB on sparse 64-bit domains")
+	}
+	// Optimal fanout grows with the bigger TLB/caches but stays bounded.
+	ob := OptimalBits(p, NonInPlaceOutOfCache, 4, threads)
+	if ob < 10 || ob > 14 {
+		t.Fatalf("modern optimal bits %d out of plausible range", ob)
+	}
+}
+
+func TestMSBCoversLogNNotLogD(t *testing.T) {
+	// The MSB model must be insensitive to domain width beyond log n
+	// (Section 4.2.2): sparse 64-bit domains cost the same as 40-bit ones
+	// for the same n.
+	p := PaperProfile()
+	cfg := SortConfig{Algo: SortMSB, KeyBytes: 8, Threads: 64, N: 1_000_000_000, NUMAAware: true, PreAllocated: true}
+	cfg.DomainBits = 64
+	t64 := Sort(p, cfg).Total()
+	cfg.DomainBits = 40
+	t40 := Sort(p, cfg).Total()
+	if t64 != t40 {
+		t.Fatalf("MSB cost depends on domain beyond log n: %v vs %v", t64, t40)
+	}
+	// LSB, in contrast, must get cheaper with a narrower domain.
+	cfg.Algo = SortLSB
+	cfg.DomainBits = 64
+	l64 := Sort(p, cfg).Total()
+	cfg.DomainBits = 40
+	l40 := Sort(p, cfg).Total()
+	if l40 >= l64 {
+		t.Fatal("LSB cost should track domain bits")
+	}
+}

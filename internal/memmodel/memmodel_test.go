@@ -1,0 +1,348 @@
+package memmodel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestCacheSimBasics(t *testing.T) {
+	p := PaperProfile()
+	s := NewCacheSim(p)
+	s.Access(0, false)
+	if s.L1Miss != 1 || s.TLBMiss != 1 {
+		t.Fatalf("cold access should miss everywhere: %+v", s)
+	}
+	s.Access(0, false)
+	if s.L1Miss != 1 || s.TLBMiss != 1 {
+		t.Fatalf("hot access should hit: %+v", s)
+	}
+	s.Access(8, true) // same line
+	if s.L1Miss != 1 {
+		t.Fatal("same-line access should hit L1")
+	}
+	if s.Writes != 1 {
+		t.Fatal("write counter wrong")
+	}
+	s.Reset()
+	if s.Accesses != 0 || s.L1Miss != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCacheSimCapacityEviction(t *testing.T) {
+	p := PaperProfile()
+	s := NewCacheSim(p)
+	// Touch 2x the L1 working set; re-touching the first half must miss L1
+	// but hit L2.
+	lines := 2 * p.L1Bytes / p.LineBytes
+	for i := 0; i < lines; i++ {
+		s.Access(uint64(i*p.LineBytes), false)
+	}
+	s.Reset()
+	for i := 0; i < lines/4; i++ {
+		s.Access(uint64(i*p.LineBytes), false)
+	}
+	if s.L1Miss == 0 {
+		t.Fatal("expected L1 capacity misses")
+	}
+	if s.L2Miss != 0 {
+		t.Fatalf("re-touch should hit L2, got %d L2 misses", s.L2Miss)
+	}
+}
+
+func TestCacheSimAccessRange(t *testing.T) {
+	p := PaperProfile()
+	s := NewCacheSim(p)
+	s.AccessRange(0, 4*p.LineBytes, true)
+	if s.Accesses != 4 {
+		t.Fatalf("AccessRange touched %d lines, want 4", s.Accesses)
+	}
+}
+
+// TestPartitionTraceTLBCliff is the event-space reproduction of the
+// paper's central out-of-cache observation: unbuffered partitioning TLB-
+// thrashes once the fanout exceeds the TLB reach, while the buffered
+// variant's misses stay ~1/L per tuple.
+func TestPartitionTraceTLBCliff(t *testing.T) {
+	p := PaperProfile()
+	const n = 1 << 18
+	mkParts := func(fanout int) []int {
+		keys := gen.Uniform[uint32](n, 0, 7)
+		parts := make([]int, n)
+		for i, k := range keys {
+			parts[i] = int(k) % fanout
+		}
+		return parts
+	}
+
+	// Small fanout: both variants have low TLB miss rates.
+	small := PartitionTrace(p, mkParts(16), 16, 8, false)
+	if rate := float64(small.TLBMiss) / n; rate > 0.05 {
+		t.Fatalf("16-way unbuffered TLB miss rate %.3f too high", rate)
+	}
+
+	// Large fanout: unbuffered thrashes, buffered stays near 1/L.
+	unbuf := PartitionTrace(p, mkParts(1024), 1024, 8, false)
+	buf := PartitionTrace(p, mkParts(1024), 1024, 8, true)
+	unbufRate := float64(unbuf.TLBMiss) / n
+	bufRate := float64(buf.TLBMiss) / n
+	if unbufRate < 0.5 {
+		t.Fatalf("1024-way unbuffered TLB miss rate %.3f; expected thrashing", unbufRate)
+	}
+	if bufRate > 0.35 {
+		t.Fatalf("1024-way buffered TLB miss rate %.3f; buffering should mitigate", bufRate)
+	}
+	if unbufRate < 2*bufRate {
+		t.Fatalf("buffering should cut TLB misses substantially: %.3f vs %.3f", unbufRate, bufRate)
+	}
+}
+
+func TestPartitionPassShapes(t *testing.T) {
+	p := PaperProfile()
+	const kb, threads = 4, 64
+
+	// Figure 3: in-cache variants collapse at large fanout; out-of-cache
+	// variants stay fast.
+	icSmall := PartitionPass(p, NonInPlaceInCache, 32, kb, threads, 0)
+	icLarge := PartitionPass(p, NonInPlaceInCache, 4096, kb, threads, 0)
+	if icLarge > icSmall/2 {
+		t.Fatalf("in-cache should collapse at 4096-way: %0.f vs %0.f", icLarge, icSmall)
+	}
+	oocLarge := PartitionPass(p, NonInPlaceOutOfCache, 1024, kb, threads, 0)
+	if oocLarge < 3*icLarge {
+		t.Fatalf("out-of-cache should beat in-cache at 1024-way: %0.f vs %0.f", oocLarge, icLarge)
+	}
+	// Non-in-place out-of-cache is the fastest large-fanout variant.
+	ipLarge := PartitionPass(p, InPlaceOutOfCache, 1024, kb, threads, 0)
+	if ipLarge > oocLarge {
+		t.Fatal("in-place out-of-cache should not beat non-in-place")
+	}
+	if ipLarge < oocLarge/3 {
+		t.Fatalf("in-place out-of-cache should be within 3x of non-in-place: %0.f vs %0.f", ipLarge, oocLarge)
+	}
+
+	// Optimal fanout for out-of-cache sits at 10-12 bits: performance per
+	// partitioning bit peaks there rather than at tiny or huge fanouts.
+	perBit := func(v Variant, bits int) float64 {
+		return PartitionPass(p, v, 1<<bits, kb, threads, 0) * float64(bits)
+	}
+	if perBit(NonInPlaceOutOfCache, 10) <= perBit(NonInPlaceOutOfCache, 2) {
+		t.Fatal("10-bit fanout should beat 2-bit per partitioning bit")
+	}
+	if perBit(NonInPlaceOutOfCache, 10) <= perBit(NonInPlaceOutOfCache, 13) {
+		t.Fatal("10-bit fanout should beat 13-bit per partitioning bit")
+	}
+}
+
+func TestPartitionPassSkewHelps(t *testing.T) {
+	p := PaperProfile()
+	uni := PartitionPass(p, NonInPlaceOutOfCache, 2048, 4, 64, 0)
+	zipf := PartitionPass(p, NonInPlaceOutOfCache, 2048, 4, 64, 1.2)
+	if zipf <= uni {
+		t.Fatalf("Zipf 1.2 should improve partitioning (Figure 4): %0.f vs %0.f", zipf, uni)
+	}
+	// Below theta=1 no significant difference.
+	low := PartitionPass(p, NonInPlaceOutOfCache, 2048, 4, 64, 0.8)
+	if low != uni {
+		t.Fatal("theta<1 should match uniform")
+	}
+}
+
+func TestHistogramShapes(t *testing.T) {
+	p := PaperProfile()
+	const threads = 64
+	for _, kb := range []int{4, 8} {
+		radix := Histogram(p, HistRadix, 1024, kb, threads)
+		hash := Histogram(p, HistHash, 1024, kb, threads)
+		bs := Histogram(p, HistRangeBinarySearch, 1024, kb, threads)
+		idx := Histogram(p, HistRangeIndex, 1024, kb, threads)
+		if radix < hash {
+			t.Fatal("radix should be at least as fast as hash")
+		}
+		if idx <= bs {
+			t.Fatal("range index must beat binary search")
+		}
+		speedup := idx / bs
+		if kb == 4 && (speedup < 3.5 || speedup > 8) {
+			t.Fatalf("32-bit index speedup %.2f outside the paper's ~5-6x band", speedup)
+		}
+		if kb == 8 && (speedup < 2 || speedup > 5) {
+			t.Fatalf("64-bit index speedup %.2f outside the paper's ~3.2x band", speedup)
+		}
+		if idx > radix {
+			t.Fatal("range index should not beat radix")
+		}
+		if idx < radix/7 {
+			t.Fatalf("range index should be within ~7x of radix: %0.f vs %0.f", idx, radix)
+		}
+	}
+	// Radix/hash run at memory bandwidth for 32-bit keys.
+	radix32 := Histogram(p, HistRadix, 1024, 4, threads)
+	if radix32 < 0.8*p.ReadBW*1e9/4 {
+		t.Fatalf("radix histogram should be bandwidth-bound: %0.f keys/s", radix32)
+	}
+}
+
+func TestSMTScaling(t *testing.T) {
+	p := PaperProfile()
+	// Figure 7: the in-place variant gains more from SMT than
+	// non-in-place.
+	gain := func(v Variant) float64 {
+		return PartitionPass(p, v, 1024, 8, 64, 0) / PartitionPass(p, v, 1024, 8, 32, 0)
+	}
+	if gain(InPlaceOutOfCache) < gain(NonInPlaceOutOfCache) {
+		t.Fatalf("in-place should benefit more from SMT: %.3f vs %.3f",
+			gain(InPlaceOutOfCache), gain(NonInPlaceOutOfCache))
+	}
+	// More threads never hurt.
+	for _, v := range []Variant{NonInPlaceOutOfCache, InPlaceOutOfCache} {
+		prev := 0.0
+		for _, th := range []int{8, 16, 32, 64} {
+			cur := PartitionPass(p, v, 1024, 8, th, 0)
+			if cur < prev {
+				t.Fatalf("%v throughput decreased at %d threads", v, th)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestSortModelShapes(t *testing.T) {
+	p := PaperProfile()
+	const n = 10_000_000_000
+	base := SortConfig{KeyBytes: 4, Threads: 64, N: n, DomainBits: 32, NUMAAware: true, PreAllocated: true}
+
+	lsb := base
+	lsb.Algo = SortLSB
+	msb := base
+	msb.Algo = SortMSB
+	cmp := base
+	cmp.Algo = SortCMP
+
+	tpsLSB := SortThroughput(p, lsb)
+	tpsMSB := SortThroughput(p, msb)
+	tpsCMP := SortThroughput(p, cmp)
+
+	// Figure 9 (32-bit): LSB fastest; MSB within 10-35%; CMP slower but
+	// comparable (within ~2x).
+	if tpsMSB >= tpsLSB {
+		t.Fatalf("32-bit: LSB should beat MSB: %0.f vs %0.f", tpsLSB, tpsMSB)
+	}
+	if tpsMSB < 0.6*tpsLSB {
+		t.Fatalf("32-bit: MSB should be within ~40%% of LSB: %0.f vs %0.f", tpsMSB, tpsLSB)
+	}
+	if tpsCMP >= tpsLSB || tpsCMP < tpsLSB/3 {
+		t.Fatalf("32-bit: CMP should be slower but comparable: %0.f vs %0.f", tpsCMP, tpsLSB)
+	}
+
+	// Figure 12 (64-bit sparse): MSB beats LSB because it stops early.
+	lsb64, msb64 := lsb, msb
+	lsb64.KeyBytes, lsb64.DomainBits = 8, 64
+	msb64.KeyBytes, msb64.DomainBits = 8, 64
+	if SortThroughput(p, msb64) <= SortThroughput(p, lsb64) {
+		t.Fatal("64-bit sparse: MSB should beat LSB (fewer passes)")
+	}
+
+	// Figure 11: without pre-allocated memory MSB wins over LSB.
+	lsbNoPre, msbNoPre := lsb, msb
+	lsbNoPre.PreAllocated, msbNoPre.PreAllocated = false, false
+	if Sort(p, msbNoPre).Total() >= Sort(p, lsbNoPre).Total() {
+		t.Fatal("MSB should win when memory is not pre-allocated")
+	}
+}
+
+func TestSortNUMAAwareness(t *testing.T) {
+	p := PaperProfile()
+	const n = 10_000_000_000
+	speedup := func(algo SortAlgo, kb, domain int) float64 {
+		aware := SortConfig{Algo: algo, KeyBytes: kb, Threads: 64, N: n, DomainBits: domain, NUMAAware: true, PreAllocated: true}
+		obliv := aware
+		obliv.NUMAAware = false
+		return SortThroughput(p, aware) / SortThroughput(p, obliv)
+	}
+	// Figure 14: LSB ~25% faster at 32-bit, >50% at 64-bit; CMP 10-15%.
+	s32 := speedup(SortLSB, 4, 32)
+	if s32 < 1.1 || s32 > 1.6 {
+		t.Fatalf("LSB 32-bit NUMA speedup %.2f outside ~1.25 band", s32)
+	}
+	s64 := speedup(SortLSB, 8, 64)
+	if s64 < 1.3 {
+		t.Fatalf("LSB 64-bit NUMA speedup %.2f; paper reports >1.5", s64)
+	}
+	if s64 <= s32 {
+		t.Fatal("64-bit NUMA speedup should exceed 32-bit (more passes)")
+	}
+	sc := speedup(SortCMP, 4, 32)
+	if sc < 1.02 || sc > 1.4 {
+		t.Fatalf("CMP NUMA speedup %.2f outside the small 1.10-1.15 band", sc)
+	}
+	if sc >= s32 {
+		t.Fatal("CMP should benefit less from NUMA awareness than LSB")
+	}
+}
+
+func TestSortScalability(t *testing.T) {
+	p := PaperProfile()
+	const n = 1_000_000_000
+	cfg := SortConfig{Algo: SortLSB, KeyBytes: 4, Threads: 64, N: n, DomainBits: 32, NUMAAware: true, PreAllocated: true}
+	four := SortThroughput(p, cfg)
+	oneP := OneSocket(p)
+	cfg1 := cfg
+	cfg1.Threads = 16
+	cfg1.NUMAAware = false // single socket: no NUMA layer
+	one := SortThroughput(oneP, cfg1)
+	ratio := four / one
+	// Figure 10: 3.13x for LSB (not 4x: the extra shuffle step).
+	if ratio < 2.2 || ratio > 4.0 {
+		t.Fatalf("4-CPU speedup %.2f outside the ~3.1x band", ratio)
+	}
+}
+
+func TestCombSortModel(t *testing.T) {
+	p := PaperProfile()
+	// Figure 15: ~2.9x average speedup for 4-wide SIMD on 32-bit keys.
+	var sum float64
+	sizes := []int{256, 1024, 4096, 16384, 65536}
+	for _, n := range sizes {
+		sp := CombSortThroughput(p, n, 4, true) / CombSortThroughput(p, n, 4, false)
+		if sp < 1.5 || sp > 4.5 {
+			t.Fatalf("SIMD speedup %.2f at n=%d outside a plausible band", sp, n)
+		}
+		sum += sp
+	}
+	avg := sum / float64(len(sizes))
+	if avg < 2.0 || avg > 4.0 {
+		t.Fatalf("average SIMD speedup %.2f; paper reports ~2.9", avg)
+	}
+	// 64-bit: 2 lanes cannot be much faster than scalar.
+	sp64 := CombSortThroughput(p, 4096, 8, true) / CombSortThroughput(p, 4096, 8, false)
+	if sp64 > 2.5 {
+		t.Fatalf("64-bit SIMD speedup %.2f implausibly high for 2 lanes", sp64)
+	}
+}
+
+func TestCMPSkewHelps(t *testing.T) {
+	p := PaperProfile()
+	const n = 10_000_000_000
+	cfg := SortConfig{Algo: SortCMP, KeyBytes: 4, Threads: 64, N: n, DomainBits: 32, NUMAAware: true, PreAllocated: true}
+	uni := SortThroughput(p, cfg)
+	cfg.ZipfTheta = 1.2
+	skewed := SortThroughput(p, cfg)
+	ratio := skewed / uni
+	// Section 5: CMP is 80% faster at theta=1.2.
+	if ratio < 1.3 || ratio > 2.5 {
+		t.Fatalf("CMP skew speedup %.2f outside the ~1.8 band", ratio)
+	}
+}
+
+func TestProfileAccessors(t *testing.T) {
+	p := PaperProfile()
+	if p.Threads() != 64 || p.Cores() != 32 {
+		t.Fatalf("paper platform is 32 cores / 64 threads, got %d/%d", p.Cores(), p.Threads())
+	}
+	one := OneSocket(p)
+	if one.Sockets != 1 || one.ReadBW >= p.ReadBW {
+		t.Fatal("OneSocket should shrink the machine")
+	}
+}

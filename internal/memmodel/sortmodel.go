@@ -1,0 +1,261 @@
+package memmodel
+
+import "math"
+
+// SortAlgo enumerates the paper's three sorting algorithms.
+type SortAlgo int
+
+const (
+	SortLSB SortAlgo = iota
+	SortMSB
+	SortCMP
+)
+
+// String implements fmt.Stringer.
+func (a SortAlgo) String() string {
+	switch a {
+	case SortLSB:
+		return "LSB"
+	case SortMSB:
+		return "MSB"
+	case SortCMP:
+		return "CMP"
+	}
+	return "unknown"
+}
+
+// SortPhases is the per-phase wall-clock breakdown of one sort run
+// (Figures 11 and 13), in seconds.
+type SortPhases struct {
+	Alloc      float64
+	Histogram  float64
+	Partition  float64
+	Shuffle    float64
+	LocalRadix float64
+	CacheSort  float64
+}
+
+// Total returns the summed wall-clock.
+func (s SortPhases) Total() float64 {
+	return s.Alloc + s.Histogram + s.Partition + s.Shuffle + s.LocalRadix + s.CacheSort
+}
+
+// SortConfig parameterizes the sort models.
+type SortConfig struct {
+	Algo       SortAlgo
+	KeyBytes   int
+	Threads    int
+	N          int
+	DomainBits int // key domain size logD (32/64 for sparse domains)
+	NUMAAware  bool
+	// PreAllocated: auxiliary space already allocated (Figures 11/13
+	// contrast pre-allocated and not).
+	PreAllocated bool
+	ZipfTheta    float64
+}
+
+// bitsPerPass is the paper's optimal out-of-cache radix fanout
+// (10-12 bits for non-in-place, 9-10 in-place; Figure 3).
+const (
+	bitsPerPassNIP = 10
+	bitsPerPassIP  = 9
+	rangeFanout    = 1000 // CMP's wide range fanout per pass
+)
+
+// allocBW models first-touch page allocation bandwidth in GB/s (page
+// faults + zeroing).
+const allocBW = 18.0
+
+// Sort models one sort run and returns its phase breakdown. The models
+// compose PartitionPass/Histogram/PassSeconds exactly the way the
+// algorithms of Section 4 compose partitioning passes.
+func Sort(p Profile, cfg SortConfig) SortPhases {
+	n := cfg.N
+	kb := cfg.KeyBytes
+	t := cfg.Threads
+	var ph SortPhases
+	tupleBytes := float64(2 * kb)
+	cacheTuples := float64(p.L3Bytes) / float64(p.Sockets*2) / tupleBytes * float64(p.Sockets)
+	_ = cacheTuples
+
+	mode := func(first bool) NUMAMode {
+		if !cfg.NUMAAware {
+			if p.Sockets > 1 {
+				return NUMAInterleaved
+			}
+			return NUMALocal
+		}
+		return NUMALocal
+	}
+
+	switch cfg.Algo {
+	case SortLSB:
+		// Non-in-place: needs an auxiliary array.
+		if !cfg.PreAllocated {
+			ph.Alloc = float64(n) * tupleBytes / (allocBW * 1e9)
+		}
+		passes := int(math.Ceil(float64(cfg.DomainBits) / bitsPerPassNIP))
+		if passes < 1 {
+			passes = 1
+		}
+		for i := 0; i < passes; i++ {
+			ph.Histogram += float64(n) / Histogram(p, HistRadix, 1<<bitsPerPassNIP, kb, t)
+			sec := PassSeconds(p, NonInPlaceOutOfCache, mode(i == 0), 1<<bitsPerPassNIP, kb, t, n, cfg.ZipfTheta)
+			if i == 0 {
+				ph.Partition += sec
+			} else {
+				ph.LocalRadix += sec
+			}
+		}
+		if cfg.NUMAAware && p.Sockets > 1 {
+			ph.Shuffle = PassSeconds(p, NonInPlaceOutOfCache, NUMAShuffle, p.Sockets, kb, t, n, 0)
+		}
+
+	case SortMSB:
+		// In-place: no allocation beyond O(P*B) scratch either way.
+		effBits := cfg.DomainBits
+		if lb := int(math.Ceil(math.Log2(float64(n + 1)))); lb < effBits {
+			effBits = lb // MSB covers log n bits, not log D (Section 4.2.2)
+		}
+		// First pass: range split in blocks + synchronized block shuffle.
+		ph.Histogram += float64(n) / Histogram(p, HistRadix, 1<<bitsPerPassIP, kb, t)
+		ph.Partition += PassSeconds(p, NonInPlaceOutOfCache, NUMALocal, 2*t, kb, t, n, cfg.ZipfTheta)
+		if cfg.NUMAAware && p.Sockets > 1 {
+			// Block shuffle: up to 2 crossings per tuple (Section 3.3.2),
+			// expected (2x^2-3x+1)/x^2 = 1.3125 on 4 regions — 75% more
+			// than the (x-1)/x of the non-in-place shuffle.
+			x := float64(p.Sockets)
+			crossings := (2*x*x - 3*x + 1) / (x * x)
+			ph.Shuffle = float64(n) * tupleBytes * crossings / (0.8 * p.WriteBW * 1e9)
+		}
+		remaining := effBits - bitsPerPassIP
+		inCacheBits := int(math.Log2(cacheTuplesFor(p, kb))) - 2
+		for remaining > inCacheBits {
+			ph.Histogram += float64(n) / Histogram(p, HistRadix, 1<<bitsPerPassIP, kb, t)
+			ph.LocalRadix += PassSeconds(p, InPlaceOutOfCache, NUMALocal, 1<<bitsPerPassIP, kb, t, n, cfg.ZipfTheta)
+			remaining -= bitsPerPassIP
+		}
+		if remaining > 0 {
+			// In-cache radix passes + insertion sort on 4-8 tuple parts.
+			ph.CacheSort = float64(n) * (6*p.ScalarOpNs + 2*p.L1Lat) / float64(p.threadScale(t, 0.4)) / 1e9 * float64((remaining+bitsPerPassIP-1)/bitsPerPassIP+1)
+		}
+
+	case SortCMP:
+		if !cfg.PreAllocated {
+			ph.Alloc = float64(n) * tupleBytes / (allocBW * 1e9)
+		}
+		cacheT := cacheTuplesFor(p, kb)
+		passes := 0
+		rem := float64(n) // segment size shrinks by the fanout each pass
+		for rem > cacheT {
+			passes++
+			rem /= rangeFanout
+		}
+		if passes < 1 {
+			passes = 1
+		}
+		// Skew makes CMP faster twice over (Section 4.3.2 / Section 5):
+		// heavy keys land in single-key partitions after the first pass,
+		// which need no further passes and no in-cache sorting; and the
+		// Zipf caching effect speeds the remaining partitioning.
+		dup := 0.0
+		if cfg.ZipfTheta >= 0.9 {
+			dup = clamp01(1.25 * (cfg.ZipfTheta - 0.8))
+		}
+		for i := 0; i < passes; i++ {
+			frac := 1.0
+			if i > 0 {
+				frac = 1 - dup
+			}
+			ph.Histogram += frac * float64(n) / Histogram(p, HistRangeIndex, rangeFanout, kb, t)
+			ph.Partition += frac * PassSeconds(p, NonInPlaceOutOfCache, mode(i == 0), rangeFanout, kb, t, n, cfg.ZipfTheta)
+		}
+		if cfg.NUMAAware && p.Sockets > 1 {
+			ph.Shuffle = PassSeconds(p, NonInPlaceOutOfCache, NUMAShuffle, p.Sockets, kb, t, n, 0)
+		}
+		ph.CacheSort = (1 - dup) * combSortSeconds(p, n, kb, t, true)
+	}
+	return ph
+}
+
+// cacheTuplesFor returns the tuples per thread that fit in the
+// thread-share of the cache.
+func cacheTuplesFor(p Profile, keyBytes int) float64 {
+	perThread := float64(p.L2Bytes) // private L2 as the working target
+	return perThread / float64(2*keyBytes)
+}
+
+// combSortSeconds models in-cache comb-sort over n total tuples split into
+// cache-resident chunks across t threads (Figure 15): SIMD does
+// (n/W)log(n/W) lane-parallel compare-exchanges plus n*logW merge steps;
+// scalar does ~n log n compare-exchanges.
+func combSortSeconds(p Profile, n, keyBytes, t int, simd bool) float64 {
+	w := 4.0
+	if keyBytes == 8 {
+		w = 2.0
+	}
+	nn := float64(n)
+	chunk := cacheTuplesFor(p, keyBytes)
+	logn := math.Log2(math.Max(chunk, 2))
+	exchangeNs := 3.5 * p.ScalarOpNs // load/min/max/store per vector pair, amortized
+	var ops float64
+	if simd {
+		ops = nn/w*(logn-math.Log2(w))*1.35 + nn*math.Log2(w)*2
+		if keyBytes == 8 {
+			// Two 64-bit lanes per register: each vector op does half the
+			// work of the 32-bit case at the same cost.
+			ops *= 1.6
+		}
+	} else {
+		// Scalar compare-exchanges pay branch mispredictions the
+		// lane-parallel min/max path avoids.
+		ops = nn * logn * 1.7
+	}
+	return ops * exchangeNs / float64(p.threadScale(t, 0.3)) / 1e9
+}
+
+// CombSortThroughput models Figure 15: in-cache sorting throughput in
+// tuples/s for one thread at a given array size, scalar vs SIMD.
+func CombSortThroughput(p Profile, arraySize, keyBytes int, simd bool) float64 {
+	w := 4.0
+	if keyBytes == 8 {
+		w = 2.0
+	}
+	nn := float64(arraySize)
+	logn := math.Log2(math.Max(nn, 2))
+	exchangeNs := 3.5 * p.ScalarOpNs
+	var ops float64
+	if simd {
+		ops = nn/w*math.Max(logn-math.Log2(w), 1)*1.35 + nn*math.Log2(w)*2
+		if keyBytes == 8 {
+			ops *= 1.6
+		}
+	} else {
+		ops = nn * logn * 1.7
+	}
+	// Larger arrays spill from L1 to L2: small latency adder.
+	bytes := nn * float64(2*keyBytes)
+	spill := 0.0
+	if bytes > float64(p.L1Bytes) {
+		spill = nn * 0.3 * p.L2Lat / w
+	}
+	return nn / ((ops*exchangeNs + spill) / 1e9)
+}
+
+// SortThroughput returns tuples/s for a sort configuration.
+func SortThroughput(p Profile, cfg SortConfig) float64 {
+	return float64(cfg.N) / Sort(p, cfg).Total()
+}
+
+// OneSocket derives the single-CPU variant of a profile (for the 1-CPU
+// series of Figures 7 and 10): one socket's cores and its share of the
+// aggregate bandwidth, and no NUMA layer.
+func OneSocket(p Profile) Profile {
+	q := p
+	f := float64(p.Sockets)
+	q.Sockets = 1
+	q.ReadBW /= f
+	q.WriteBW /= f
+	q.CopyBW /= f
+	return q
+}

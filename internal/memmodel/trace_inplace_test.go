@@ -1,0 +1,92 @@
+package memmodel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestInPlaceTraceTLBCliff(t *testing.T) {
+	p := PaperProfile()
+	const n = 1 << 18
+	mk := func(fanout int) []int {
+		keys := gen.Uniform[uint32](n, 0, 11)
+		parts := make([]int, n)
+		for i, k := range keys {
+			parts[i] = int(k) % fanout
+		}
+		return parts
+	}
+	unbuf := InPlacePartitionTrace(p, mk(1024), 1024, 8, false)
+	buf := InPlacePartitionTrace(p, mk(1024), 1024, 8, true)
+	unbufRate := float64(unbuf.TLBMiss) / n
+	bufRate := float64(buf.TLBMiss) / n
+	if unbufRate < 0.5 {
+		t.Fatalf("unbuffered in-place should thrash the TLB at 1024-way: %.3f", unbufRate)
+	}
+	if bufRate > unbufRate/2 {
+		t.Fatalf("buffered swaps should cut TLB misses: %.3f vs %.3f", bufRate, unbufRate)
+	}
+}
+
+func TestInPlaceTraceHalfTheDistinctLines(t *testing.T) {
+	// The buffered in-place variant operates on ONE array where
+	// non-in-place touches two (input + output), so its demand misses —
+	// distinct lines fetched — are about half. (The simulator counts
+	// demand misses; dirty write-back traffic, which equalizes the total
+	// RAM bytes, is not modeled.) Its staged-line flushes hit the cache
+	// because the line was loaded when staged — the in-buffer operation
+	// the paper describes.
+	p := PaperProfile()
+	const n = 1 << 17
+	parts := make([]int, n)
+	keys := gen.Uniform[uint32](n, 0, 13)
+	for i, k := range keys {
+		parts[i] = int(k) % 256
+	}
+	nip := PartitionTrace(p, parts, 256, 8, true)
+	ip := InPlacePartitionTrace(p, parts, 256, 8, true)
+	ratio := float64(ip.L3Miss) / float64(nip.L3Miss)
+	if ratio < 0.35 || ratio > 0.75 {
+		t.Fatalf("in-place should fetch ~half the distinct lines: %d vs %d (ratio %.2f)",
+			ip.L3Miss, nip.L3Miss, ratio)
+	}
+}
+
+// TestHugePagesEliminateTLBThrashing checks Section 3.2's caveat: the TLB
+// problem disappears "if the entire dataset can be placed in equally few
+// large OS pages to be TLB resident" — with 2 MiB pages, even 1024-way
+// unbuffered partitioning stays TLB-clean at this scale.
+func TestHugePagesEliminateTLBThrashing(t *testing.T) {
+	p := PaperProfile()
+	const n = 1 << 18
+	parts := make([]int, n)
+	keys := gen.Uniform[uint32](n, 0, 21)
+	for i, k := range keys {
+		parts[i] = int(k) % 1024
+	}
+	small := PartitionTrace(p, parts, 1024, 8, false)
+	p2 := p
+	p2.PageBytes = 2 << 20
+	huge := PartitionTrace(p2, parts, 1024, 8, false)
+	if rate := float64(small.TLBMiss) / n; rate < 0.5 {
+		t.Fatalf("4KB pages should thrash: %.3f", rate)
+	}
+	if rate := float64(huge.TLBMiss) / n; rate > 0.02 {
+		t.Fatalf("2MB pages should be TLB-clean: %.3f", rate)
+	}
+}
+
+func TestInPlaceTraceSmallFanoutClean(t *testing.T) {
+	p := PaperProfile()
+	const n = 1 << 16
+	parts := make([]int, n)
+	keys := gen.Uniform[uint32](n, 0, 17)
+	for i, k := range keys {
+		parts[i] = int(k) % 16
+	}
+	s := InPlacePartitionTrace(p, parts, 16, 8, false)
+	if rate := float64(s.TLBMiss) / n; rate > 0.1 {
+		t.Fatalf("16-way in-place should be TLB-clean: %.3f", rate)
+	}
+}

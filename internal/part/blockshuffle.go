@@ -1,0 +1,313 @@
+package part
+
+import (
+	"sync"
+
+	"repro/internal/kv"
+	"repro/internal/numa"
+)
+
+// RepackLists compacts every partition's block list in parallel so that
+// each list has at most one non-full block, at its end. Lists produced by
+// concatenating per-thread block lists have up to one partial block per
+// thread; repacking slides tuples forward inside the list's own blocks
+// (only tail tuples move) and frees the emptied tail blocks.
+func RepackLists[K kv.Key](b *Blocks[K], workers int) {
+	var wg sync.WaitGroup
+	bounds := ChunkBounds(len(b.Lists), workers)
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for p := bounds[t]; p < bounds[t+1]; p++ {
+				repackList(b, p)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+func repackList[K kv.Key](b *Blocks[K], p int) {
+	list := b.Lists[p]
+	cap := int32(b.Store.B)
+	d := 0 // destination ref index
+	var dFill int32
+	for s := 0; s < len(list); s++ {
+		sLen := list[s].Len
+		sOff := int32(0)
+		for sOff < sLen {
+			if dFill == cap {
+				d++
+				dFill = 0
+			}
+			if d == s && dFill >= sOff {
+				// Source block is the destination and already in place up
+				// to sOff; skip ahead.
+				if dFill == sOff {
+					dFill = sLen
+					sOff = sLen
+					continue
+				}
+			}
+			m := sLen - sOff
+			if room := cap - dFill; m > room {
+				m = room
+			}
+			dk, dv := b.Store.Block(list[d].ID)
+			sk, sv := b.Store.Block(list[s].ID)
+			copy(dk[dFill:dFill+m], sk[sOff:sOff+m])
+			copy(dv[dFill:dFill+m], sv[sOff:sOff+m])
+			dFill += m
+			sOff += m
+		}
+	}
+	if len(list) == 0 {
+		return
+	}
+	if dFill == 0 {
+		// Everything fit in blocks before d.
+		d--
+		if d >= 0 {
+			dFill = cap
+		}
+	}
+	for i := 0; i <= d && i < len(list); i++ {
+		list[i].Len = cap
+	}
+	if d >= 0 && d < len(list) {
+		list[d].Len = dFill
+	}
+	b.Lists[p] = list[:d+1]
+}
+
+// blockMover permutes whole blocks between slots; the unit of transfer of
+// Section 3.2.4. Moving blocks instead of tuples amortizes both the random
+// out-of-cache access and the shared-counter synchronization by the block
+// size. Optional NUMA metering records each block copy's source and
+// destination regions, letting tests verify the crossing bounds of Section
+// 3.3.2.
+type blockMover[K kv.Key] struct {
+	store    *BlockStore[K]
+	slotPart []int32 // partition of the block in each slot (garbage = last)
+	slotLen  []int32 // fill of the block in each slot (garbage = 0)
+	handK    []K     // workers * B staging
+	handV    []K
+	tmpK     []K // workers * B swap scratch
+	tmpV     []K
+	handPart []int32
+	handLen  []int32
+
+	mu       sync.Mutex
+	parkK    []K
+	parkV    []K
+	parkPart []int32
+	parkLen  []int32
+
+	topo     *numa.Topology
+	regionOf func(slot int) numa.Region
+	workerAt func(w int) numa.Region
+}
+
+func (m *blockMover[K]) meter(src, dst numa.Region, tuples int32) {
+	if m.topo == nil || tuples == 0 {
+		return
+	}
+	width := uint64(kv.Width[K]() / 8 * 2) // key + payload bytes
+	m.topo.Record(src, dst, uint64(tuples)*width)
+}
+
+func (m *blockMover[K]) LoadHand(w, slot int) {
+	b := m.store.B
+	ks, vs := m.store.Block(int32(slot))
+	n := m.slotLen[slot]
+	copy(m.handK[w*b:w*b+int(n)], ks[:n])
+	copy(m.handV[w*b:w*b+int(n)], vs[:n])
+	m.handPart[w] = m.slotPart[slot]
+	m.handLen[w] = n
+	m.meter(m.regionOf(slot), m.workerAt(w), n)
+}
+
+func (m *blockMover[K]) SwapHand(w, slot int) {
+	b := m.store.B
+	ks, vs := m.store.Block(int32(slot))
+	sn := m.slotLen[slot]
+	hn := m.handLen[w]
+	tmpK := m.tmpK[w*b : w*b+int(sn)]
+	tmpV := m.tmpV[w*b : w*b+int(sn)]
+	copy(tmpK, ks[:sn])
+	copy(tmpV, vs[:sn])
+	copy(ks[:hn], m.handK[w*b:w*b+int(hn)])
+	copy(vs[:hn], m.handV[w*b:w*b+int(hn)])
+	copy(m.handK[w*b:w*b+int(sn)], tmpK)
+	copy(m.handV[w*b:w*b+int(sn)], tmpV)
+	m.slotPart[slot], m.handPart[w] = m.handPart[w], m.slotPart[slot]
+	m.slotLen[slot], m.handLen[w] = hn, sn
+	m.meter(m.regionOf(slot), m.workerAt(w), sn)
+	m.meter(m.workerAt(w), m.regionOf(slot), hn)
+}
+
+func (m *blockMover[K]) StoreHand(w, slot int) {
+	b := m.store.B
+	ks, vs := m.store.Block(int32(slot))
+	n := m.handLen[w]
+	copy(ks[:n], m.handK[w*b:w*b+int(n)])
+	copy(vs[:n], m.handV[w*b:w*b+int(n)])
+	m.slotPart[slot] = m.handPart[w]
+	m.slotLen[slot] = n
+	m.meter(m.workerAt(w), m.regionOf(slot), n)
+}
+
+func (m *blockMover[K]) HandPart(w int) int {
+	return int(m.handPart[w])
+}
+
+func (m *blockMover[K]) Park(w int) int {
+	b := m.store.B
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.parkK = append(m.parkK, m.handK[w*b:(w+1)*b]...)
+	m.parkV = append(m.parkV, m.handV[w*b:(w+1)*b]...)
+	m.parkPart = append(m.parkPart, m.handPart[w])
+	m.parkLen = append(m.parkLen, m.handLen[w])
+	return len(m.parkPart) - 1
+}
+
+func (m *blockMover[K]) Unpark(park, slot int) {
+	b := m.store.B
+	ks, vs := m.store.Block(int32(slot))
+	n := m.parkLen[park]
+	copy(ks[:n], m.parkK[park*b:park*b+int(n)])
+	copy(vs[:n], m.parkV[park*b:park*b+int(n)])
+	m.slotPart[slot] = m.parkPart[park]
+	m.slotLen[slot] = n
+	m.meter(numa.Region(0), m.regionOf(slot), n)
+}
+
+// ShuffleOptions configures ShuffleBlocksInPlace.
+type ShuffleOptions struct {
+	Workers int
+	// Topo enables NUMA transfer metering; RegionOfTuple maps a primary
+	// tuple index to its owning region (scratch slots are charged to the
+	// worker's region). Both may be nil.
+	Topo          *numa.Topology
+	RegionOfTuple func(i int) numa.Region
+}
+
+// ShuffleBlocksInPlace rearranges a Blocks result so that each partition's
+// tuples become one contiguous segment of the primary arrays, in partition
+// order (Sections 3.2.4 and 3.3.2): repack lists, permute whole blocks with
+// the synchronized in-place algorithm, then pack block contents down to
+// tuple-contiguous position. Returns the per-partition tuple start offsets
+// (starts[P] = n).
+//
+// The final pack runs as a single forward pass: every tuple's destination
+// is at or below its source, which makes the pass safe but inherently
+// ordered. (On real hardware it would be parallelized with wave barriers;
+// the paper's evaluation hardware makes this pass a small fraction of a
+// shuffle that is itself one of several sort passes.)
+func ShuffleBlocksInPlace[K kv.Key](blocks *Blocks[K], opt ShuffleOptions) []int {
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	RepackLists(blocks, opt.Workers)
+
+	store := blocks.Store
+	np := len(blocks.Lists)
+	slots := store.Slots()
+	b := store.B
+
+	// Slot metadata: garbage slots belong to the synthetic partition np.
+	mover := &blockMover[K]{
+		store:    store,
+		slotPart: make([]int32, slots),
+		slotLen:  make([]int32, slots),
+		handK:    make([]K, opt.Workers*b),
+		handV:    make([]K, opt.Workers*b),
+		tmpK:     make([]K, opt.Workers*b),
+		tmpV:     make([]K, opt.Workers*b),
+		handPart: make([]int32, opt.Workers),
+		handLen:  make([]int32, opt.Workers),
+		topo:     opt.Topo,
+	}
+	if opt.Topo != nil {
+		regions := opt.Topo.Regions()
+		primary := store.PrimarySlots()
+		mover.regionOf = func(slot int) numa.Region {
+			if opt.RegionOfTuple != nil && slot < primary {
+				return opt.RegionOfTuple(slot * b)
+			}
+			return numa.Region(slot % regions)
+		}
+		mover.workerAt = func(w int) numa.Region { return numa.Region(w % regions) }
+	} else {
+		mover.regionOf = func(int) numa.Region { return 0 }
+		mover.workerAt = func(int) numa.Region { return 0 }
+	}
+	for i := range mover.slotPart {
+		mover.slotPart[i] = int32(np) // garbage until claimed by a list
+	}
+	hist := make([]int, np+1)
+	for p, list := range blocks.Lists {
+		hist[p] = len(list)
+		for _, ref := range list {
+			mover.slotPart[ref.ID] = int32(p)
+			mover.slotLen[ref.ID] = ref.Len
+		}
+	}
+	used := 0
+	for p := 0; p <= np-1; p++ {
+		used += hist[p]
+	}
+	hist[np] = slots - used
+	starts, _ := Starts(hist)
+
+	SyncPermute(hist, starts, opt.Workers, mover)
+
+	// Move each partition's single partial block (if any) to its range end.
+	for p := 0; p < np; p++ {
+		lo, hi := starts[p], starts[p]+hist[p]
+		if hi <= lo {
+			continue
+		}
+		for s := lo; s < hi-1; s++ {
+			if mover.slotLen[s] < int32(b) {
+				swapBlocks(store, int32(s), int32(hi-1), mover.slotLen)
+				break
+			}
+		}
+	}
+
+	// Pack block contents down to tuple-contiguous position.
+	tupleStarts := make([]int, np+1)
+	n := 0
+	for p := 0; p < np; p++ {
+		tupleStarts[p] = n
+		n += blocks.Counts[p]
+	}
+	tupleStarts[np] = n
+	primK, primV := store.keys, store.vals
+	w := 0
+	for p := 0; p < np; p++ {
+		for s := starts[p]; s < starts[p]+hist[p]; s++ {
+			ks, vs := store.Block(int32(s))
+			m := int(mover.slotLen[s])
+			copy(primK[w:w+m], ks[:m])
+			copy(primV[w:w+m], vs[:m])
+			w += m
+		}
+		if w != tupleStarts[p+1] {
+			panic("part: block shuffle lost tuples")
+		}
+	}
+	return tupleStarts
+}
+
+func swapBlocks[K kv.Key](store *BlockStore[K], a, b int32, slotLen []int32) {
+	ak, av := store.Block(a)
+	bk, bv := store.Block(b)
+	for i := 0; i < store.B; i++ {
+		ak[i], bk[i] = bk[i], ak[i]
+		av[i], bv[i] = bv[i], av[i]
+	}
+	slotLen[a], slotLen[b] = slotLen[b], slotLen[a]
+}

@@ -1,0 +1,118 @@
+package part
+
+import (
+	"repro/internal/kv"
+	"repro/internal/pfunc"
+)
+
+// NonInPlaceInCache is Algorithm 1: the simplest partitioning loop, two
+// random accesses per tuple (offset array and output). It is the variant of
+// choice when the working set — output plus offsets — fits in the cache.
+// hist must be the histogram of keys under fn. The output is stable: tuples
+// keep their input order within each partition.
+func NonInPlaceInCache[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, hist []int) {
+	CheckHistogram(hist, len(srcK))
+	offset, _ := Starts(hist)
+	for i, k := range srcK {
+		p := fn.Partition(k)
+		o := offset[p]
+		offset[p] = o + 1
+		dstK[o] = k
+		dstV[o] = srcV[i]
+	}
+}
+
+// NonInPlaceInCacheCodes is Algorithm 1 driven by precomputed partition
+// codes (one code per tuple), the data-movement path of range partitioning.
+func NonInPlaceInCacheCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32, hist []int) {
+	CheckHistogram(hist, len(srcK))
+	offset, _ := Starts(hist)
+	for i, k := range srcK {
+		p := codes[i]
+		o := offset[p]
+		offset[p] = o + 1
+		dstK[o] = k
+		dstV[o] = srcV[i]
+	}
+}
+
+// InPlaceInCacheLowHigh is the low-to-high swap-cycle formulation the
+// paper attributes to Albutiu et al. [1] (Section 3.1): cycles start by
+// reading a location and swap until the cycle returns to the start to
+// write back, closing 1/P of the time via an explicit per-swap branch.
+// Kept as the baseline Algorithm 2's branch-free high-to-low formulation
+// improves on; results agree (same partition segments, different
+// within-partition orders).
+func InPlaceInCacheLowHigh[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []int) {
+	CheckHistogram(hist, len(keys))
+	p := len(hist)
+	next := make([]int, p) // ascending write cursor per partition
+	base := make([]int, p)
+	o := 0
+	for q := 0; q < p; q++ {
+		base[q] = o
+		next[q] = o
+		o += hist[q]
+	}
+	for q := 0; q < p; q++ {
+		end := base[q] + hist[q]
+		for next[q] < end {
+			i := next[q]
+			// Swap the tuple at i onward until one belonging to q lands
+			// here — the per-tuple branch the high-to-low variant avoids.
+			for fn.Partition(keys[i]) != q {
+				d := fn.Partition(keys[i])
+				j := next[d]
+				next[d]++
+				keys[i], keys[j] = keys[j], keys[i]
+				vals[i], vals[j] = vals[j], vals[i]
+			}
+			next[q]++
+		}
+	}
+}
+
+// InPlaceInCache is Algorithm 2: in-place partitioning by swap cycles,
+// writing partitions high-to-low so that cycles close exactly when a
+// partition's last (lowest) slot is filled — no per-tuple branch on the
+// cycle head. Each tuple is moved exactly once. The result is not stable.
+func InPlaceInCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []int) {
+	CheckHistogram(hist, len(keys))
+	p := len(hist) // number of partitions
+	// offset[q] points one past the next write slot of partition q
+	// (descending); when offset[q] reaches the partition base, q is done.
+	offset := make([]int, p)
+	i := 0
+	for q := 0; q < p; q++ {
+		i += hist[q]
+		offset[q] = i
+	}
+	q := 0
+	iend := 0 // base of the first incomplete partition: the next cycle head
+	for q < p && hist[q] == 0 {
+		q++
+	}
+	for q < p {
+		// Start a swap cycle by lifting the tuple at the cycle head. The
+		// head slot (the base of partition q) is written last for q, so it
+		// still holds an unplaced tuple.
+		tk, tv := keys[iend], vals[iend]
+		for {
+			d := fn.Partition(tk)
+			offset[d]--
+			j := offset[d]
+			keys[j], tk = tk, keys[j]
+			vals[j], tv = tv, vals[j]
+			if j == iend {
+				break // cycle closed: partition q fully placed
+			}
+		}
+		// Advance the head past completed (or empty) partitions.
+		iend += hist[q]
+		q++
+		for q < p && (hist[q] == 0 || offset[q] == iend) {
+			iend += hist[q]
+			q++
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package part
+
+import (
+	"repro/internal/kv"
+	"repro/internal/pfunc"
+)
+
+// LineTuples returns L, the number of K-sized tuples per simulated cache
+// line (64 bytes): 16 for 32-bit keys, 8 for 64-bit keys. Out-of-cache
+// variants buffer L tuples per partition per column and write them back a
+// full line at a time, the software write-combining of Section 3.2.1.
+//
+// Substitution note: Go cannot issue non-temporal stores, so the "bypass
+// the cache on write-back" part of the technique is modeled by
+// internal/memmodel rather than executed; the buffering itself — which is
+// what eliminates TLB thrashing by keeping the working set at one line per
+// partition — is real.
+func LineTuples[K kv.Key]() int {
+	return 64 / (kv.Width[K]() / 8)
+}
+
+// lineBuffers is the per-partition staging area of the out-of-cache
+// variants: one line of keys and one line of payloads per partition, laid
+// out flat so partition p's lines are contiguous.
+type lineBuffers[K kv.Key] struct {
+	l    int
+	keys []K
+	vals []K
+}
+
+func newLineBuffers[K kv.Key](p int) *lineBuffers[K] {
+	l := LineTuples[K]()
+	return &lineBuffers[K]{l: l, keys: make([]K, p*l), vals: make([]K, p*l)}
+}
+
+// NonInPlaceOutOfCache is Algorithm 3: non-in-place partitioning through
+// per-partition cache-line buffers. Tuples accumulate in a partition's
+// line; when the line boundary is crossed, the full line is written to the
+// output in one sequential burst. TLB misses therefore occur on 1/L of the
+// tuples instead of every tuple, and the partitioning fanout is bounded by
+// the number of cache lines in the core-private cache rather than by TLB
+// entries.
+//
+// starts[p] is the output offset where this caller's share of partition p
+// begins; flushes are clipped to starts[p] so parallel callers writing
+// disjoint shares of a shared output never touch each other's slots.
+// The output is stable within each caller's share.
+//
+// Layout note: the paper stores each partition's output offset in the last
+// buffer slot so one iteration touches exactly one cache line; here
+// offsets live in a separate (cache-resident) array, because without
+// hardware cache control the trick buys nothing — the memmodel prices the
+// one-line-per-iteration layout when modeling the paper platform.
+func NonInPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, starts []int) {
+	buf := newLineBuffers[K](fn.Fanout())
+	off := append([]int(nil), starts...)
+	for i, k := range srcK {
+		p := fn.Partition(k)
+		writeBuffered(buf, dstK, dstV, off, starts, p, k, srcV[i])
+	}
+	drainBuffers(buf, dstK, dstV, off, starts)
+}
+
+// NonInPlaceOutOfCacheCodes is Algorithm 3 driven by precomputed partition
+// codes: the data-movement half of wide-fanout range partitioning. It
+// performs almost as fast as radix partitioning because scanning the short
+// code array is sequential (Section 4.3.2).
+func NonInPlaceOutOfCacheCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32, p int, starts []int) {
+	buf := newLineBuffers[K](p)
+	off := append([]int(nil), starts...)
+	for i, k := range srcK {
+		writeBuffered(buf, dstK, dstV, off, starts, int(codes[i]), k, srcV[i])
+	}
+	drainBuffers(buf, dstK, dstV, off, starts)
+}
+
+// writeBuffered appends one tuple to partition p's line buffer, flushing
+// the line when it fills. The buffer slot of output offset o is o mod L, so
+// a full line always occupies buffer slots 0..L-1 in output order.
+func writeBuffered[K kv.Key](buf *lineBuffers[K], dstK, dstV []K, off, starts []int, p int, k, v K) {
+	l := buf.l
+	o := off[p]
+	s := o & (l - 1)
+	buf.keys[p*l+s] = k
+	buf.vals[p*l+s] = v
+	off[p] = o + 1
+	if s == l-1 {
+		// Flush the full line [o+1-l, o+1), clipped at the caller's own
+		// start so the first (unaligned) line never writes below its share.
+		lo := o + 1 - l
+		if lo < starts[p] {
+			lo = starts[p]
+		}
+		bs := lo & (l - 1)
+		copy(dstK[lo:o+1], buf.keys[p*l+bs:p*l+l])
+		copy(dstV[lo:o+1], buf.vals[p*l+bs:p*l+l])
+	}
+}
+
+// drainBuffers flushes every partition's final partial line.
+func drainBuffers[K kv.Key](buf *lineBuffers[K], dstK, dstV []K, off, starts []int) {
+	l := buf.l
+	for p := range off {
+		o := off[p]
+		lo := o &^ (l - 1) // start of the (partial) current line
+		if lo < starts[p] {
+			lo = starts[p]
+		}
+		if lo >= o {
+			continue // line already flushed (or partition empty)
+		}
+		bs := lo & (l - 1)
+		copy(dstK[lo:o], buf.keys[p*l+bs:p*l+bs+(o-lo)])
+		copy(dstV[lo:o], buf.vals[p*l+bs:p*l+bs+(o-lo)])
+	}
+}
+
+// InPlaceOutOfCache is Algorithm 4: in-place partitioning with the swap
+// cycles of Algorithm 2, but all swaps happen inside per-partition
+// cache-line buffers. Each partition keeps the line containing its current
+// write frontier staged in the buffer; when the line is fully swapped it is
+// streamed back to the array and the next lower line of the partition is
+// loaded. RAM is therefore touched one full line at a time — (L-1)/L of the
+// swaps run inside the cache-resident buffer and do not miss in the TLB.
+func InPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []int) {
+	CheckHistogram(hist, len(keys))
+	np := len(hist)
+	l := LineTuples[K]()
+	buf := newLineBuffers[K](np)
+
+	base := make([]int, np) // first slot of each partition
+	off := make([]int, np)  // descending write cursor (one past next slot)
+	lo := make([]int, np)   // low bound of the staged line
+	hi := make([]int, np)   // high bound (exclusive) of the staged line
+	i := 0
+	for p := 0; p < np; p++ {
+		base[p] = i
+		i += hist[p]
+		off[p] = i
+	}
+	// Stage the top line of every non-empty partition.
+	for p := 0; p < np; p++ {
+		if hist[p] == 0 {
+			continue
+		}
+		loadLine(buf, keys, vals, base, off[p], lo, hi, p, l)
+	}
+
+	q := 0
+	iend := 0
+	for q < np && hist[q] == 0 {
+		q++
+	}
+	for q < np {
+		// Lift the cycle head. Its slot may currently be staged in q's
+		// buffer (when q's final line is loaded), in which case the array
+		// holds stale data and the buffer holds the truth.
+		var tk, tv K
+		if iend >= lo[q] && iend < hi[q] {
+			s := iend - lo[q]
+			tk, tv = buf.keys[q*l+s], buf.vals[q*l+s]
+		} else {
+			tk, tv = keys[iend], vals[iend]
+		}
+		for {
+			d := fn.Partition(tk)
+			off[d]--
+			j := off[d]
+			s := j - lo[d]
+			bk, bv := buf.keys[d*l+s], buf.vals[d*l+s]
+			buf.keys[d*l+s], buf.vals[d*l+s] = tk, tv
+			tk, tv = bk, bv
+			if j == lo[d] {
+				// Line fully written: stream it out and stage the next one.
+				flushLine(buf, keys, vals, lo[d], hi[d], d, l)
+				if lo[d] > base[d] {
+					loadLine(buf, keys, vals, base, lo[d], lo, hi, d, l)
+				}
+			}
+			if j == iend {
+				break
+			}
+		}
+		iend += hist[q]
+		q++
+		for q < np && (hist[q] == 0 || off[q] == iend) {
+			iend += hist[q]
+			q++
+		}
+	}
+}
+
+// loadLine stages the line of partition p that ends at `end` (exclusive):
+// [max(base, alignDown(end-1)), end).
+func loadLine[K kv.Key](buf *lineBuffers[K], keys, vals []K, base []int, end int, lo, hi []int, p, l int) {
+	start := (end - 1) &^ (l - 1)
+	if start < base[p] {
+		start = base[p]
+	}
+	lo[p], hi[p] = start, end
+	copy(buf.keys[p*l:p*l+end-start], keys[start:end])
+	copy(buf.vals[p*l:p*l+end-start], vals[start:end])
+}
+
+// flushLine streams partition p's staged line back to the array.
+func flushLine[K kv.Key](buf *lineBuffers[K], keys, vals []K, lo, hi, p, l int) {
+	copy(keys[lo:hi], buf.keys[p*l:p*l+hi-lo])
+	copy(vals[lo:hi], buf.vals[p*l:p*l+hi-lo])
+}

@@ -1,0 +1,188 @@
+package part
+
+import (
+	"sync"
+
+	"repro/internal/kv"
+	"repro/internal/pfunc"
+)
+
+// ChunkBounds splits n items into `workers` near-equal contiguous chunks
+// and returns the workers+1 boundary offsets.
+func ChunkBounds(n, workers int) []int {
+	if workers < 1 {
+		panic("part: need at least one worker")
+	}
+	bounds := make([]int, workers+1)
+	for t := 0; t <= workers; t++ {
+		bounds[t] = t * n / workers
+	}
+	return bounds
+}
+
+// ParallelHistograms computes one histogram per worker over that worker's
+// input chunk. Workers synchronize only after the histograms are built —
+// the single barrier of parallel non-in-place partitioning.
+func ParallelHistograms[K kv.Key, F pfunc.Func[K]](keys []K, fn F, workers int) [][]int {
+	bounds := ChunkBounds(len(keys), workers)
+	hists := make([][]int, workers)
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			hists[t] = Histogram(keys[bounds[t]:bounds[t+1]], fn)
+		}(t)
+	}
+	wg.Wait()
+	return hists
+}
+
+// ParallelHistogramsCodes is ParallelHistograms that also records each
+// tuple's partition code (for range partitioning).
+func ParallelHistogramsCodes[K kv.Key, F pfunc.Func[K]](keys []K, fn F, codes []int32, workers int) [][]int {
+	bounds := ChunkBounds(len(keys), workers)
+	hists := make([][]int, workers)
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			lo, hi := bounds[t], bounds[t+1]
+			if bl, ok := any(fn).(BatchLookuper[K]); ok {
+				hists[t] = HistogramCodesBatch(keys[lo:hi], bl, fn.Fanout(), codes[lo:hi])
+			} else {
+				hists[t] = HistogramCodes(keys[lo:hi], fn, codes[lo:hi])
+			}
+		}(t)
+	}
+	wg.Wait()
+	return hists
+}
+
+// MergeHistograms sums per-worker histograms into the global histogram.
+func MergeHistograms(hists [][]int) []int {
+	total := make([]int, len(hists[0]))
+	for _, h := range hists {
+		for p, c := range h {
+			total[p] += c
+		}
+	}
+	return total
+}
+
+// ThreadStarts turns per-worker histograms into per-worker output start
+// offsets via the prefix sum of Section 3.2.1: partition p's output is a
+// single segment at base+Σ_{q<p} total[q], and worker t's share of it
+// starts after workers 0..t-1's shares. The second return value is the
+// global per-partition start (including base).
+func ThreadStarts(hists [][]int, base int) ([][]int, []int) {
+	workers := len(hists)
+	np := len(hists[0])
+	global := make([]int, np)
+	o := base
+	for p := 0; p < np; p++ {
+		global[p] = o
+		for t := 0; t < workers; t++ {
+			o += hists[t][p]
+		}
+	}
+	starts := make([][]int, workers)
+	for t := 0; t < workers; t++ {
+		starts[t] = make([]int, np)
+	}
+	for p := 0; p < np; p++ {
+		o := global[p]
+		for t := 0; t < workers; t++ {
+			starts[t][p] = o
+			o += hists[t][p]
+		}
+	}
+	return starts, global
+}
+
+// ParallelNonInPlace partitions srcK/srcV into a single shared segment of
+// dstK/dstV using `workers` goroutines: per-worker histograms, one prefix-sum
+// barrier, then each worker runs buffered non-in-place partitioning
+// (Algorithm 3) on its chunk into its disjoint output shares. The output is
+// stable. Returns the global histogram.
+func ParallelNonInPlace[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, workers int) []int {
+	bounds := ChunkBounds(len(srcK), workers)
+	hists := ParallelHistograms(srcK, fn, workers)
+	starts, _ := ThreadStarts(hists, 0)
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			lo, hi := bounds[t], bounds[t+1]
+			NonInPlaceOutOfCache(srcK[lo:hi], srcV[lo:hi], dstK, dstV, fn, starts[t])
+		}(t)
+	}
+	wg.Wait()
+	return MergeHistograms(hists)
+}
+
+// ParallelScatter is the data-movement half of ParallelNonInPlace: given
+// per-worker histograms already computed over ChunkBounds(len(srcK),
+// len(hists)) chunks, scatter the tuples into dst. Callers that need the
+// histogram and movement phases timed separately use
+// ParallelHistograms + ParallelScatter.
+func ParallelScatter[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, hists [][]int, base int) {
+	workers := len(hists)
+	bounds := ChunkBounds(len(srcK), workers)
+	starts, _ := ThreadStarts(hists, base)
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			lo, hi := bounds[t], bounds[t+1]
+			NonInPlaceOutOfCache(srcK[lo:hi], srcV[lo:hi], dstK, dstV, fn, starts[t])
+		}(t)
+	}
+	wg.Wait()
+}
+
+// ParallelNonInPlaceCodes is ParallelNonInPlace for precomputed partition
+// codes (wide-fanout range partitioning). hists must be the per-worker
+// histograms previously computed by ParallelHistogramsCodes over the same
+// chunk bounds.
+func ParallelNonInPlaceCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32, hists [][]int, base int) {
+	workers := len(hists)
+	bounds := ChunkBounds(len(srcK), workers)
+	starts, _ := ThreadStarts(hists, base)
+	np := len(hists[0])
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			lo, hi := bounds[t], bounds[t+1]
+			NonInPlaceOutOfCacheCodes(srcK[lo:hi], srcV[lo:hi], dstK, dstV, codes[lo:hi], np, starts[t])
+		}(t)
+	}
+	wg.Wait()
+}
+
+// ParallelInPlaceSharedNothing runs in-place out-of-cache partitioning
+// (Algorithm 4) on `workers` contiguous chunks independently, producing T
+// contiguous segments per partition — acceptable for recursive sorts, and
+// the only way to parallelize in-place partitioning with coarse
+// synchronization (Section 3.2.2). It returns the per-worker histograms and
+// chunk bounds so callers can locate each worker's segments.
+func ParallelInPlaceSharedNothing[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, workers int) ([][]int, []int) {
+	bounds := ChunkBounds(len(keys), workers)
+	hists := ParallelHistograms(keys, fn, workers)
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			lo, hi := bounds[t], bounds[t+1]
+			InPlaceOutOfCache(keys[lo:hi], vals[lo:hi], fn, hists[t])
+		}(t)
+	}
+	wg.Wait()
+	return hists, bounds
+}

@@ -1,0 +1,127 @@
+// Package part implements the paper's comprehensive menu of main-memory
+// partitioning variants (Section 3): in-cache and out-of-cache, in-place
+// and non-in-place, shared-nothing and synchronized shared-segment, plus
+// block-list partitioning and the parallel drivers used across NUMA
+// regions.
+//
+// All variants move columnar (key, payload) tuple pairs: keys and payloads
+// live in separate same-length arrays, and every variant moves them
+// together.
+//
+// Naming follows the paper's taxonomy (Figure 1):
+//
+//	NonInPlaceInCache    — Algorithm 1
+//	InPlaceInCache       — Algorithm 2 (high-to-low swap cycles)
+//	NonInPlaceOutOfCache — Algorithm 3 (cache-line software buffers)
+//	InPlaceOutOfCache    — Algorithm 4 (buffered swap cycles)
+//	ToBlocks             — Section 3.2.3 (list-of-blocks, optionally in place)
+//	SyncPermute          — Algorithm 5 (fetch-and-add synchronized in-place)
+package part
+
+import (
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/pfunc"
+)
+
+// Histogram counts the tuples per partition.
+func Histogram[K kv.Key, F pfunc.Func[K]](keys []K, fn F) []int {
+	hist := make([]int, fn.Fanout())
+	for _, k := range keys {
+		hist[fn.Partition(k)]++
+	}
+	return hist
+}
+
+// HistogramCodes counts tuples per partition and additionally records each
+// tuple's partition in codes, so that the (more expensive) partition
+// function is computed once per tuple: during histogram generation, not
+// again during data movement. This is how the comparison sort uses range
+// partitioning (Section 4.3.2). codes must have len(keys) capacity.
+func HistogramCodes[K kv.Key, F pfunc.Func[K]](keys []K, fn F, codes []int32) []int {
+	if len(codes) < len(keys) {
+		panic("part: codes buffer smaller than input")
+	}
+	hist := make([]int, fn.Fanout())
+	for i, k := range keys {
+		p := fn.Partition(k)
+		codes[i] = int32(p)
+		hist[p]++
+	}
+	return hist
+}
+
+// BatchLookuper is implemented by partition functions with a fused batch
+// path (the range index); HistogramCodesBatch uses it when available.
+type BatchLookuper[K kv.Key] interface {
+	LookupBatch(keys []K, out []int32)
+}
+
+// HistogramCodesBatch is HistogramCodes using a batch lookup (the paper's
+// 4-at-a-time unrolled index walk).
+func HistogramCodesBatch[K kv.Key](keys []K, fn BatchLookuper[K], fanout int, codes []int32) []int {
+	if len(codes) < len(keys) {
+		panic("part: codes buffer smaller than input")
+	}
+	fn.LookupBatch(keys, codes)
+	hist := make([]int, fanout)
+	for _, c := range codes[:len(keys)] {
+		hist[c]++
+	}
+	return hist
+}
+
+// MultiHistogram computes the histograms of several radix bit ranges in
+// one scan of the keys. Radix histograms are value-based, so LSB
+// radix-sort can compute every pass's histogram up front (data reordering
+// between passes does not change global per-range counts), replacing k
+// histogram scans with one — the classic one-read-pass LSB optimization.
+// ranges[i] = [lo, hi) bit range; the returned hists[i] has 2^(hi-lo)
+// buckets.
+func MultiHistogram[K kv.Key](keys []K, ranges [][2]uint) [][]int {
+	hists := make([][]int, len(ranges))
+	shifts := make([]uint, len(ranges))
+	masks := make([]K, len(ranges))
+	for i, r := range ranges {
+		if r[1] <= r[0] || r[1]-r[0] >= 64 {
+			panic(fmt.Sprintf("part: invalid radix bit range [%d,%d)", r[0], r[1]))
+		}
+		shifts[i] = r[0]
+		masks[i] = K(1)<<(r[1]-r[0]) - 1
+		hists[i] = make([]int, int(masks[i])+1)
+	}
+	for _, k := range keys {
+		for i := range hists {
+			hists[i][(k>>shifts[i])&masks[i]]++
+		}
+	}
+	return hists
+}
+
+// Starts converts a histogram into exclusive-prefix-sum start offsets and
+// returns the total.
+func Starts(hist []int) ([]int, int) {
+	starts := make([]int, len(hist))
+	total := 0
+	for p, h := range hist {
+		starts[p] = total
+		total += h
+	}
+	return starts, total
+}
+
+// CheckHistogram panics unless hist sums to n; partitioning variants use it
+// to catch caller mistakes early instead of corrupting memory.
+func CheckHistogram(hist []int, n int) {
+	total := 0
+	for _, h := range hist {
+		if h < 0 {
+			panic(fmt.Sprintf("part: negative histogram entry %d", h))
+		}
+		total += h
+	}
+	if total != n {
+		panic(fmt.Sprintf("part: histogram sums to %d, input has %d tuples", total, n))
+	}
+}

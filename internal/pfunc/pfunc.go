@@ -1,0 +1,132 @@
+// Package pfunc implements the partition functions of the paper's Section
+// 3.4: radix (shift + mask) and multiplicative hashing. Range partition
+// functions live in package rangeidx; all three satisfy the Func interface
+// consumed by the partitioning kernels in package part.
+package pfunc
+
+import (
+	"fmt"
+
+	"repro/internal/kv"
+)
+
+// Func computes the destination partition of a key. Implementations must be
+// pure and safe for concurrent use.
+type Func[K kv.Key] interface {
+	// Partition maps a key to a partition in [0, Fanout()).
+	Partition(k K) int
+	// Fanout returns the number of partitions P.
+	Fanout() int
+}
+
+// Radix isolates the bit range [Shift, Shift+log2(Fanout)) of the key:
+// shift right by Shift, then mask with Fanout-1. Fanout must be a power of
+// two.
+type Radix[K kv.Key] struct {
+	Shift uint
+	Mask  K // Fanout-1
+}
+
+// NewRadix returns a radix function over the bit range [lo, hi) of the key.
+func NewRadix[K kv.Key](lo, hi uint) Radix[K] {
+	if hi <= lo || hi-lo >= 64 {
+		panic(fmt.Sprintf("pfunc: invalid radix bit range [%d,%d)", lo, hi))
+	}
+	return Radix[K]{Shift: lo, Mask: K(1)<<(hi-lo) - 1}
+}
+
+// Partition implements Func.
+func (r Radix[K]) Partition(k K) int {
+	return int((k >> r.Shift) & r.Mask)
+}
+
+// Fanout implements Func.
+func (r Radix[K]) Fanout() int {
+	return int(r.Mask) + 1
+}
+
+// Multiplicative hashing factors: odd constants derived from the golden
+// ratio, the classical choice for multiplicative hashing.
+const (
+	factor32 uint32 = 0x9E3779B1
+	factor64 uint64 = 0x9E3779B97F4A7C15
+)
+
+// Hash is a multiplicative hash partition function: multiply by an odd
+// factor, then keep the top log2(Fanout) bits. Fanout must be a power of
+// two. The paper deliberately uses this cheap function: partitioning needs
+// a random, balanced split, not hash-table collision resistance.
+type Hash[K kv.Key] struct {
+	factor K
+	shift  uint // key width - log2(P)
+	p      int
+}
+
+// NewHash returns a multiplicative-hash function with fanout p, a power of
+// two.
+func NewHash[K kv.Key](p int) Hash[K] {
+	lg := log2exact(p)
+	width := kv.Width[K]()
+	var factor K
+	if width == 32 {
+		f := factor32
+		factor = K(f)
+	} else {
+		f := factor64
+		factor = K(f)
+	}
+	return Hash[K]{factor: factor, shift: uint(width - lg), p: p}
+}
+
+// Partition implements Func.
+func (h Hash[K]) Partition(k K) int {
+	return int(k * h.factor >> h.shift)
+}
+
+// Fanout implements Func.
+func (h Hash[K]) Fanout() int {
+	return h.p
+}
+
+// Identity maps a key directly to a partition number, for tests and for
+// replaying precomputed partition codes.
+type Identity[K kv.Key] struct {
+	P int
+}
+
+// Partition implements Func.
+func (f Identity[K]) Partition(k K) int { return int(k) }
+
+// Fanout implements Func.
+func (f Identity[K]) Fanout() int { return f.P }
+
+// CombineRangeRadix builds the hybrid range-radix function of Sections 4.2.1
+// and 4.2.2: the partition number is the range function result concatenated
+// with low-order radix bits, giving rangeP * 2^radixBits partitions. The
+// range part determines NUMA placement; the radix bits saturate the
+// partitioning fanout.
+type CombineRangeRadix[K kv.Key] struct {
+	Range Func[K]
+	Radix Radix[K]
+}
+
+// Partition implements Func.
+func (c CombineRangeRadix[K]) Partition(k K) int {
+	return c.Range.Partition(k)*c.Radix.Fanout() + c.Radix.Partition(k)
+}
+
+// Fanout implements Func.
+func (c CombineRangeRadix[K]) Fanout() int {
+	return c.Range.Fanout() * c.Radix.Fanout()
+}
+
+func log2exact(p int) int {
+	lg := 0
+	for 1<<lg < p {
+		lg++
+	}
+	if 1<<lg != p || p < 1 {
+		panic(fmt.Sprintf("pfunc: fanout %d is not a power of two", p))
+	}
+	return lg
+}

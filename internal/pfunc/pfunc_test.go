@@ -1,0 +1,123 @@
+package pfunc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRadixBitRange(t *testing.T) {
+	r := NewRadix[uint32](4, 8) // bits [4,8) -> 16 partitions
+	if r.Fanout() != 16 {
+		t.Fatalf("Fanout = %d", r.Fanout())
+	}
+	if got := r.Partition(0); got != 0 {
+		t.Errorf("Partition(0) = %d", got)
+	}
+	if got := r.Partition(0xF0); got != 0xF {
+		t.Errorf("Partition(0xF0) = %d", got)
+	}
+	if got := r.Partition(0x10F); got != 0 {
+		t.Errorf("Partition(0x10F) = %d (high bits must be masked)", got)
+	}
+}
+
+func TestRadixCoversRange(t *testing.T) {
+	r := NewRadix[uint64](0, 8)
+	f := func(k uint64) bool {
+		p := r.Partition(k)
+		return p >= 0 && p < 256 && p == int(k&0xFF)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadixPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty bit range")
+		}
+	}()
+	NewRadix[uint32](8, 8)
+}
+
+func TestHashInRangeAndDeterministic(t *testing.T) {
+	for _, p := range []int{1, 2, 64, 1024} {
+		h := NewHash[uint32](p)
+		if h.Fanout() != p {
+			t.Fatalf("Fanout = %d want %d", h.Fanout(), p)
+		}
+		f := func(k uint32) bool {
+			a, b := h.Partition(k), h.Partition(k)
+			return a == b && a >= 0 && a < p
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestHash64InRange(t *testing.T) {
+	h := NewHash[uint64](256)
+	f := func(k uint64) bool {
+		p := h.Partition(k)
+		return p >= 0 && p < 256
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashBalance(t *testing.T) {
+	// Multiplicative hashing on sequential keys must spread them evenly:
+	// no partition should deviate more than 50% from the mean.
+	const n, p = 1 << 16, 64
+	h := NewHash[uint32](p)
+	counts := make([]int, p)
+	for k := uint32(0); k < n; k++ {
+		counts[h.Partition(k)]++
+	}
+	mean := n / p
+	for i, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("partition %d has %d keys, mean %d", i, c, mean)
+		}
+	}
+}
+
+func TestHashPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for fanout 3")
+		}
+	}()
+	NewHash[uint32](3)
+}
+
+func TestCombineRangeRadix(t *testing.T) {
+	// 4-way identity "range" on the top 2 bits concatenated with 4-way radix
+	// on the low 2 bits = 16 partitions.
+	rng := Radix[uint32]{Shift: 30, Mask: 3}
+	c := CombineRangeRadix[uint32]{Range: rng, Radix: NewRadix[uint32](0, 2)}
+	if c.Fanout() != 16 {
+		t.Fatalf("Fanout = %d", c.Fanout())
+	}
+	k := uint32(0b11<<30 | 0b10)
+	if got := c.Partition(k); got != 3*4+2 {
+		t.Fatalf("Partition = %d, want 14", got)
+	}
+	f := func(k uint32) bool {
+		p := c.Partition(k)
+		return p >= 0 && p < 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity[uint32]{P: 8}
+	if id.Fanout() != 8 || id.Partition(5) != 5 {
+		t.Fatal("identity function misbehaves")
+	}
+}

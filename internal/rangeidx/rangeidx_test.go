@@ -1,0 +1,273 @@
+package rangeidx
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/simd"
+)
+
+// referencePartition is the specification: number of delimiters <= key.
+func referencePartition(delims []uint32, key uint32) int {
+	n := 0
+	for _, d := range delims {
+		if d <= key {
+			n++
+		}
+	}
+	return n
+}
+
+func sortedDelims(n int, seed uint64) []uint32 {
+	d := gen.Uniform[uint32](n, 0, seed)
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	return d
+}
+
+func TestSearchMatchesReference(t *testing.T) {
+	f := func(raw []uint32, key uint32) bool {
+		d := append([]uint32(nil), raw...)
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		return Search(d, key) == referencePartition(d, key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchBranchlessMatchesSearch(t *testing.T) {
+	f := func(raw []uint32, key uint32) bool {
+		d := append([]uint32(nil), raw...)
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		return SearchBranchless(d, key) == Search(d, key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchEdgeCases(t *testing.T) {
+	if Search([]uint32{}, 5) != 0 {
+		t.Error("empty delimiters")
+	}
+	d := []uint32{10, 20, 30}
+	cases := []struct {
+		key  uint32
+		want int
+	}{
+		{0, 0}, {9, 0}, {10, 1}, {15, 1}, {20, 2}, {29, 2}, {30, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		if got := Search(d, c.key); got != c.want {
+			t.Errorf("Search(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+	// Duplicated delimiter: keys equal to it skip past all copies.
+	dup := []uint32{10, 10, 20}
+	if got := Search(dup, 10); got != 2 {
+		t.Errorf("Search(dup,10) = %d, want 2", got)
+	}
+}
+
+func TestHorizontal17x32(t *testing.T) {
+	for _, nd := range []int{0, 1, 4, 7, 15, 16} {
+		d := sortedDelims(nd, uint64(nd)+1)
+		h := NewHorizontal17x32(d)
+		if h.Fanout() != nd+1 {
+			t.Fatalf("Fanout = %d", h.Fanout())
+		}
+		f := func(key uint32) bool {
+			return h.Partition(key) == referencePartition(d, key)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("nd=%d: %v", nd, err)
+		}
+		// MaxKey must land in the last real partition.
+		if got := h.Partition(^uint32(0)); got != nd {
+			t.Fatalf("nd=%d: Partition(max) = %d", nd, got)
+		}
+	}
+}
+
+func TestHorizontalRejectsTooMany(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 17 delimiters")
+		}
+	}()
+	NewHorizontal17x32(make([]uint32, 17))
+}
+
+func TestVertical32(t *testing.T) {
+	for _, depth := range []int{1, 2, 3, 4} {
+		maxD := 1<<depth - 1
+		for _, nd := range []int{0, 1, maxD / 2, maxD} {
+			d := sortedDelims(nd, uint64(depth*100+nd)+1)
+			v := NewVertical32(d, depth)
+			if v.Fanout() != nd+1 {
+				t.Fatalf("Fanout = %d", v.Fanout())
+			}
+			f := func(key uint32) bool {
+				return v.Partition(key) == referencePartition(d, key)
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatalf("depth=%d nd=%d: %v", depth, nd, err)
+			}
+		}
+	}
+}
+
+func TestVertical32Batch(t *testing.T) {
+	d := sortedDelims(7, 99)
+	v := NewVertical32(d, 3)
+	keys := gen.Uniform[uint32](4096, 0, 5)
+	for i := 0; i+4 <= len(keys); i += 4 {
+		got := v.Partition4(simd.Load4x32(keys[i : i+4]))
+		for l := 0; l < 4; l++ {
+			want := referencePartition(d, keys[i+l])
+			if got[l] != want {
+				t.Fatalf("lane %d key %d: got %d want %d", l, keys[i+l], got[l], want)
+			}
+		}
+	}
+}
+
+func TestVerticalValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for depth 5")
+		}
+	}()
+	NewVertical32(nil, 5)
+}
+
+func TestTreePaperExample(t *testing.T) {
+	// The paper's example: 24 delimiters in 2 levels (5-way then 5-way).
+	// First level: 5,10,15,20; second level: (1,2,3,4),(6,7,8,9),...
+	delims := make([]uint32, 24)
+	for i := range delims {
+		delims[i] = uint32(i + 1)
+	}
+	tree := BuildTree(delims, []int{5, 5})
+	wantL0 := []uint32{5, 10, 15, 20}
+	for i, w := range wantL0 {
+		if tree.levels[0][i] != w {
+			t.Fatalf("level 0 = %v", tree.levels[0])
+		}
+	}
+	wantL1 := []uint32{1, 2, 3, 4, 6, 7, 8, 9, 11, 12, 13, 14, 16, 17, 18, 19, 21, 22, 23, 24}
+	for i, w := range wantL1 {
+		if tree.levels[1][i] != w {
+			t.Fatalf("level 1 = %v", tree.levels[1])
+		}
+	}
+	for key := uint32(0); key <= 25; key++ {
+		if got, want := tree.Partition(key), referencePartition(delims, key); got != want {
+			t.Fatalf("Partition(%d) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestTreeMatchesSearchAllConfigs(t *testing.T) {
+	for _, cfg := range treeConfigs {
+		capacity := 1
+		for _, f := range cfg {
+			capacity *= f
+		}
+		for _, nd := range []int{0, 1, capacity / 2, capacity - 1} {
+			d := sortedDelims(nd, uint64(capacity+nd)+7)
+			tree := BuildTree(d, cfg)
+			keys := gen.Uniform[uint32](2000, 0, uint64(nd)+3)
+			keys = append(keys, 0, ^uint32(0))
+			for _, k := range keys {
+				if got, want := tree.Partition(k), Search(d, k); got != want {
+					t.Fatalf("cfg=%v nd=%d key=%d: tree=%d search=%d", cfg, nd, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTree64(t *testing.T) {
+	d := gen.Uniform[uint64](999, 0, 11)
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	tree := NewTreeFor(d)
+	keys := gen.Uniform[uint64](5000, 0, 13)
+	keys = append(keys, 0, ^uint64(0))
+	for _, k := range keys {
+		if got, want := tree.Partition(k), Search(d, k); got != want {
+			t.Fatalf("key=%d: tree=%d search=%d", k, got, want)
+		}
+	}
+}
+
+func TestTreeLookupBatch(t *testing.T) {
+	d := sortedDelims(359, 21)
+	tree := BuildTree(d, []int{8, 5, 9})
+	keys := gen.Uniform[uint32](1003, 0, 77) // odd length exercises the tail
+	out := make([]int32, len(keys))
+	tree.LookupBatch(keys, out)
+	for i, k := range keys {
+		if int(out[i]) != Search(d, k) {
+			t.Fatalf("batch[%d] = %d, want %d", i, out[i], Search(d, k))
+		}
+	}
+}
+
+func TestTreeDuplicateDelimiters(t *testing.T) {
+	// Duplicate delimiters create intentionally empty partitions (used for
+	// single-key partitions under skew); lookups must still match Search.
+	d := []uint32{5, 10, 10, 10, 20, 30, 30}
+	tree := NewTreeFor(d)
+	for key := uint32(0); key < 40; key++ {
+		if got, want := tree.Partition(key), Search(d, key); got != want {
+			t.Fatalf("Partition(%d) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestChooseFanouts(t *testing.T) {
+	cases := []struct {
+		p    int
+		want int // minimal capacity covering p
+	}{
+		{2, 5}, {5, 5}, {6, 8}, {9, 9}, {17, 25}, {300, 360}, {360, 360},
+		{500, 1000}, {1500, 1800}, {5832, 5832}, {9000, 9000},
+	}
+	for _, c := range cases {
+		cfg := ChooseFanouts(c.p)
+		capacity := 1
+		for _, f := range cfg {
+			capacity *= f
+		}
+		if capacity != c.want {
+			t.Errorf("ChooseFanouts(%d) = %v (cap %d), want cap %d", c.p, cfg, capacity, c.want)
+		}
+	}
+	// Beyond the menu: extended with 9-way levels.
+	cfg := ChooseFanouts(100000)
+	capacity := 1
+	for _, f := range cfg {
+		capacity *= f
+	}
+	if capacity < 100000 {
+		t.Errorf("extended config %v capacity %d < 100000", cfg, capacity)
+	}
+}
+
+func TestBuildTreeValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("no levels", func() { BuildTree([]uint32{1}, nil) })
+	mustPanic("overflow", func() { BuildTree(make([]uint32, 25), []int{5, 5}) })
+	mustPanic("unsorted", func() { BuildTree([]uint32{2, 1}, []int{5}) })
+	mustPanic("fanout<2", func() { BuildTree([]uint32{1}, []int{1, 5}) })
+}

@@ -1,0 +1,154 @@
+package rangeidx
+
+import (
+	"fmt"
+
+	"repro/internal/simd"
+)
+
+// Horizontal17x32 is the register-resident horizontal range function of
+// Section 3.5.1 for 32-bit keys: up to 16 sorted delimiters held in four
+// 4-lane vectors; one key is broadcast, compared against all delimiters at
+// once, the comparison masks are packed, and the partition is the bit-scan
+// of the first delimiter greater than the key. Fanout is up to 17.
+type Horizontal17x32 struct {
+	d [4]simd.Vec4x32
+	p int
+}
+
+// NewHorizontal17x32 builds the register-resident function from up to 16
+// sorted delimiters; unused slots are padded with the maximum key.
+func NewHorizontal17x32(delims []uint32) *Horizontal17x32 {
+	if len(delims) > 16 {
+		panic(fmt.Sprintf("rangeidx: horizontal register index holds at most 16 delimiters, got %d", len(delims)))
+	}
+	h := &Horizontal17x32{p: len(delims) + 1}
+	var padded [16]uint32
+	for i := range padded {
+		padded[i] = ^uint32(0)
+	}
+	copy(padded[:], delims)
+	for i := 0; i < 4; i++ {
+		h.d[i] = simd.Load4x32(padded[i*4 : i*4+4])
+	}
+	return h
+}
+
+// Partition implements the range function: the index of the first delimiter
+// greater than k, via the paper's exact instruction sequence — four cmpgt,
+// two packs_epi32, one packs_epi16, movemask_epi8, bit-scan-forward with
+// the 0x10000 sentinel.
+func (h *Horizontal17x32) Partition(k uint32) int {
+	key := simd.Broadcast4x32(k)
+	cmpABCD := h.d[0].CmpGt(key) // delim > key per lane
+	cmpEFGH := h.d[1].CmpGt(key)
+	cmpIJKL := h.d[2].CmpGt(key)
+	cmpMNOP := h.d[3].CmpGt(key)
+	cmpAtoH := simd.PacksEpi32(cmpABCD, cmpEFGH)
+	cmpItoP := simd.PacksEpi32(cmpIJKL, cmpMNOP)
+	cmpAtoP := simd.PacksEpi16(cmpAtoH, cmpItoP)
+	mask := cmpAtoP.MovemaskEpi8()
+	// Bit 16 is the sentinel "fanout 17" position (the paper's | 0x10000).
+	p := simd.BitScanForward(mask | 0x10000)
+	if p >= h.p {
+		p = h.p - 1
+	}
+	return p
+}
+
+// Fanout returns the number of partitions.
+func (h *Horizontal17x32) Fanout() int {
+	return h.p
+}
+
+// Vertical32 is the register-resident vertical (transposed) range function
+// of Section 3.5.1: a binary tree of depth D with 2^D - 1 delimiters held
+// in broadcast form. W keys are processed at once: each comparison level
+// blends the lower and upper halves of the remaining delimiters into a new
+// custom delimiter per lane, and the D comparison results are
+// bit-interleaved into a partition number in [0, 2^D).
+type Vertical32 struct {
+	depth int
+	// nodes in level order (eytzinger): nodes[0] is the root,
+	// children of i are 2i+1, 2i+2.
+	nodes []uint32
+	p     int
+}
+
+// NewVertical32 builds a vertical register function of the given depth
+// (1..4, fanout 2^depth) from up to 2^depth - 1 sorted delimiters, padded
+// with the maximum key.
+func NewVertical32(delims []uint32, depth int) *Vertical32 {
+	if depth < 1 || depth > 4 {
+		panic(fmt.Sprintf("rangeidx: vertical depth %d out of range [1,4]", depth))
+	}
+	cap := 1<<depth - 1
+	if len(delims) > cap {
+		panic(fmt.Sprintf("rangeidx: vertical depth %d holds %d delimiters, got %d", depth, cap, len(delims)))
+	}
+	padded := make([]uint32, cap)
+	for i := range padded {
+		padded[i] = ^uint32(0)
+	}
+	copy(padded, delims)
+	v := &Vertical32{depth: depth, nodes: make([]uint32, cap), p: len(delims) + 1}
+	// Fill eytzinger layout from the sorted array.
+	var fill func(node, lo, hi int)
+	fill = func(node, lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		mid := int(uint(lo+hi) >> 1)
+		v.nodes[node] = padded[mid]
+		fill(2*node+1, lo, mid)
+		fill(2*node+2, mid+1, hi)
+	}
+	fill(0, 0, cap)
+	return v
+}
+
+// Partition4 computes the range function for four keys at once. Each lane
+// walks its own root-to-leaf path; the D per-level comparison masks are
+// bit-interleaved into the partition number, exactly the paper's
+// res = (res + res) - cmp accumulation (subtracting an all-ones mask
+// adds one).
+func (v *Vertical32) Partition4(keys simd.Vec4x32) [4]int {
+	var idx simd.Vec4x32 // per-lane eytzinger node index, all lanes at root
+	var res simd.Vec4x32
+	one := simd.Broadcast4x32(1)
+	allOnes := simd.Broadcast4x32(^uint32(0))
+	for d := 0; d < v.depth; d++ {
+		// Gather the current node's delimiter per lane. With register-
+		// resident SIMD this is the blend ladder of Section 3.5.1; the
+		// gather expresses the same per-lane dataflow.
+		var nodeDelims simd.Vec4x32
+		for l := 0; l < 4; l++ {
+			nodeDelims[l] = v.nodes[idx[l]]
+		}
+		gt := nodeDelims.CmpGt(keys)       // delim > key: go left
+		goRight := gt.Xor(allOnes)         // key >= delim: go right (all-ones mask)
+		bit := simd.Vec4x32{}.Sub(goRight) // 0 - (~0) = 1; mask -> 0/1
+		res = res.Add(res).Add(bit)
+		idx = idx.Add(idx).Add(one).Add(bit) // idx = 2*idx + 1 + goRight
+	}
+	var out [4]int
+	for l := 0; l < 4; l++ {
+		p := int(res[l])
+		if p >= v.p {
+			p = v.p - 1
+		}
+		out[l] = p
+	}
+	return out
+}
+
+// Partition computes the range function for one key.
+func (v *Vertical32) Partition(k uint32) int {
+	r := v.Partition4(simd.Broadcast4x32(k))
+	return r[0]
+}
+
+// Fanout returns the number of partitions.
+func (v *Vertical32) Fanout() int {
+	return v.p
+}

@@ -1,0 +1,129 @@
+package rangeidx
+
+import (
+	"fmt"
+
+	"repro/internal/simd"
+)
+
+// Horizontal9x64 is the 64-bit horizontal register-resident range function:
+// up to 8 sorted delimiters in four 2-lane vectors (the 64-bit analog of
+// Horizontal17x32 — half the delimiters per register, as the paper notes
+// for 64-bit keys). Fanout is up to 9.
+type Horizontal9x64 struct {
+	d [4]simd.Vec2x64
+	p int
+}
+
+// NewHorizontal9x64 builds the function from up to 8 sorted delimiters;
+// unused slots are padded with the maximum key.
+func NewHorizontal9x64(delims []uint64) *Horizontal9x64 {
+	if len(delims) > 8 {
+		panic(fmt.Sprintf("rangeidx: 64-bit horizontal register index holds at most 8 delimiters, got %d", len(delims)))
+	}
+	h := &Horizontal9x64{p: len(delims) + 1}
+	var padded [8]uint64
+	for i := range padded {
+		padded[i] = ^uint64(0)
+	}
+	copy(padded[:], delims)
+	for i := 0; i < 4; i++ {
+		h.d[i] = simd.Load2x64(padded[i*2 : i*2+2])
+	}
+	return h
+}
+
+// Partition returns the index of the first delimiter greater than k.
+func (h *Horizontal9x64) Partition(k uint64) int {
+	key := simd.Broadcast2x64(k)
+	var mask uint32
+	for i := 0; i < 4; i++ {
+		mask |= h.d[i].CmpGt(key).Movemask() << (2 * i)
+	}
+	p := simd.BitScanForward(mask | 0x100)
+	if p >= h.p {
+		p = h.p - 1
+	}
+	return p
+}
+
+// Fanout returns the number of partitions.
+func (h *Horizontal9x64) Fanout() int {
+	return h.p
+}
+
+// Vertical64 is the 64-bit vertical register-resident range function: a
+// depth-D binary tree walked two keys at a time.
+type Vertical64 struct {
+	depth int
+	nodes []uint64
+	p     int
+}
+
+// NewVertical64 builds a vertical function of the given depth (1..4) from
+// up to 2^depth - 1 sorted delimiters.
+func NewVertical64(delims []uint64, depth int) *Vertical64 {
+	if depth < 1 || depth > 4 {
+		panic(fmt.Sprintf("rangeidx: vertical depth %d out of range [1,4]", depth))
+	}
+	capacity := 1<<depth - 1
+	if len(delims) > capacity {
+		panic(fmt.Sprintf("rangeidx: vertical depth %d holds %d delimiters, got %d", depth, capacity, len(delims)))
+	}
+	padded := make([]uint64, capacity)
+	for i := range padded {
+		padded[i] = ^uint64(0)
+	}
+	copy(padded, delims)
+	v := &Vertical64{depth: depth, nodes: make([]uint64, capacity), p: len(delims) + 1}
+	var fill func(node, lo, hi int)
+	fill = func(node, lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		mid := int(uint(lo+hi) >> 1)
+		v.nodes[node] = padded[mid]
+		fill(2*node+1, lo, mid)
+		fill(2*node+2, mid+1, hi)
+	}
+	fill(0, 0, capacity)
+	return v
+}
+
+// Partition2 computes the range function for two keys at once via the
+// blend-ladder descent.
+func (v *Vertical64) Partition2(keys simd.Vec2x64) [2]int {
+	var idx, res simd.Vec2x64
+	one := simd.Vec2x64{1, 1}
+	for d := 0; d < v.depth; d++ {
+		var nodeDelims simd.Vec2x64
+		for l := 0; l < 2; l++ {
+			nodeDelims[l] = v.nodes[idx[l]]
+		}
+		gt := nodeDelims.CmpGt(keys)
+		goRight := simd.Vec2x64{gt[0] ^ ^uint64(0), gt[1] ^ ^uint64(0)}
+		bit := simd.Vec2x64{0 - goRight[0], 0 - goRight[1]}
+		res = simd.Vec2x64{res[0]*2 + bit[0], res[1]*2 + bit[1]}
+		idx = simd.Vec2x64{idx[0]*2 + one[0] + bit[0], idx[1]*2 + one[1] + bit[1]}
+	}
+	var out [2]int
+	for l := 0; l < 2; l++ {
+		p := int(res[l])
+		if p >= v.p {
+			p = v.p - 1
+		}
+		out[l] = p
+	}
+	return out
+}
+
+// Partition computes the range function for one key.
+func (v *Vertical64) Partition(k uint64) int {
+	r := v.Partition2(simd.Broadcast2x64(k))
+	return r[0]
+}
+
+// Fanout returns the number of partitions.
+func (v *Vertical64) Fanout() int {
+	return v.p
+}

@@ -1,0 +1,108 @@
+package rangeidx
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/simd"
+)
+
+func reference64(delims []uint64, key uint64) int {
+	n := 0
+	for _, d := range delims {
+		if d <= key {
+			n++
+		}
+	}
+	return n
+}
+
+func sortedDelims64(n int, seed uint64) []uint64 {
+	d := gen.Uniform[uint64](n, 0, seed)
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	return d
+}
+
+func TestHorizontal9x64(t *testing.T) {
+	for _, nd := range []int{0, 1, 4, 7, 8} {
+		d := sortedDelims64(nd, uint64(nd)+1)
+		h := NewHorizontal9x64(d)
+		if h.Fanout() != nd+1 {
+			t.Fatalf("Fanout = %d", h.Fanout())
+		}
+		f := func(key uint64) bool {
+			return h.Partition(key) == reference64(d, key)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("nd=%d: %v", nd, err)
+		}
+		if got := h.Partition(^uint64(0)); got != nd {
+			t.Fatalf("nd=%d: Partition(max) = %d", nd, got)
+		}
+	}
+}
+
+func TestHorizontal9x64Rejects(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 9 delimiters")
+		}
+	}()
+	NewHorizontal9x64(make([]uint64, 9))
+}
+
+func TestVertical64(t *testing.T) {
+	for _, depth := range []int{1, 2, 3, 4} {
+		maxD := 1<<depth - 1
+		for _, nd := range []int{0, 1, maxD / 2, maxD} {
+			d := sortedDelims64(nd, uint64(depth*37+nd)+1)
+			v := NewVertical64(d, depth)
+			f := func(key uint64) bool {
+				return v.Partition(key) == reference64(d, key)
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatalf("depth=%d nd=%d: %v", depth, nd, err)
+			}
+		}
+	}
+}
+
+func TestVertical64Batch(t *testing.T) {
+	d := sortedDelims64(15, 3)
+	v := NewVertical64(d, 4)
+	keys := gen.Uniform[uint64](2048, 0, 5)
+	for i := 0; i+2 <= len(keys); i += 2 {
+		got := v.Partition2(simd.Load2x64(keys[i : i+2]))
+		for l := 0; l < 2; l++ {
+			if want := reference64(d, keys[i+l]); got[l] != want {
+				t.Fatalf("lane %d: got %d want %d", l, got[l], want)
+			}
+		}
+	}
+}
+
+func TestVertical64Validation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for depth 0")
+		}
+	}()
+	NewVertical64(nil, 0)
+}
+
+func TestRegisterVariantsAgreeWithTree64(t *testing.T) {
+	d := sortedDelims64(7, 11)
+	h := NewHorizontal9x64(d)
+	v := NewVertical64(d, 3)
+	tree := NewTreeFor(d)
+	keys := gen.Uniform[uint64](4096, 0, 13)
+	for _, k := range keys {
+		want := tree.Partition(k)
+		if h.Partition(k) != want || v.Partition(k) != want {
+			t.Fatalf("variants disagree on %d: h=%d v=%d tree=%d",
+				k, h.Partition(k), v.Partition(k), want)
+		}
+	}
+}

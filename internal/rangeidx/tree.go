@@ -1,0 +1,211 @@
+package rangeidx
+
+import (
+	"fmt"
+
+	"repro/internal/kv"
+)
+
+// Tree is the paper's cache-resident range index (Section 3.5.2): a
+// pointerless static search tree whose levels are flat sorted arrays, with
+// an independently chosen fanout per level (of the SIMD-friendly form
+// k*W + 1), no delimiter repeated across levels, and no update support.
+// Each level access is one node search — a handful of lane-parallel
+// comparisons — so computing a range function costs `levels` cache accesses
+// instead of log2(P) dependent loads.
+type Tree[K kv.Key] struct {
+	levels  [][]K
+	fanouts []int
+	p       int // actual fanout: len(delims)+1
+	cap     int // capacity: product of fanouts
+}
+
+// BuildTree constructs the index over sorted delimiters with the given
+// per-level fanouts. The product of fanouts minus one must be at least
+// len(delims); unused capacity is padded with the maximum key so padding
+// partitions stay empty.
+func BuildTree[K kv.Key](delims []K, fanouts []int) *Tree[K] {
+	if len(fanouts) == 0 {
+		panic("rangeidx: tree needs at least one level")
+	}
+	capacity := 1
+	for _, f := range fanouts {
+		if f < 2 {
+			panic(fmt.Sprintf("rangeidx: level fanout %d < 2", f))
+		}
+		capacity *= f
+	}
+	if len(delims)+1 > capacity {
+		panic(fmt.Sprintf("rangeidx: %d delimiters exceed tree capacity %d", len(delims), capacity-1))
+	}
+	for i := 1; i < len(delims); i++ {
+		if delims[i-1] > delims[i] {
+			panic("rangeidx: delimiters not sorted")
+		}
+	}
+	// Conceptual sorted delimiter array, padded with +inf.
+	conceptual := make([]K, capacity-1)
+	copy(conceptual, delims)
+	for i := len(delims); i < len(conceptual); i++ {
+		conceptual[i] = kv.MaxKey[K]()
+	}
+
+	t := &Tree[K]{fanouts: append([]int(nil), fanouts...), p: len(delims) + 1, cap: capacity}
+	// subCap[l] = product of fanouts[l:]; a node at level l spans
+	// subCap[l] conceptual partitions.
+	depth := len(fanouts)
+	subCap := make([]int, depth+1)
+	subCap[depth] = 1
+	for l := depth - 1; l >= 0; l-- {
+		subCap[l] = subCap[l+1] * fanouts[l]
+	}
+	t.levels = make([][]K, depth)
+	nodes := 1
+	for l := 0; l < depth; l++ {
+		f := fanouts[l]
+		level := make([]K, nodes*(f-1))
+		for n := 0; n < nodes; n++ {
+			off := n * subCap[l] // conceptual partition offset of this node
+			for i := 0; i < f-1; i++ {
+				level[n*(f-1)+i] = conceptual[off+(i+1)*subCap[l+1]-1]
+			}
+		}
+		t.levels[l] = level
+		nodes *= f
+	}
+	return t
+}
+
+// nodeUpperBound returns the number of delimiters in node that are <= key.
+// A node holds at most a few lane-widths of delimiters, so this linear
+// lane-parallel count is the scalar expression of the paper's
+// cmpgt + packs + movemask + bsf sequence.
+func nodeUpperBound[K kv.Key](node []K, key K) int {
+	j := 0
+	for _, d := range node {
+		if d <= key {
+			j++
+		}
+	}
+	return j
+}
+
+// Partition computes the range function for one key: the index of the first
+// delimiter greater than the key.
+func (t *Tree[K]) Partition(key K) int {
+	r := 0
+	for l, f := range t.fanouts {
+		base := r * (f - 1)
+		r = r*f + nodeUpperBound(t.levels[l][base:base+f-1], key)
+	}
+	if r >= t.p {
+		r = t.p - 1
+	}
+	return r
+}
+
+// Fanout returns the number of partitions P.
+func (t *Tree[K]) Fanout() int {
+	return t.p
+}
+
+// Capacity returns the padded tree capacity (product of level fanouts).
+func (t *Tree[K]) Capacity() int {
+	return t.cap
+}
+
+// Levels returns the per-level fanouts of the configuration.
+func (t *Tree[K]) Levels() []int {
+	return append([]int(nil), t.fanouts...)
+}
+
+// LookupBatch computes the range function for a batch of keys, walking all
+// keys through the tree level-synchronously. This is the paper's 4-at-a-time
+// loop unrolling: the node loads of independent keys overlap instead of
+// serializing, which is where most of the index's speedup over binary
+// search comes from.
+func (t *Tree[K]) LookupBatch(keys []K, out []int32) {
+	if len(out) < len(keys) {
+		panic("rangeidx: output batch too small")
+	}
+	const unroll = 4
+	i := 0
+	var r [unroll]int
+	for ; i+unroll <= len(keys); i += unroll {
+		r[0], r[1], r[2], r[3] = 0, 0, 0, 0
+		for l, f := range t.fanouts {
+			level := t.levels[l]
+			for u := 0; u < unroll; u++ {
+				base := r[u] * (f - 1)
+				r[u] = r[u]*f + nodeUpperBound(level[base:base+f-1], keys[i+u])
+			}
+		}
+		for u := 0; u < unroll; u++ {
+			if r[u] >= t.p {
+				r[u] = t.p - 1
+			}
+			out[i+u] = int32(r[u])
+		}
+	}
+	for ; i < len(keys); i++ {
+		out[i] = int32(t.Partition(keys[i]))
+	}
+}
+
+// treeConfigs is the menu of sensible fanout configurations (Section
+// 3.5.2): levels of the SIMD-friendly form k*W+1 (5-, 9-way for W=4) under
+// an 8-way vertical root, matching the paper's 360-way (8x5x9), 1000-way
+// (8x5x5x5) and 1800-way (8x5x5x9) picks, with smaller and larger
+// configurations completing the menu.
+var treeConfigs = [][]int{
+	{5},             // 5
+	{9},             // 9
+	{8},             // 8 (vertical root only)
+	{5, 5},          // 25
+	{8, 5},          // 40
+	{8, 9},          // 72
+	{5, 5, 5},       // 125
+	{8, 5, 5},       // 200
+	{8, 5, 9},       // 360
+	{8, 5, 5, 5},    // 1000
+	{8, 5, 5, 9},    // 1800
+	{8, 5, 9, 9},    // 3240
+	{8, 9, 9, 9},    // 5832
+	{8, 5, 5, 5, 9}, // 9000
+}
+
+// ChooseFanouts returns the smallest menu configuration with capacity at
+// least p partitions.
+func ChooseFanouts(p int) []int {
+	best := []int(nil)
+	bestCap := 0
+	for _, cfg := range treeConfigs {
+		c := 1
+		for _, f := range cfg {
+			c *= f
+		}
+		if c >= p && (best == nil || c < bestCap) {
+			best, bestCap = cfg, c
+		}
+	}
+	if best == nil {
+		// Extend the largest configuration with 9-way levels.
+		cfg := append([]int(nil), treeConfigs[len(treeConfigs)-1]...)
+		c := 1
+		for _, f := range cfg {
+			c *= f
+		}
+		for c < p {
+			cfg = append(cfg, 9)
+			c *= 9
+		}
+		return cfg
+	}
+	return append([]int(nil), best...)
+}
+
+// NewTreeFor builds a tree for the given delimiters using the best menu
+// configuration.
+func NewTreeFor[K kv.Key](delims []K) *Tree[K] {
+	return BuildTree(delims, ChooseFanouts(len(delims)+1))
+}

@@ -1,0 +1,66 @@
+package simd
+
+// Pack operations, mirroring the saturating SIMD packs the paper's range
+// function uses to funnel comparison masks into a single movemask
+// (_mm_packs_epi32 / _mm_packs_epi16 / _mm_movemask_epi8).
+
+// Vec8x16 is an 8-lane vector of signed 16-bit integers.
+type Vec8x16 [8]int16
+
+// Vec16x8 is a 16-lane vector of signed 8-bit integers.
+type Vec16x8 [16]int8
+
+// PacksEpi32 packs the 4+4 32-bit lanes of a and b into 8 16-bit lanes
+// with signed saturation (_mm_packs_epi32). Comparison masks (0 / -1)
+// survive packing unchanged, which is what the range function relies on.
+func PacksEpi32(a, b Vec4x32) Vec8x16 {
+	var r Vec8x16
+	for i := 0; i < 4; i++ {
+		r[i] = sat16(int32(a[i]))
+		r[4+i] = sat16(int32(b[i]))
+	}
+	return r
+}
+
+// PacksEpi16 packs the 8+8 16-bit lanes of a and b into 16 8-bit lanes
+// with signed saturation (_mm_packs_epi16).
+func PacksEpi16(a, b Vec8x16) Vec16x8 {
+	var r Vec16x8
+	for i := 0; i < 8; i++ {
+		r[i] = sat8(a[i])
+		r[8+i] = sat8(b[i])
+	}
+	return r
+}
+
+// MovemaskEpi8 packs the sign bit of each byte lane into the low 16 bits
+// of the result (_mm_movemask_epi8).
+func (v Vec16x8) MovemaskEpi8() uint32 {
+	var m uint32
+	for i, b := range v {
+		if b < 0 {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+func sat16(x int32) int16 {
+	if x > 32767 {
+		return 32767
+	}
+	if x < -32768 {
+		return -32768
+	}
+	return int16(x)
+}
+
+func sat8(x int16) int8 {
+	if x > 127 {
+		return 127
+	}
+	if x < -128 {
+		return -128
+	}
+	return int8(x)
+}

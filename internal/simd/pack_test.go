@@ -1,0 +1,54 @@
+package simd
+
+import "testing"
+
+func TestPacksEpi32Saturation(t *testing.T) {
+	a := Vec4x32{0, ^uint32(0) /* -1 */, 100000 /* saturates */, 0x80000000 /* min int32 */}
+	b := Vec4x32{1, 2, 3, 4}
+	r := PacksEpi32(a, b)
+	want := Vec8x16{0, -1, 32767, -32768, 1, 2, 3, 4}
+	if r != want {
+		t.Fatalf("PacksEpi32 = %v, want %v", r, want)
+	}
+}
+
+func TestPacksEpi16Saturation(t *testing.T) {
+	a := Vec8x16{0, -1, 300, -300, 127, -128, 1, 2}
+	b := Vec8x16{5, 6, 7, 8, 9, 10, 11, 12}
+	r := PacksEpi16(a, b)
+	want := Vec16x8{0, -1, 127, -128, 127, -128, 1, 2, 5, 6, 7, 8, 9, 10, 11, 12}
+	if r != want {
+		t.Fatalf("PacksEpi16 = %v, want %v", r, want)
+	}
+}
+
+func TestMovemaskEpi8(t *testing.T) {
+	var v Vec16x8
+	v[0] = -1
+	v[3] = -128
+	v[15] = -5
+	v[7] = 127 // positive: no bit
+	if got := v.MovemaskEpi8(); got != 1|1<<3|1<<15 {
+		t.Fatalf("MovemaskEpi8 = %b", got)
+	}
+}
+
+func TestPackChainPreservesComparisonMasks(t *testing.T) {
+	// The whole point: a chain of packs on 0/-1 comparison masks yields a
+	// byte mask whose bits equal the original lane mask bits.
+	for m := 0; m < 256; m++ {
+		var a, b Vec4x32
+		for i := 0; i < 4; i++ {
+			if m&(1<<i) != 0 {
+				a[i] = ^uint32(0)
+			}
+			if m&(1<<(4+i)) != 0 {
+				b[i] = ^uint32(0)
+			}
+		}
+		packed := PacksEpi16(PacksEpi32(a, b), Vec8x16{})
+		if got := packed.MovemaskEpi8(); got != uint32(m) {
+			t.Fatalf("mask %08b roundtripped to %08b", m, got)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package simd provides fixed-width lane vectors that emulate the SIMD
+// operations the paper's algorithms are written in terms of (SSE/AVX
+// comparisons, blends, packs, movemask, min/max, broadcast).
+//
+// The vectors are plain Go arrays and every operation is a short loop over
+// the lanes, so the Go compiler is free to auto-vectorize them; more
+// importantly, algorithms written against this package keep the exact
+// structure the paper describes — lane-parallel comparisons with no
+// cross-lane key comparisons, movemask + bit-scan partition computation,
+// blend-based binary trees — which is what the paper's claims are about.
+//
+// Two lane widths are provided per key width, mirroring 128-bit SSE
+// (Vec4x32, Vec2x64) and 256-bit AVX (Vec8x32, Vec4x64).
+package simd
+
+import "math/bits"
+
+// W32 is the default lane count used for 32-bit keys, matching the 128-bit
+// SSE registers of the paper's platform.
+const W32 = 4
+
+// W64 is the default lane count used for 64-bit keys (two 64-bit lanes per
+// 128-bit register).
+const W64 = 2
+
+// BitScanForward returns the index of the least significant set bit of x,
+// emulating the bsf instruction the paper uses to convert comparison masks
+// into partition numbers. x must be nonzero.
+func BitScanForward(x uint32) int {
+	return bits.TrailingZeros32(x)
+}
+
+// Vec4x32 is a 4-lane vector of 32-bit unsigned integers (one 128-bit SSE
+// register of epi32 lanes).
+type Vec4x32 [4]uint32
+
+// Broadcast4x32 returns a vector with x in every lane
+// (_mm_shuffle_epi32(key, 0) after a movd load).
+func Broadcast4x32(x uint32) Vec4x32 {
+	return Vec4x32{x, x, x, x}
+}
+
+// Load4x32 loads four consecutive values from s (_mm_load_si128).
+func Load4x32(s []uint32) Vec4x32 {
+	return Vec4x32{s[0], s[1], s[2], s[3]}
+}
+
+// Store stores the vector into four consecutive slots of s
+// (_mm_store_si128).
+func (v Vec4x32) Store(s []uint32) {
+	s[0], s[1], s[2], s[3] = v[0], v[1], v[2], v[3]
+}
+
+// CmpGt compares lanes and returns an all-ones/all-zeros mask per lane where
+// v > o, the unsigned analog of _mm_cmpgt_epi32.
+func (v Vec4x32) CmpGt(o Vec4x32) Vec4x32 {
+	var m Vec4x32
+	for i := range v {
+		if v[i] > o[i] {
+			m[i] = ^uint32(0)
+		}
+	}
+	return m
+}
+
+// CmpEq compares lanes for equality (_mm_cmpeq_epi32).
+func (v Vec4x32) CmpEq(o Vec4x32) Vec4x32 {
+	var m Vec4x32
+	for i := range v {
+		if v[i] == o[i] {
+			m[i] = ^uint32(0)
+		}
+	}
+	return m
+}
+
+// Min returns the lane-wise unsigned minimum (_mm_min_epu32).
+func (v Vec4x32) Min(o Vec4x32) Vec4x32 {
+	var r Vec4x32
+	for i := range v {
+		r[i] = min(v[i], o[i])
+	}
+	return r
+}
+
+// Max returns the lane-wise unsigned maximum (_mm_max_epu32).
+func (v Vec4x32) Max(o Vec4x32) Vec4x32 {
+	var r Vec4x32
+	for i := range v {
+		r[i] = max(v[i], o[i])
+	}
+	return r
+}
+
+// Blend selects o's lane where the mask lane's high bit is set and v's lane
+// otherwise (_mm_blendv_epi8 with lane-wide masks).
+func (v Vec4x32) Blend(o, mask Vec4x32) Vec4x32 {
+	var r Vec4x32
+	for i := range v {
+		if mask[i]&0x80000000 != 0 {
+			r[i] = o[i]
+		} else {
+			r[i] = v[i]
+		}
+	}
+	return r
+}
+
+// Add returns the lane-wise sum (_mm_add_epi32).
+func (v Vec4x32) Add(o Vec4x32) Vec4x32 {
+	var r Vec4x32
+	for i := range v {
+		r[i] = v[i] + o[i]
+	}
+	return r
+}
+
+// Sub returns the lane-wise difference (_mm_sub_epi32).
+func (v Vec4x32) Sub(o Vec4x32) Vec4x32 {
+	var r Vec4x32
+	for i := range v {
+		r[i] = v[i] - o[i]
+	}
+	return r
+}
+
+// Xor returns the lane-wise exclusive or (_mm_xor_si128).
+func (v Vec4x32) Xor(o Vec4x32) Vec4x32 {
+	var r Vec4x32
+	for i := range v {
+		r[i] = v[i] ^ o[i]
+	}
+	return r
+}
+
+// Movemask packs the high bit of each 32-bit lane into the low bits of the
+// result (_mm_movemask_ps on an integer vector).
+func (v Vec4x32) Movemask() uint32 {
+	var m uint32
+	for i := range v {
+		m |= (v[i] >> 31) << i
+	}
+	return m
+}
+
+// MinAcross broadcasts the minimum lane to all lanes, implemented as the
+// paper's logW shuffle/min ladder.
+func (v Vec4x32) MinAcross() Vec4x32 {
+	// YXWZ = shuffle(XYZW, 177); AABB = min; BBAA = shuffle(AABB, 78); min.
+	yxwz := Vec4x32{v[1], v[0], v[3], v[2]}
+	aabb := v.Min(yxwz)
+	bbaa := Vec4x32{aabb[2], aabb[3], aabb[0], aabb[1]}
+	return aabb.Min(bbaa)
+}
+
+// Vec8x32 is an 8-lane vector of 32-bit unsigned integers (one 256-bit AVX2
+// register), used for ablations against the 4-lane configuration.
+type Vec8x32 [8]uint32
+
+// Broadcast8x32 returns a vector with x in every lane.
+func Broadcast8x32(x uint32) Vec8x32 {
+	var r Vec8x32
+	for i := range r {
+		r[i] = x
+	}
+	return r
+}
+
+// Load8x32 loads eight consecutive values from s.
+func Load8x32(s []uint32) Vec8x32 {
+	var r Vec8x32
+	copy(r[:], s[:8])
+	return r
+}
+
+// Store stores the vector into eight consecutive slots of s.
+func (v Vec8x32) Store(s []uint32) {
+	copy(s[:8], v[:])
+}
+
+// CmpGt compares lanes, returning an all-ones mask per lane where v > o.
+func (v Vec8x32) CmpGt(o Vec8x32) Vec8x32 {
+	var m Vec8x32
+	for i := range v {
+		if v[i] > o[i] {
+			m[i] = ^uint32(0)
+		}
+	}
+	return m
+}
+
+// Min returns the lane-wise unsigned minimum.
+func (v Vec8x32) Min(o Vec8x32) Vec8x32 {
+	var r Vec8x32
+	for i := range v {
+		r[i] = min(v[i], o[i])
+	}
+	return r
+}
+
+// Max returns the lane-wise unsigned maximum.
+func (v Vec8x32) Max(o Vec8x32) Vec8x32 {
+	var r Vec8x32
+	for i := range v {
+		r[i] = max(v[i], o[i])
+	}
+	return r
+}
+
+// Movemask packs the high bit of each lane into the low bits of the result.
+func (v Vec8x32) Movemask() uint32 {
+	var m uint32
+	for i := range v {
+		m |= (v[i] >> 31) << i
+	}
+	return m
+}
+
+// Vec2x64 is a 2-lane vector of 64-bit unsigned integers (one 128-bit SSE
+// register of epi64 lanes).
+type Vec2x64 [2]uint64
+
+// Broadcast2x64 returns a vector with x in both lanes.
+func Broadcast2x64(x uint64) Vec2x64 {
+	return Vec2x64{x, x}
+}
+
+// Load2x64 loads two consecutive values from s.
+func Load2x64(s []uint64) Vec2x64 {
+	return Vec2x64{s[0], s[1]}
+}
+
+// Store stores the vector into two consecutive slots of s.
+func (v Vec2x64) Store(s []uint64) {
+	s[0], s[1] = v[0], v[1]
+}
+
+// CmpGt compares lanes, returning an all-ones mask per lane where v > o.
+func (v Vec2x64) CmpGt(o Vec2x64) Vec2x64 {
+	var m Vec2x64
+	for i := range v {
+		if v[i] > o[i] {
+			m[i] = ^uint64(0)
+		}
+	}
+	return m
+}
+
+// Min returns the lane-wise unsigned minimum.
+func (v Vec2x64) Min(o Vec2x64) Vec2x64 {
+	return Vec2x64{min(v[0], o[0]), min(v[1], o[1])}
+}
+
+// Max returns the lane-wise unsigned maximum.
+func (v Vec2x64) Max(o Vec2x64) Vec2x64 {
+	return Vec2x64{max(v[0], o[0]), max(v[1], o[1])}
+}
+
+// Blend selects o's lane where the mask lane's high bit is set.
+func (v Vec2x64) Blend(o, mask Vec2x64) Vec2x64 {
+	var r Vec2x64
+	for i := range v {
+		if mask[i]&0x8000000000000000 != 0 {
+			r[i] = o[i]
+		} else {
+			r[i] = v[i]
+		}
+	}
+	return r
+}
+
+// Movemask packs the high bit of each 64-bit lane into the low bits of the
+// result (_mm_movemask_pd).
+func (v Vec2x64) Movemask() uint32 {
+	var m uint32
+	for i := range v {
+		m |= uint32(v[i]>>63) << i
+	}
+	return m
+}
+
+// MinAcross broadcasts the minimum lane to both lanes.
+func (v Vec2x64) MinAcross() Vec2x64 {
+	m := min(v[0], v[1])
+	return Vec2x64{m, m}
+}
+
+// Vec4x64 is a 4-lane vector of 64-bit unsigned integers (one 256-bit AVX
+// register), used for ablations.
+type Vec4x64 [4]uint64
+
+// Broadcast4x64 returns a vector with x in every lane.
+func Broadcast4x64(x uint64) Vec4x64 {
+	return Vec4x64{x, x, x, x}
+}
+
+// Load4x64 loads four consecutive values from s.
+func Load4x64(s []uint64) Vec4x64 {
+	return Vec4x64{s[0], s[1], s[2], s[3]}
+}
+
+// Store stores the vector into four consecutive slots of s.
+func (v Vec4x64) Store(s []uint64) {
+	s[0], s[1], s[2], s[3] = v[0], v[1], v[2], v[3]
+}
+
+// CmpGt compares lanes, returning an all-ones mask per lane where v > o.
+func (v Vec4x64) CmpGt(o Vec4x64) Vec4x64 {
+	var m Vec4x64
+	for i := range v {
+		if v[i] > o[i] {
+			m[i] = ^uint64(0)
+		}
+	}
+	return m
+}
+
+// Min returns the lane-wise unsigned minimum.
+func (v Vec4x64) Min(o Vec4x64) Vec4x64 {
+	var r Vec4x64
+	for i := range v {
+		r[i] = min(v[i], o[i])
+	}
+	return r
+}
+
+// Max returns the lane-wise unsigned maximum.
+func (v Vec4x64) Max(o Vec4x64) Vec4x64 {
+	var r Vec4x64
+	for i := range v {
+		r[i] = max(v[i], o[i])
+	}
+	return r
+}
+
+// Movemask packs the high bit of each lane into the low bits of the result.
+func (v Vec4x64) Movemask() uint32 {
+	var m uint32
+	for i := range v {
+		m |= uint32(v[i]>>63) << i
+	}
+	return m
+}

@@ -1,0 +1,183 @@
+package simd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitScanForward(t *testing.T) {
+	cases := []struct {
+		in   uint32
+		want int
+	}{
+		{1, 0}, {2, 1}, {0x10000, 16}, {0x80000000, 31}, {6, 1}, {0xFFFFFFFF, 0},
+	}
+	for _, c := range cases {
+		if got := BitScanForward(c.in); got != c.want {
+			t.Errorf("BitScanForward(%#x) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVec4x32Basics(t *testing.T) {
+	v := Broadcast4x32(7)
+	for i := range v {
+		if v[i] != 7 {
+			t.Fatalf("broadcast lane %d = %d", i, v[i])
+		}
+	}
+	s := []uint32{1, 2, 3, 4}
+	l := Load4x32(s)
+	if l != (Vec4x32{1, 2, 3, 4}) {
+		t.Fatalf("Load4x32 = %v", l)
+	}
+	out := make([]uint32, 4)
+	l.Store(out)
+	for i := range s {
+		if out[i] != s[i] {
+			t.Fatalf("Store mismatch at %d", i)
+		}
+	}
+}
+
+func TestVec4x32CmpGtUnsigned(t *testing.T) {
+	// The unsigned semantics matter: 0xFFFFFFFF must compare greater than 1,
+	// unlike the signed epi32 compare.
+	a := Vec4x32{0xFFFFFFFF, 0, 5, 5}
+	b := Vec4x32{1, 1, 5, 4}
+	m := a.CmpGt(b)
+	want := Vec4x32{^uint32(0), 0, 0, ^uint32(0)}
+	if m != want {
+		t.Fatalf("CmpGt = %v, want %v", m, want)
+	}
+	if m.Movemask() != 0b1001 {
+		t.Fatalf("Movemask = %b", m.Movemask())
+	}
+}
+
+func TestVec4x32MinMaxBlend(t *testing.T) {
+	a := Vec4x32{9, 2, 0xFFFFFFFF, 4}
+	b := Vec4x32{3, 8, 1, 4}
+	if got := a.Min(b); got != (Vec4x32{3, 2, 1, 4}) {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := a.Max(b); got != (Vec4x32{9, 8, 0xFFFFFFFF, 4}) {
+		t.Fatalf("Max = %v", got)
+	}
+	mask := Vec4x32{^uint32(0), 0, ^uint32(0), 0}
+	if got := a.Blend(b, mask); got != (Vec4x32{3, 2, 1, 4}) {
+		t.Fatalf("Blend = %v", got)
+	}
+}
+
+func TestVec4x32MinAcross(t *testing.T) {
+	f := func(a, b, c, d uint32) bool {
+		v := Vec4x32{a, b, c, d}
+		m := v.MinAcross()
+		want := min(min(a, b), min(c, d))
+		return m == Broadcast4x32(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVec4x32Arithmetic(t *testing.T) {
+	a := Vec4x32{1, 2, 3, 4}
+	b := Vec4x32{10, 20, 30, 40}
+	if got := a.Add(b); got != (Vec4x32{11, 22, 33, 44}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Vec4x32{9, 18, 27, 36}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Xor(a); got != (Vec4x32{}) {
+		t.Fatalf("Xor = %v", got)
+	}
+}
+
+func TestVec4x32CmpEq(t *testing.T) {
+	a := Vec4x32{1, 2, 3, 4}
+	b := Vec4x32{1, 9, 3, 0}
+	m := a.CmpEq(b)
+	if m != (Vec4x32{^uint32(0), 0, ^uint32(0), 0}) {
+		t.Fatalf("CmpEq = %v", m)
+	}
+}
+
+func TestVec8x32(t *testing.T) {
+	s := []uint32{8, 7, 6, 5, 4, 3, 2, 1}
+	v := Load8x32(s)
+	b := Broadcast8x32(4)
+	m := v.CmpGt(b)
+	if got := m.Movemask(); got != 0b00001111 {
+		t.Fatalf("Movemask = %b", got)
+	}
+	if got := v.Min(b); got != (Vec8x32{4, 4, 4, 4, 4, 3, 2, 1}) {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := v.Max(b); got != (Vec8x32{8, 7, 6, 5, 4, 4, 4, 4}) {
+		t.Fatalf("Max = %v", got)
+	}
+	out := make([]uint32, 8)
+	v.Store(out)
+	for i := range s {
+		if out[i] != s[i] {
+			t.Fatalf("Store mismatch at %d", i)
+		}
+	}
+}
+
+func TestVec2x64(t *testing.T) {
+	a := Vec2x64{0xFFFFFFFFFFFFFFFF, 2}
+	b := Vec2x64{1, 3}
+	m := a.CmpGt(b)
+	if m != (Vec2x64{^uint64(0), 0}) {
+		t.Fatalf("CmpGt = %v", m)
+	}
+	if m.Movemask() != 0b01 {
+		t.Fatalf("Movemask = %b", m.Movemask())
+	}
+	if got := a.Min(b); got != (Vec2x64{1, 2}) {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := a.Max(b); got != (Vec2x64{0xFFFFFFFFFFFFFFFF, 3}) {
+		t.Fatalf("Max = %v", got)
+	}
+	mask := Vec2x64{^uint64(0), 0}
+	if got := a.Blend(b, mask); got != (Vec2x64{1, 2}) {
+		t.Fatalf("Blend = %v", got)
+	}
+	if got := a.MinAcross(); got != (Vec2x64{2, 2}) {
+		t.Fatalf("MinAcross = %v", got)
+	}
+	s := []uint64{11, 22}
+	v := Load2x64(s)
+	out := make([]uint64, 2)
+	v.Store(out)
+	if out[0] != 11 || out[1] != 22 {
+		t.Fatalf("Load/Store roundtrip = %v", out)
+	}
+}
+
+func TestVec4x64(t *testing.T) {
+	s := []uint64{4, 3, 2, 1}
+	v := Load4x64(s)
+	b := Broadcast4x64(2)
+	if got := v.CmpGt(b).Movemask(); got != 0b0011 {
+		t.Fatalf("Movemask = %b", got)
+	}
+	if got := v.Min(b); got != (Vec4x64{2, 2, 2, 1}) {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := v.Max(b); got != (Vec4x64{4, 3, 2, 2}) {
+		t.Fatalf("Max = %v", got)
+	}
+	out := make([]uint64, 4)
+	v.Store(out)
+	for i := range s {
+		if out[i] != s[i] {
+			t.Fatalf("Store mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package sortalgo
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/numa"
+)
+
+// regionSizes extracts per-region segment sizes from RegionBounds.
+func regionSizes(st *Stats) []int {
+	sizes := make([]int, len(st.RegionBounds)-1)
+	for i := range sizes {
+		sizes[i] = st.RegionBounds[i+1] - st.RegionBounds[i]
+	}
+	return sizes
+}
+
+// TestLSBRegionBalance verifies the central load-balancing claim of
+// Section 4.2.1: the sampled range delimiters split the data across the C
+// NUMA regions near-equally, for uniform AND skewed inputs.
+func TestLSBRegionBalance(t *testing.T) {
+	const n = 1 << 16
+	const c = 4
+	inputs := map[string][]uint32{
+		"uniform":      gen.Uniform[uint32](n, 0, 3),
+		"dense":        gen.Dense[uint32](n, 5),
+		"zipf1.0":      gen.ZipfKeys[uint32](n, 1<<26, 1.0, 7),
+		"top-heavy":    gen.Sorted[uint32](n, 1000, 9), // tiny domain, sorted
+		"low-entropy4": gen.Uniform[uint32](n, 4, 11),
+	}
+	for name, keys := range inputs {
+		t.Run(name, func(t *testing.T) {
+			topo := numa.NewTopology(c)
+			vals := gen.RIDs[uint32](n)
+			wk := append([]uint32(nil), keys...)
+			var st Stats
+			LSB(wk, vals, make([]uint32, n), make([]uint32, n),
+				Options{Threads: 8, Topo: topo, Stats: &st})
+			sizes := regionSizes(&st)
+			if len(sizes) != c {
+				t.Fatalf("expected %d regions, got %v", c, sizes)
+			}
+			for r, s := range sizes {
+				// Sampling noise plus radix granularity: allow 2x of mean.
+				if s > 2*n/c {
+					t.Fatalf("region %d holds %d of %d tuples: unbalanced (%v)", r, s, n, sizes)
+				}
+			}
+		})
+	}
+}
+
+// TestCMPRegionBalance does the same for the comparison sort's grouping of
+// range partitions into regions (Section 4.3.2).
+func TestCMPRegionBalance(t *testing.T) {
+	const n = 1 << 16
+	const c = 4
+	for name, keys := range map[string][]uint32{
+		"uniform": gen.Uniform[uint32](n, 0, 3),
+		"zipf1.0": gen.ZipfKeys[uint32](n, 1<<26, 1.0, 7),
+	} {
+		t.Run(name, func(t *testing.T) {
+			topo := numa.NewTopology(c)
+			vals := gen.RIDs[uint32](n)
+			wk := append([]uint32(nil), keys...)
+			var st Stats
+			CMP(wk, vals, make([]uint32, n), make([]uint32, n),
+				Options{Threads: 8, Topo: topo, Stats: &st, CacheTuples: 2048})
+			sizes := regionSizes(&st)
+			for r, s := range sizes {
+				if s > 2*n/c {
+					t.Fatalf("region %d holds %d of %d tuples (%v)", r, s, n, sizes)
+				}
+			}
+		})
+	}
+}

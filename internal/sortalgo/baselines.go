@@ -1,0 +1,206 @@
+package sortalgo
+
+import (
+	"container/heap"
+
+	"repro/internal/kv"
+)
+
+// MergeSort2Way is the classical bottom-up stable merge sort baseline
+// (Section 2's merge-sort competitors do 2-way merging per pass, each pass
+// bounded by RAM bandwidth — the weakness wide-fanout range partitioning
+// avoids). tmp must match keys in length.
+func MergeSort2Way[K kv.Key](keys, vals, tmpK, tmpV []K) {
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK, tmpV
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := min(lo+width, n)
+			hi := min(lo+2*width, n)
+			mergeRuns(srcK, srcV, dstK, dstV, lo, mid, hi)
+		}
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if &srcK[0] != &keys[0] && n > 0 {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}
+
+func mergeRuns[K kv.Key](srcK, srcV, dstK, dstV []K, lo, mid, hi int) {
+	i, j := lo, mid
+	for o := lo; o < hi; o++ {
+		if i < mid && (j >= hi || srcK[i] <= srcK[j]) {
+			dstK[o], dstV[o] = srcK[i], srcV[i]
+			i++
+		} else {
+			dstK[o], dstV[o] = srcK[j], srcV[j]
+			j++
+		}
+	}
+}
+
+// runHead is one run's cursor in the k-way merge heap.
+type runHead[K kv.Key] struct {
+	key  K
+	val  K
+	pos  int // next index in the run
+	end  int
+	run  int // run ordinal, the stability tiebreak
+	srcK []K
+	srcV []K
+}
+
+type runHeap[K kv.Key] []runHead[K]
+
+func (h runHeap[K]) Len() int { return len(h) }
+func (h runHeap[K]) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].run < h[j].run
+}
+func (h runHeap[K]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap[K]) Push(x interface{}) { *h = append(*h, x.(runHead[K])) }
+func (h *runHeap[K]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// MergeSortKWay is the k-way merge sort baseline (Section 4.3.2 discusses
+// 16-way merging as the strongest merge-based alternative): sort
+// cache-sized runs with the SIMD comb sorter, then merge k runs at a time
+// with a heap. Stable. tmp must match keys in length.
+func MergeSortKWay[K kv.Key](keys, vals, tmpK, tmpV []K, k, runTuples int) {
+	n := len(keys)
+	if k < 2 {
+		panic("sortalgo: k-way merge needs k >= 2")
+	}
+	if runTuples < 1 {
+		runTuples = 1
+	}
+	cs := NewCombSorter[K](runTuples)
+	runs := make([]int, 0, n/runTuples+2) // run boundaries
+	for lo := 0; lo < n; lo += runTuples {
+		hi := min(lo+runTuples, n)
+		// The comb sorter is not stable; keep the baseline stable by using
+		// the 2-way merge of sorted halves? No: runs are sorted with the
+		// comb sorter, so MergeSortKWay is stable only across runs, like
+		// the paper's merge-sort baselines which are not stable either.
+		cs.SortInPlace(keys[lo:hi], vals[lo:hi])
+		runs = append(runs, lo)
+	}
+	runs = append(runs, n)
+
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK, tmpV
+	for len(runs) > 2 {
+		newRuns := make([]int, 0, (len(runs)-1)/k+2)
+		for r := 0; r+1 < len(runs); r += k {
+			last := min(r+k, len(runs)-1)
+			mergeK(srcK, srcV, dstK, dstV, runs[r:last+1])
+			newRuns = append(newRuns, runs[r])
+		}
+		newRuns = append(newRuns, n)
+		runs = newRuns
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if n > 0 && &srcK[0] != &keys[0] {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}
+
+// mergeK merges the runs delimited by bounds (len m+1 for m runs) from src
+// into dst at the same offsets.
+func mergeK[K kv.Key](srcK, srcV, dstK, dstV []K, bounds []int) {
+	m := len(bounds) - 1
+	if m == 1 {
+		copy(dstK[bounds[0]:bounds[1]], srcK[bounds[0]:bounds[1]])
+		copy(dstV[bounds[0]:bounds[1]], srcV[bounds[0]:bounds[1]])
+		return
+	}
+	h := make(runHeap[K], 0, m)
+	for r := 0; r < m; r++ {
+		if bounds[r] < bounds[r+1] {
+			h = append(h, runHead[K]{
+				key: srcK[bounds[r]], val: srcV[bounds[r]],
+				pos: bounds[r] + 1, end: bounds[r+1], run: r,
+				srcK: srcK, srcV: srcV,
+			})
+		}
+	}
+	heap.Init(&h)
+	for o := bounds[0]; o < bounds[m]; o++ {
+		top := &h[0]
+		dstK[o], dstV[o] = top.key, top.val
+		if top.pos < top.end {
+			top.key, top.val = srcK[top.pos], srcV[top.pos]
+			top.pos++
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+}
+
+// Quicksort is the in-place comparison baseline (the intro-sort family
+// used by Albutiu et al. [1], which in-place MSB radix-sort beats 2-3x on
+// 32-bit keys). Median-of-three pivot, insertion sort below 24 tuples.
+func Quicksort[K kv.Key](keys, vals []K) {
+	for len(keys) > 24 {
+		p := qsPartition(keys, vals)
+		// Recurse into the smaller half to bound stack depth.
+		if p < len(keys)-p-1 {
+			Quicksort(keys[:p], vals[:p])
+			keys, vals = keys[p+1:], vals[p+1:]
+		} else {
+			Quicksort(keys[p+1:], vals[p+1:])
+			keys, vals = keys[:p], vals[:p]
+		}
+	}
+	InsertionSort(keys, vals)
+}
+
+// qsPartition partitions around a median-of-three pivot and returns its
+// final index.
+func qsPartition[K kv.Key](keys, vals []K) int {
+	n := len(keys)
+	mid := n / 2
+	if keys[mid] < keys[0] {
+		keys[mid], keys[0] = keys[0], keys[mid]
+		vals[mid], vals[0] = vals[0], vals[mid]
+	}
+	if keys[n-1] < keys[0] {
+		keys[n-1], keys[0] = keys[0], keys[n-1]
+		vals[n-1], vals[0] = vals[0], vals[n-1]
+	}
+	if keys[n-1] < keys[mid] {
+		keys[n-1], keys[mid] = keys[mid], keys[n-1]
+		vals[n-1], vals[mid] = vals[mid], vals[n-1]
+	}
+	pivot := keys[mid]
+	// Move pivot out of the way.
+	keys[mid], keys[n-2] = keys[n-2], keys[mid]
+	vals[mid], vals[n-2] = vals[n-2], vals[mid]
+	i := 0
+	for j := 0; j < n-2; j++ {
+		if keys[j] < pivot || (keys[j] == pivot && j%2 == 0) {
+			keys[i], keys[j] = keys[j], keys[i]
+			vals[i], vals[j] = vals[j], vals[i]
+			i++
+		}
+	}
+	keys[i], keys[n-2] = keys[n-2], keys[i]
+	vals[i], vals[n-2] = vals[n-2], vals[i]
+	return i
+}

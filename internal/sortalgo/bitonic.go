@@ -1,0 +1,112 @@
+package sortalgo
+
+import "repro/internal/kv"
+
+// BitonicSort is the in-cache baseline of Chhugani et al. [5] and Satish
+// et al. [14] (Section 2): a bitonic sorting network, O(n log^2 n)
+// compare-exchanges but fully data-independent, which is what lets real
+// SIMD run it at the full register width. Here it serves as the
+// comparison point for the paper's claim that lane-comb-sort's
+// O((n/W) log(n/W)) beats bitonic's O((n/W) log^2 n) scaling.
+//
+// Works for any n (internally padded to a power of two with +inf keys).
+func BitonicSort[K kv.Key](keys, vals []K) {
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	p2 := 1
+	for p2 < n {
+		p2 <<= 1
+	}
+	if p2 == n {
+		bitonicInPlace(keys, vals)
+		return
+	}
+	pk := make([]K, p2)
+	pv := make([]K, p2)
+	pad := make([]bool, p2) // pads sort strictly after equal real keys
+	copy(pk, keys)
+	copy(pv, vals)
+	for i := n; i < p2; i++ {
+		pk[i] = kv.MaxKey[K]()
+		pad[i] = true
+	}
+	for size := 2; size <= p2; size <<= 1 {
+		for stride := size >> 1; stride > 0; stride >>= 1 {
+			for i := 0; i < p2; i++ {
+				j := i ^ stride
+				if j > i {
+					up := i&size == 0
+					gt := pk[i] > pk[j] || (pk[i] == pk[j] && pad[i] && !pad[j])
+					if gt == up {
+						pk[i], pk[j] = pk[j], pk[i]
+						pv[i], pv[j] = pv[j], pv[i]
+						pad[i], pad[j] = pad[j], pad[i]
+					}
+				}
+			}
+		}
+	}
+	copy(keys, pk[:n])
+	copy(vals, pv[:n])
+}
+
+// bitonicInPlace runs the iterative bitonic network on a power-of-two
+// array: log n stages of log-stage merge steps, each a data-independent
+// sweep of compare-exchanges.
+func bitonicInPlace[K kv.Key](keys, vals []K) {
+	n := len(keys)
+	for size := 2; size <= n; size <<= 1 {
+		for stride := size >> 1; stride > 0; stride >>= 1 {
+			for i := 0; i < n; i++ {
+				j := i ^ stride
+				if j > i {
+					up := i&size == 0
+					if (keys[i] > keys[j]) == up {
+						keys[i], keys[j] = keys[j], keys[i]
+						vals[i], vals[j] = vals[j], vals[i]
+					}
+				}
+			}
+		}
+	}
+}
+
+// SortingNetwork4 sorts exactly four tuples with the optimal 5-exchange
+// network, the in-register base case of the sorting-network approaches.
+func SortingNetwork4[K kv.Key](keys, vals []K) {
+	ce := func(i, j int) {
+		if keys[i] > keys[j] {
+			keys[i], keys[j] = keys[j], keys[i]
+			vals[i], vals[j] = vals[j], vals[i]
+		}
+	}
+	ce(0, 2)
+	ce(1, 3)
+	ce(0, 1)
+	ce(2, 3)
+	ce(1, 2)
+}
+
+// SortingNetwork8 sorts exactly eight tuples with Batcher's 19-exchange
+// odd-even merge network.
+func SortingNetwork8[K kv.Key](keys, vals []K) {
+	ce := func(i, j int) {
+		if keys[i] > keys[j] {
+			keys[i], keys[j] = keys[j], keys[i]
+			vals[i], vals[j] = vals[j], vals[i]
+		}
+	}
+	pairs := [19][2]int{
+		{0, 1}, {2, 3}, {4, 5}, {6, 7},
+		{0, 2}, {1, 3}, {4, 6}, {5, 7},
+		{1, 2}, {5, 6},
+		{0, 4}, {1, 5}, {2, 6}, {3, 7},
+		{2, 4}, {3, 5},
+		{1, 2}, {3, 4}, {5, 6},
+	}
+	for _, p := range pairs {
+		ce(p[0], p[1])
+	}
+}

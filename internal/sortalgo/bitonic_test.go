@@ -1,0 +1,101 @@
+package sortalgo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/kv"
+)
+
+func TestBitonicSort(t *testing.T) {
+	for name, orig := range sortWorkloads32(1 << 11) {
+		t.Run(name, func(t *testing.T) {
+			keys := append([]uint32(nil), orig...)
+			vals := gen.RIDs[uint32](len(keys))
+			origV := append([]uint32(nil), vals...)
+			BitonicSort(keys, vals)
+			checkSorted(t, orig, origV, keys, vals, false)
+		})
+	}
+}
+
+func TestBitonicNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 7, 100, 1000, 1023, 1025} {
+		keys := gen.Uniform[uint32](n, 0, uint64(n)+3)
+		vals := gen.RIDs[uint32](n)
+		orig := append([]uint32(nil), keys...)
+		origV := append([]uint32(nil), vals...)
+		BitonicSort(keys, vals)
+		checkSorted(t, orig, origV, keys, vals, false)
+	}
+}
+
+func TestBitonicMaxKeyPadding(t *testing.T) {
+	// Real MaxKey values must survive padding with MaxKey sentinels.
+	keys := []uint32{^uint32(0), 5, ^uint32(0)}
+	vals := []uint32{0, 1, 2}
+	BitonicSort(keys, vals)
+	if keys[0] != 5 || keys[1] != ^uint32(0) || keys[2] != ^uint32(0) {
+		t.Fatalf("keys = %v", keys)
+	}
+	if vals[0] != 1 {
+		t.Fatalf("payloads lost: %v", vals)
+	}
+	got := map[uint32]bool{vals[1]: true, vals[2]: true}
+	if !got[0] || !got[2] {
+		t.Fatalf("MaxKey payloads lost: %v", vals)
+	}
+}
+
+func TestBitonicQuick(t *testing.T) {
+	f := func(raw []uint64) bool {
+		vals := gen.RIDs[uint64](len(raw))
+		keys := append([]uint64(nil), raw...)
+		BitonicSort(keys, vals)
+		return kv.IsSorted(keys) &&
+			kv.ChecksumPairs(keys, vals) == kv.ChecksumPairs(raw, gen.RIDs[uint64](len(raw)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortingNetworks(t *testing.T) {
+	// Zero-one principle: a comparison network sorts all inputs iff it
+	// sorts all 0/1 sequences. Exhaustively check both networks.
+	for m := 0; m < 16; m++ {
+		keys := make([]uint32, 4)
+		vals := gen.RIDs[uint32](4)
+		for i := 0; i < 4; i++ {
+			keys[i] = uint32(m>>i) & 1
+		}
+		SortingNetwork4(keys, vals)
+		if !kv.IsSorted(keys) {
+			t.Fatalf("network4 failed on pattern %04b: %v", m, keys)
+		}
+	}
+	for m := 0; m < 256; m++ {
+		keys := make([]uint32, 8)
+		vals := gen.RIDs[uint32](8)
+		for i := 0; i < 8; i++ {
+			keys[i] = uint32(m>>i) & 1
+		}
+		SortingNetwork8(keys, vals)
+		if !kv.IsSorted(keys) {
+			t.Fatalf("network8 failed on pattern %08b: %v", m, keys)
+		}
+	}
+}
+
+func TestSortingNetworkPayloads(t *testing.T) {
+	keys := []uint32{3, 1, 4, 1, 5, 9, 2, 6}
+	vals := gen.RIDs[uint32](8)
+	SortingNetwork8(keys, vals)
+	if !kv.IsSorted(keys) {
+		t.Fatal("not sorted")
+	}
+	if kv.ChecksumPairs(keys, vals) != kv.ChecksumPairs([]uint32{3, 1, 4, 1, 5, 9, 2, 6}, gen.RIDs[uint32](8)) {
+		t.Fatal("payload binding broken")
+	}
+}

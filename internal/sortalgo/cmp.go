@@ -1,0 +1,298 @@
+package sortalgo
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/numa"
+	"repro/internal/part"
+	"repro/internal/rangeidx"
+	"repro/internal/splitter"
+)
+
+// CMP is the comparison sort of Section 4.3: very few wide-fanout range
+// partitioning passes — the range function computed once per tuple through
+// the cache-resident index and stored as partition codes — until segments
+// are cache-resident, then SIMD comb-sort with W-way lane merging. The
+// first pass is NUMA-aware: regions partition locally and one shuffle
+// moves each tuple across the interconnect at most once. Non-in-place:
+// tmpK/tmpV is the linear auxiliary space. Not stable.
+//
+// Unlike the radix sorts, CMP's splitters adapt to any distribution:
+// sampled delimiters balance the work under skew, and keys sampled twice
+// or more get single-key partitions that skip sorting entirely.
+func CMP[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
+	opt = opt.withDefaults()
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	st := opt.Stats
+	width := kv.Width[K]()
+	ct := cacheTuples(opt, width)
+
+	if n <= ct {
+		cs := NewCombSorter[K](n)
+		timed(st, phCache, func() {
+			cs.SortInto(keys, vals, keys, vals)
+		})
+		return
+	}
+
+	codes := make([]int32, n)
+	c := opt.regions()
+	t := opt.Threads
+
+	// Pass 1: global splitters, then region-local partition + shuffle.
+	var ref splitter.Refined[K]
+	var tree *rangeidx.Tree[K]
+	timed(st, phHistogram, func() {
+		sampled := splitter.ForThreads(keys, opt.RangeFanout, opt.Seed)
+		ref = splitter.RefineDuplicates(sampled)
+		tree = rangeidx.NewTreeFor(ref.Delims)
+	})
+	fanout := len(ref.Delims) + 1
+	fn := treeBatchFunc[K]{tree, fanout}
+
+	var outBounds []int // per-region segment bounds after the shuffle
+	var starts []int    // global per-partition start offsets
+	if c == 1 || opt.Oblivious {
+		var hists [][]int
+		timed(st, phHistogram, func() {
+			hists = part.ParallelHistogramsCodes(keys, fn, codes, t)
+		})
+		timed(st, phPartition, func() {
+			part.ParallelNonInPlaceCodes(keys, vals, tmpK, tmpV, codes, hists, 0)
+		})
+		starts, _ = part.Starts(part.MergeHistograms(hists))
+		starts = append(starts, n)
+		// Data is in tmp; recursion delivers results back into keys.
+		cmpRecurseAll(tmpK, tmpV, keys, vals, starts, ref.SingleKey, false, opt, ct)
+		if st != nil {
+			st.Passes++
+		}
+		return
+	}
+
+	// NUMA-aware: each region partitions its input segment into its tmp
+	// segment, then partitions are grouped into C contiguous runs of
+	// near-equal tuple count and shuffled to their destination region.
+	topo := opt.Topo
+	inBounds := equalBounds(n, c)
+	tpr := threadsPerRegion(opt)
+	regionHists := make([][][]int, c)
+	timed(st, phHistogram, func() {
+		var wg sync.WaitGroup
+		for r := 0; r < c; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				lo, hi := inBounds[r], inBounds[r+1]
+				regionHists[r] = part.ParallelHistogramsCodes(keys[lo:hi], fn, codes[lo:hi], tpr)
+			}(r)
+		}
+		wg.Wait()
+	})
+	timed(st, phPartition, func() {
+		var wg sync.WaitGroup
+		for r := 0; r < c; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				lo, hi := inBounds[r], inBounds[r+1]
+				part.ParallelNonInPlaceCodes(keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], codes[lo:hi], regionHists[r], 0)
+			}(r)
+		}
+		wg.Wait()
+	})
+
+	perRegion := make([][]int, c)
+	for r := 0; r < c; r++ {
+		perRegion[r] = part.MergeHistograms(regionHists[r])
+	}
+	totals := make([]int, fanout)
+	for r := 0; r < c; r++ {
+		for q := 0; q < fanout; q++ {
+			totals[q] += perRegion[r][q]
+		}
+	}
+	// Group partitions into C contiguous runs of near-equal tuple count.
+	groupOf := groupRanges(totals, n, c)
+	// Global layout: partition-major, source-region order within each.
+	dstOff := make([][]int, c)
+	for r := range dstOff {
+		dstOff[r] = make([]int, fanout)
+	}
+	starts = make([]int, fanout+1)
+	outBounds = make([]int, c+1)
+	o := 0
+	prevGroup := 0
+	for q := 0; q < fanout; q++ {
+		starts[q] = o
+		for gg := prevGroup + 1; gg <= groupOf[q]; gg++ {
+			outBounds[gg] = o
+		}
+		prevGroup = groupOf[q]
+		for r := 0; r < c; r++ {
+			dstOff[r][q] = o
+			o += perRegion[r][q]
+		}
+	}
+	starts[fanout] = n
+	for gg := prevGroup + 1; gg <= c; gg++ {
+		outBounds[gg] = n
+	}
+	outBounds[c] = n
+
+	timed(st, phShuffle, func() {
+		numa.RunPerRegion(topo, tpr, func(w numa.Worker) {
+			meter := topo.NewMeter()
+			dst := int(w.Region)
+			// Rotated all-to-all schedule ([10], Section 3.3): step s reads
+			// from region (dst+s) mod C, balancing interconnect use.
+			for s := 0; s < c; s++ {
+				src := (dst + s) % c
+				srcStarts, _ := part.Starts(perRegion[src])
+				for q := 0; q < fanout; q++ {
+					if groupOf[q] != dst || q%tpr != w.Index {
+						continue
+					}
+					cnt := perRegion[src][q]
+					if cnt == 0 {
+						continue
+					}
+					so := inBounds[src] + srcStarts[q]
+					do := dstOff[src][q]
+					copy(keys[do:do+cnt], tmpK[so:so+cnt])
+					copy(vals[do:do+cnt], tmpV[so:so+cnt])
+					meter.Record(numa.Region(src), w.Region, uint64(cnt*2*width/8))
+				}
+			}
+			meter.Flush()
+		})
+	})
+	if st != nil {
+		st.Passes++
+		st.RemoteBytes = topo.RemoteBytes()
+		st.RegionBounds = append([]int(nil), outBounds...)
+	}
+
+	// Recursion: data is in keys (post-shuffle); results must stay in
+	// keys, scratch is tmp.
+	cmpRecurseAll(keys, vals, tmpK, tmpV, starts, ref.SingleKey, true, opt, ct)
+}
+
+// cmpRecurseAll distributes the top-level partitions over the worker pool.
+// Data sits in xK/xV at the offsets given by starts; results land in x
+// when wantInX, else in y. Leaf and pass CPU time are accumulated
+// separately and the measured wall clock of the whole recursion is split
+// proportionally between the LocalRadix (range passes) and CacheSort
+// phases.
+func cmpRecurseAll[K kv.Key](xK, xV, yK, yV []K, starts []int, singleKey []bool, wantInX bool, opt Options, ct int) {
+	st := opt.Stats
+	var passNs, leafNs atomic.Int64
+	begin := time.Now()
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cs := NewCombSorter[K](ct + ct/2)
+			for q := range work {
+				lo, hi := starts[q], starts[q+1]
+				if hi-lo == 0 {
+					continue
+				}
+				single := q < len(singleKey) && singleKey[q]
+				if single || hi-lo == 1 {
+					if !wantInX {
+						copy(yK[lo:hi], xK[lo:hi])
+						copy(yV[lo:hi], xV[lo:hi])
+					}
+					continue
+				}
+				cmpRecurse(xK[lo:hi], xV[lo:hi], yK[lo:hi], yV[lo:hi], wantInX, cs, opt, ct, &passNs, &leafNs)
+			}
+		}()
+	}
+	for q := 0; q+1 < len(starts); q++ {
+		work <- q
+	}
+	close(work)
+	wg.Wait()
+	if st != nil {
+		wall := time.Since(begin)
+		p, l := passNs.Load(), leafNs.Load()
+		if p+l > 0 {
+			st.add(phLocal, time.Duration(int64(wall)*p/(p+l)))
+			st.add(phCache, time.Duration(int64(wall)*l/(p+l)))
+		}
+	}
+}
+
+// cmpRecurse sorts one segment: data in x, scratch y, result in x when
+// wantInX else in y.
+func cmpRecurse[K kv.Key](xK, xV, yK, yV []K, wantInX bool, cs *CombSorter[K], opt Options, ct int, passNs, leafNs *atomic.Int64) {
+	n := len(xK)
+	if n <= ct {
+		start := time.Now()
+		if wantInX {
+			cs.SortInto(xK, xV, xK, xV)
+		} else {
+			cs.SortInto(xK, xV, yK, yV)
+		}
+		leafNs.Add(int64(time.Since(start)))
+		return
+	}
+	start := time.Now()
+	sampled := splitter.ForThreads(xK, opt.RangeFanout, opt.Seed+uint64(n))
+	ref := splitter.RefineDuplicates(sampled)
+	tree := rangeidx.NewTreeFor(ref.Delims)
+	fanout := len(ref.Delims) + 1
+	codes := make([]int32, n)
+	hist := part.HistogramCodesBatch(xK, tree, fanout, codes)
+	starts, _ := part.Starts(hist)
+	part.NonInPlaceOutOfCacheCodes(xK, xV, yK, yV, codes, fanout, starts)
+	passNs.Add(int64(time.Since(start)))
+	lo := 0
+	for q, h := range hist {
+		if h > 0 {
+			single := (q < len(ref.SingleKey) && ref.SingleKey[q]) || h == 1
+			if single {
+				if wantInX {
+					start := time.Now()
+					copy(xK[lo:lo+h], yK[lo:lo+h])
+					copy(xV[lo:lo+h], yV[lo:lo+h])
+					passNs.Add(int64(time.Since(start)))
+				}
+			} else {
+				cmpRecurse(yK[lo:lo+h], yV[lo:lo+h], xK[lo:lo+h], xV[lo:lo+h], !wantInX, cs, opt, ct, passNs, leafNs)
+			}
+		}
+		lo += h
+	}
+}
+
+// treeBatchFunc adapts a range tree to pfunc.Func and BatchLookuper with a
+// fixed fanout.
+type treeBatchFunc[K kv.Key] struct {
+	t *rangeidx.Tree[K]
+	p int
+}
+
+func (f treeBatchFunc[K]) Partition(k K) int {
+	q := f.t.Partition(k)
+	if q >= f.p {
+		q = f.p - 1
+	}
+	return q
+}
+
+func (f treeBatchFunc[K]) Fanout() int { return f.p }
+
+func (f treeBatchFunc[K]) LookupBatch(keys []K, out []int32) {
+	f.t.LookupBatch(keys, out)
+}

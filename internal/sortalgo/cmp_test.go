@@ -1,0 +1,107 @@
+package sortalgo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/kv"
+	"repro/internal/numa"
+)
+
+func runCMP32(t *testing.T, orig []uint32, opt Options) {
+	t.Helper()
+	keys := append([]uint32(nil), orig...)
+	vals := gen.RIDs[uint32](len(keys))
+	origV := append([]uint32(nil), vals...)
+	tmpK := make([]uint32, len(keys))
+	tmpV := make([]uint32, len(keys))
+	CMP(keys, vals, tmpK, tmpV, opt)
+	checkSorted(t, orig, origV, keys, vals, false)
+}
+
+func TestCMPSingleRegion(t *testing.T) {
+	for name, orig := range sortWorkloads32(1 << 14) {
+		t.Run(name, func(t *testing.T) {
+			runCMP32(t, orig, Options{Threads: 4, CacheTuples: 1024})
+		})
+	}
+}
+
+func TestCMPNUMA(t *testing.T) {
+	topo := numa.NewTopology(4)
+	for name, orig := range sortWorkloads32(1 << 14) {
+		t.Run(name, func(t *testing.T) {
+			runCMP32(t, orig, Options{Threads: 8, Topo: topo, CacheTuples: 1024})
+		})
+	}
+}
+
+func TestCMPNUMATransferBound(t *testing.T) {
+	topo := numa.NewTopology(4)
+	n := 1 << 16
+	keys := gen.Uniform[uint32](n, 0, 3)
+	vals := gen.RIDs[uint32](n)
+	tmpK := make([]uint32, n)
+	tmpV := make([]uint32, n)
+	topo.ResetTransfers()
+	var st Stats
+	CMP(keys, vals, tmpK, tmpV, Options{Threads: 8, Topo: topo, Stats: &st, CacheTuples: 2048})
+	if bound := uint64(n) * 8; st.RemoteBytes > bound {
+		t.Fatalf("remote bytes %d exceed one-crossing bound %d", st.RemoteBytes, bound)
+	}
+	if !kv.IsSorted(keys) {
+		t.Fatal("not sorted")
+	}
+	if st.Histogram == 0 || st.Partition == 0 || st.Shuffle == 0 || st.CacheSort == 0 {
+		t.Fatalf("phase breakdown incomplete: %+v", st)
+	}
+}
+
+func TestCMPSmallInput(t *testing.T) {
+	// Entirely cache-resident input: single comb-sort leaf.
+	runCMP32(t, gen.Uniform[uint32](500, 0, 7), Options{Threads: 2, CacheTuples: 1024})
+}
+
+func TestCMP64(t *testing.T) {
+	n := 1 << 13
+	keys := gen.Uniform[uint64](n, 0, 9)
+	orig := append([]uint64(nil), keys...)
+	vals := gen.RIDs[uint64](n)
+	origV := append([]uint64(nil), vals...)
+	tmpK := make([]uint64, n)
+	tmpV := make([]uint64, n)
+	CMP(keys, vals, tmpK, tmpV, Options{Threads: 4, Topo: numa.NewTopology(2), CacheTuples: 512})
+	checkSorted(t, orig, origV, keys, vals, false)
+}
+
+func TestCMPSkewSingleKeyPartitions(t *testing.T) {
+	n := 1 << 15
+	keys := gen.ZipfKeys[uint32](n, 1<<18, 1.2, 7)
+	runCMP32(t, keys, Options{Threads: 4, CacheTuples: 512, RangeFanout: 64})
+}
+
+func TestCMPAllEqual(t *testing.T) {
+	runCMP32(t, gen.AllEqual[uint32](1<<14, 42), Options{Threads: 4, CacheTuples: 512})
+}
+
+func TestCMPQuick(t *testing.T) {
+	topo := numa.NewTopology(2)
+	f := func(raw []uint32, threads uint8, fanout uint8) bool {
+		keys := append([]uint32(nil), raw...)
+		vals := gen.RIDs[uint32](len(keys))
+		tmpK := make([]uint32, len(keys))
+		tmpV := make([]uint32, len(keys))
+		CMP(keys, vals, tmpK, tmpV, Options{
+			Threads:     int(threads%6) + 1,
+			Topo:        topo,
+			CacheTuples: 128,
+			RangeFanout: int(fanout%30) + 2,
+		})
+		return kv.IsSorted(keys) &&
+			kv.ChecksumPairs(keys, vals) == kv.ChecksumPairs(raw, gen.RIDs[uint32](len(raw)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

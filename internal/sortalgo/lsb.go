@@ -1,0 +1,350 @@
+package sortalgo
+
+import (
+	"sync"
+
+	"repro/internal/kv"
+	"repro/internal/numa"
+	"repro/internal/part"
+	"repro/internal/pfunc"
+	"repro/internal/rangeidx"
+	"repro/internal/splitter"
+)
+
+// LSB is the stable least-significant-bit radix-sort of Section 4.2.1,
+// NUMA-aware: the first pass partitions by a hybrid range-radix function —
+// a C-way range split (sampled delimiters, perfect load balance across
+// regions regardless of the key distribution) concatenated with low-order
+// radix bits — after which one shuffle moves every tuple across the NUMA
+// interconnect at most once; all later passes are region-local radix
+// partitioning. Sorting is stable: payloads of equal keys keep their input
+// order.
+//
+// tmpK/tmpV is the linear auxiliary space (same length as keys); the
+// sorted result lands back in keys/vals.
+func LSB[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
+	opt = opt.withDefaults()
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	st := opt.Stats
+
+	var domainBits int
+	timed(st, phHistogram, func() {
+		domainBits = kv.DomainBits(keys)
+	})
+
+	c := opt.regions()
+	if c == 1 || opt.Oblivious {
+		lsbLocalN(keys, vals, tmpK, tmpV, 0, domainBits, opt, opt.Threads, phLocal)
+		return
+	}
+
+	b := min(opt.RadixBits, domainBits)
+
+	// Step 1: sample C-1 range delimiters that split the data evenly
+	// across the C NUMA regions, then refine duplicates: a key sampled
+	// twice or more is skewed enough to unbalance the C-way split, so it
+	// gets a single-key range of its own whose tuples can be placed with
+	// any region group (Section 5 / [13]). The resulting R >= C ranges are
+	// grouped into C contiguous runs of near-equal tuple count after the
+	// histograms are known. R is small, so the range part of the hybrid
+	// function lives in a register-resident delimiter array (Section
+	// 3.5.1), not the cache-resident tree.
+	// Oversample to ~4C ranges (the LSB analog of MSB's T+T' trick): finer
+	// ranges give the grouping step the granularity to balance regions
+	// even when quantile sampling of low-entropy domains wastes splits.
+	rangeTarget := min(4*c, maxRegDelims+1)
+	var fn1 rangeRadix[K]
+	timed(st, phHistogram, func() {
+		ref := splitter.RefineDuplicates(splitter.ForThreads(keys, rangeTarget, opt.Seed))
+		delims := ref.Delims
+		if len(delims) > maxRegDelims {
+			delims = delims[:maxRegDelims]
+		}
+		fn1 = newRangeRadix(delims, len(delims)+1, pfunc.NewRadix[K](0, uint(b)))
+	})
+	rr := fn1.rp // number of ranges R (>= C when heavy keys were isolated)
+
+	// Step 2: range-radix partition locally on each NUMA region into the
+	// region's own segment of the auxiliary array.
+	topo := opt.Topo
+	inBounds := equalBounds(n, c)
+	tpr := threadsPerRegion(opt)
+	regionHists := make([][][]int, c) // [region][thread][partition]
+	timed(st, phHistogram, func() {
+		var wg sync.WaitGroup
+		for r := 0; r < c; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				seg := keys[inBounds[r]:inBounds[r+1]]
+				regionHists[r] = part.ParallelHistograms(seg, fn1, tpr)
+			}(r)
+		}
+		wg.Wait()
+	})
+	timed(st, phPartition, func() {
+		var wg sync.WaitGroup
+		for r := 0; r < c; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				lo, hi := inBounds[r], inBounds[r+1]
+				part.ParallelScatter(keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], fn1, regionHists[r], 0)
+			}(r)
+		}
+		wg.Wait()
+	})
+
+	// Step 3: shuffle the ranges across regions: partition-major global
+	// layout, pieces ordered by source region for stability. The R ranges
+	// are grouped into C contiguous runs of near-equal tuple count (range
+	// order preserved, so the global order stays a concatenation), and the
+	// destination region of partition pid is its range's group.
+	np := fn1.Fanout()
+	perRegion := make([][]int, c) // merged per-region histograms
+	for r := 0; r < c; r++ {
+		perRegion[r] = part.MergeHistograms(regionHists[r])
+	}
+	rangeTotals := make([]int, rr)
+	for r := 0; r < c; r++ {
+		for pid, h := range perRegion[r] {
+			rangeTotals[pid>>b] += h
+		}
+	}
+	groupOf := groupRanges(rangeTotals, n, c)
+	// dstOff[r][pid]: where region r's piece of pid lands in the output.
+	dstOff := make([][]int, c)
+	for r := range dstOff {
+		dstOff[r] = make([]int, np)
+	}
+	outBounds := make([]int, c+1) // output segment bounds per region group
+	o := 0
+	prevGroup := 0
+	for pid := 0; pid < np; pid++ {
+		if pid%(1<<b) == 0 {
+			for gg := prevGroup + 1; gg <= groupOf[pid>>b]; gg++ {
+				outBounds[gg] = o
+			}
+			prevGroup = groupOf[pid>>b]
+		}
+		for r := 0; r < c; r++ {
+			dstOff[r][pid] = o
+			o += perRegion[r][pid]
+		}
+	}
+	for gg := prevGroup + 1; gg <= c; gg++ {
+		outBounds[gg] = n
+	}
+	outBounds[c] = n
+	timed(st, phShuffle, func() {
+		numa.RunPerRegion(topo, tpr, func(w numa.Worker) {
+			meter := topo.NewMeter()
+			dst := int(w.Region)
+			// Rotate the source order per destination (the all-to-all
+			// schedule of [10], Section 3.3): in step s, region r reads
+			// from region (r+s) mod C, so no source region is hammered by
+			// every destination at once.
+			for s := 0; s < c; s++ {
+				src := (dst + s) % c
+				srcStarts, _ := part.Starts(perRegion[src])
+				for pid := 0; pid < np; pid++ {
+					// Round-robin partitions among the destination
+					// region's threads.
+					if groupOf[pid>>b] != dst || pid%tpr != w.Index {
+						continue
+					}
+					cnt := perRegion[src][pid]
+					if cnt == 0 {
+						continue
+					}
+					so := inBounds[src] + srcStarts[pid]
+					do := dstOff[src][pid]
+					copy(keys[do:do+cnt], tmpK[so:so+cnt])
+					copy(vals[do:do+cnt], tmpV[so:so+cnt])
+					meter.Record(numa.Region(src), w.Region, uint64(cnt*2*kv.Width[K]()/8))
+				}
+			}
+			meter.Flush()
+		})
+	})
+	if st != nil {
+		st.Passes++
+		st.RemoteBytes = topo.RemoteBytes()
+		st.RegionBounds = append([]int(nil), outBounds...)
+	}
+
+	// Step 4: remaining radix passes, region-local. The regions run
+	// concurrently, so the whole step is timed once here (a per-region
+	// Stats would race and double-count overlapping wall clock).
+	regionOpt := opt
+	regionOpt.Stats = nil
+	timed(st, phLocal, func() {
+		var wg sync.WaitGroup
+		for r := 0; r < c; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				lo, hi := outBounds[r], outBounds[r+1]
+				lsbLocal(keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], b, domainBits, regionOpt, phLocal)
+			}(r)
+		}
+		wg.Wait()
+	})
+	if st != nil {
+		st.Passes += (domainBits - b + opt.RadixBits - 1) / opt.RadixBits
+	}
+}
+
+// lsbLocal runs stable radix passes over bits [fromBit, domainBits) with
+// the data currently in keys/vals, leaving the result in keys/vals, using
+// this region's share of the worker budget.
+func lsbLocal[K kv.Key](keys, vals, tmpK, tmpV []K, fromBit, domainBits int, opt Options, ph phase) {
+	lsbLocalN(keys, vals, tmpK, tmpV, fromBit, domainBits, opt, threadsPerRegion(opt), ph)
+}
+
+// lsbLocalN is lsbLocal with an explicit worker count.
+func lsbLocalN[K kv.Key](keys, vals, tmpK, tmpV []K, fromBit, domainBits int, opt Options, threads int, ph phase) {
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	st := opt.Stats
+
+	// Single-threaded: all pass histograms in one scan (radix histograms
+	// are value-based, so reordering between passes cannot change them).
+	// Multi-threaded scatter needs per-chunk histograms of the current
+	// arrangement, which do change, so it recomputes per pass.
+	var multi [][]int
+	var multiRanges [][2]uint
+	if threads == 1 {
+		for lo := fromBit; lo < domainBits; lo += opt.RadixBits {
+			hi := min(lo+opt.RadixBits, domainBits)
+			multiRanges = append(multiRanges, [2]uint{uint(lo), uint(hi)})
+		}
+		timed(st, phHistogram, func() {
+			multi = part.MultiHistogram(keys, multiRanges)
+		})
+	}
+
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK, tmpV
+	pass := 0
+	for lo := fromBit; lo < domainBits; lo += opt.RadixBits {
+		hi := min(lo+opt.RadixBits, domainBits)
+		fn := pfunc.NewRadix[K](uint(lo), uint(hi))
+		var hists [][]int
+		if multi != nil {
+			hists = [][]int{multi[pass]}
+		} else {
+			timed(st, phHistogram, func() {
+				hists = part.ParallelHistograms(srcK, fn, threads)
+			})
+		}
+		sk, sv, dk, dv := srcK, srcV, dstK, dstV
+		timed(st, ph, func() {
+			part.ParallelScatter(sk, sv, dk, dv, fn, hists, 0)
+		})
+		if st != nil {
+			st.Passes++
+		}
+		pass++
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if &srcK[0] != &keys[0] {
+		timed(st, ph, func() {
+			copy(keys, srcK)
+			copy(vals, srcV)
+		})
+	}
+}
+
+// threadsPerRegion splits opt.Threads across the topology's regions
+// (at least 1 each).
+func threadsPerRegion(opt Options) int {
+	t := opt.Threads / opt.regions()
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// equalBounds splits n into c near-equal contiguous segments.
+func equalBounds(n, c int) []int {
+	return part.ChunkBounds(n, c)
+}
+
+// rangeRadix is the hybrid range-radix partition function of the sorts'
+// first pass (Sections 4.2.1/4.2.2), with the small range part held in a
+// fixed register-file-sized delimiter array searched by a branch-free
+// lane-style count — the register-resident variant of Section 3.5.1. The
+// concrete type keeps the hot partitioning loops free of dynamic dispatch.
+type rangeRadix[K kv.Key] struct {
+	delims [maxRegDelims]K
+	nd     int
+	rp     int // range fanout
+	radix  pfunc.Radix[K]
+}
+
+// maxRegDelims bounds the register-resident delimiter set (the paper holds
+// 16 delimiters in four SSE registers).
+const maxRegDelims = 16
+
+func newRangeRadix[K kv.Key](delims []K, rangeFanout int, radix pfunc.Radix[K]) rangeRadix[K] {
+	if len(delims) > maxRegDelims {
+		panic("sortalgo: too many register-resident delimiters")
+	}
+	f := rangeRadix[K]{nd: len(delims), rp: rangeFanout, radix: radix}
+	for i := range f.delims {
+		f.delims[i] = kv.MaxKey[K]()
+	}
+	copy(f.delims[:], delims)
+	return f
+}
+
+func (f rangeRadix[K]) rangeOf(k K) int {
+	r := 0
+	for i := 0; i < f.nd; i++ {
+		if f.delims[i] <= k {
+			r++
+		}
+	}
+	if r >= f.rp {
+		r = f.rp - 1
+	}
+	return r
+}
+
+// Partition implements pfunc.Func: range result concatenated with the low
+// radix bits.
+func (f rangeRadix[K]) Partition(k K) int {
+	return f.rangeOf(k)*f.radix.Fanout() + f.radix.Partition(k)
+}
+
+// Fanout implements pfunc.Func.
+func (f rangeRadix[K]) Fanout() int {
+	return f.rp * f.radix.Fanout()
+}
+
+// treeFunc adapts a range tree to pfunc.Func with a fixed fanout (the tree
+// may have trailing empty partitions after delimiter padding).
+type treeFunc[K kv.Key] struct {
+	t *rangeidx.Tree[K]
+	p int
+}
+
+func (f treeFunc[K]) Partition(k K) int {
+	q := f.t.Partition(k)
+	if q >= f.p {
+		q = f.p - 1
+	}
+	return q
+}
+
+func (f treeFunc[K]) Fanout() int { return f.p }

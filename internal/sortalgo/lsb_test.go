@@ -1,0 +1,176 @@
+package sortalgo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/kv"
+	"repro/internal/numa"
+)
+
+func TestLSBSingleRegion(t *testing.T) {
+	for name, orig := range sortWorkloads32(1 << 14) {
+		t.Run(name, func(t *testing.T) {
+			keys := append([]uint32(nil), orig...)
+			vals := gen.RIDs[uint32](len(keys))
+			origV := append([]uint32(nil), vals...)
+			tmpK := make([]uint32, len(keys))
+			tmpV := make([]uint32, len(keys))
+			LSB(keys, vals, tmpK, tmpV, Options{Threads: 4})
+			checkSorted(t, orig, origV, keys, vals, true)
+		})
+	}
+}
+
+func TestLSBNUMAAware(t *testing.T) {
+	topo := numa.NewTopology(4)
+	for name, orig := range sortWorkloads32(1 << 14) {
+		t.Run(name, func(t *testing.T) {
+			keys := append([]uint32(nil), orig...)
+			vals := gen.RIDs[uint32](len(keys))
+			origV := append([]uint32(nil), vals...)
+			tmpK := make([]uint32, len(keys))
+			tmpV := make([]uint32, len(keys))
+			LSB(keys, vals, tmpK, tmpV, Options{Threads: 8, Topo: topo})
+			checkSorted(t, orig, origV, keys, vals, true)
+		})
+	}
+}
+
+func TestLSBNUMATransferBound(t *testing.T) {
+	// Section 4.2.1: every tuple crosses the NUMA interconnect at most
+	// once — remote bytes cannot exceed n * tupleBytes.
+	topo := numa.NewTopology(4)
+	n := 1 << 16
+	keys := gen.Uniform[uint32](n, 0, 9)
+	vals := gen.RIDs[uint32](n)
+	tmpK := make([]uint32, n)
+	tmpV := make([]uint32, n)
+	topo.ResetTransfers()
+	var st Stats
+	LSB(keys, vals, tmpK, tmpV, Options{Threads: 8, Topo: topo, Stats: &st})
+	bound := uint64(n) * 8
+	if st.RemoteBytes > bound {
+		t.Fatalf("remote bytes %d exceed one-crossing bound %d", st.RemoteBytes, bound)
+	}
+	// On 4 regions the expected crossings are (x-1)/x = 0.75 per tuple.
+	if st.RemoteBytes < bound/2 {
+		t.Fatalf("remote bytes %d suspiciously low (expected ~0.75n tuples)", st.RemoteBytes)
+	}
+	if !kv.IsSorted(keys) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestLSBHeavyKeyRefinement(t *testing.T) {
+	// A key holding half the input: sampling will pick it repeatedly, the
+	// refinement isolates it in a single-key range, and the sort must stay
+	// correct, stable, and within the one-crossing NUMA bound.
+	topo := numa.NewTopology(4)
+	n := 1 << 15
+	keys := make([]uint32, n)
+	r := gen.NewRNG(3)
+	for i := range keys {
+		if r.Uint64n(2) == 0 {
+			keys[i] = 777777
+		} else {
+			keys[i] = r.Uint32()
+		}
+	}
+	orig := append([]uint32(nil), keys...)
+	vals := gen.RIDs[uint32](n)
+	origV := append([]uint32(nil), vals...)
+	topo.ResetTransfers()
+	var st Stats
+	LSB(keys, vals, make([]uint32, n), make([]uint32, n), Options{Threads: 8, Topo: topo, Stats: &st})
+	checkSorted(t, orig, origV, keys, vals, true)
+	if st.RemoteBytes > uint64(n)*8 {
+		t.Fatalf("remote bytes %d exceed one-crossing bound under skew", st.RemoteBytes)
+	}
+}
+
+func TestLSB64(t *testing.T) {
+	topo := numa.NewTopology(2)
+	n := 1 << 13
+	keys := gen.Uniform[uint64](n, 0, 17)
+	orig := append([]uint64(nil), keys...)
+	vals := gen.RIDs[uint64](n)
+	origV := append([]uint64(nil), vals...)
+	tmpK := make([]uint64, n)
+	tmpV := make([]uint64, n)
+	LSB(keys, vals, tmpK, tmpV, Options{Threads: 4, Topo: topo})
+	checkSorted(t, orig, origV, keys, vals, true)
+}
+
+func TestLSBOblivious(t *testing.T) {
+	topo := numa.NewTopology(4)
+	n := 1 << 13
+	keys := gen.Uniform[uint32](n, 0, 21)
+	orig := append([]uint32(nil), keys...)
+	vals := gen.RIDs[uint32](n)
+	origV := append([]uint32(nil), vals...)
+	tmpK := make([]uint32, n)
+	tmpV := make([]uint32, n)
+	LSB(keys, vals, tmpK, tmpV, Options{Threads: 8, Topo: topo, Oblivious: true})
+	checkSorted(t, orig, origV, keys, vals, true)
+}
+
+func TestLSBDomainAdaptive(t *testing.T) {
+	// Small domains should need few passes (the LSB advantage on dense
+	// compressed data).
+	n := 1 << 14
+	keys := gen.Uniform[uint32](n, 1000, 5)
+	vals := gen.RIDs[uint32](n)
+	tmpK := make([]uint32, n)
+	tmpV := make([]uint32, n)
+	var st Stats
+	LSB(keys, vals, tmpK, tmpV, Options{Threads: 2, Stats: &st, RadixBits: 8})
+	if !kv.IsSorted(keys) {
+		t.Fatal("not sorted")
+	}
+	if st.Passes > 2 {
+		t.Fatalf("10-bit domain should need 2 8-bit passes, did %d", st.Passes)
+	}
+}
+
+func TestLSBStatsPhases(t *testing.T) {
+	topo := numa.NewTopology(4)
+	n := 1 << 14
+	keys := gen.Uniform[uint32](n, 0, 5)
+	vals := gen.RIDs[uint32](n)
+	tmpK := make([]uint32, n)
+	tmpV := make([]uint32, n)
+	var st Stats
+	LSB(keys, vals, tmpK, tmpV, Options{Threads: 8, Topo: topo, Stats: &st})
+	if st.Histogram == 0 || st.Partition == 0 || st.Shuffle == 0 || st.LocalRadix == 0 {
+		t.Fatalf("phase breakdown incomplete: %+v", st)
+	}
+	if st.Total() == 0 {
+		t.Fatal("no time recorded")
+	}
+}
+
+func TestLSBQuick(t *testing.T) {
+	topo := numa.NewTopology(3)
+	f := func(raw []uint32, threads uint8) bool {
+		keys := append([]uint32(nil), raw...)
+		vals := gen.RIDs[uint32](len(keys))
+		tmpK := make([]uint32, len(keys))
+		tmpV := make([]uint32, len(keys))
+		LSB(keys, vals, tmpK, tmpV, Options{Threads: int(threads%8) + 1, Topo: topo, RadixBits: 6})
+		if !kv.IsSorted(keys) {
+			return false
+		}
+		// Stability: payloads ascending within equal keys.
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] == keys[i] && vals[i-1] >= vals[i] {
+				return false
+			}
+		}
+		return kv.ChecksumPairs(keys, vals) == kv.ChecksumPairs(raw, gen.RIDs[uint32](len(raw)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package sortalgo
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/kv"
+	"repro/internal/numa"
+	"repro/internal/part"
+	"repro/internal/pfunc"
+	"repro/internal/rangeidx"
+	"repro/internal/splitter"
+)
+
+// msbInsertionCutoff is the segment size below which MSB recursion falls
+// back to insertion sort; the paper generates parts of average size 4-8
+// and insertion-sorts them ignoring the remaining radix bits.
+const msbInsertionCutoff = 24
+
+// MSB is the fully in-place most-significant-bit radix-sort of Section
+// 4.2.2, using a different partitioning variant per memory layer:
+//
+//  1. A T+T'-way hybrid range-radix split into block lists (Section
+//     3.2.3), in place, where the sampled range delimiters guarantee load
+//     balance and the radix-boundary delimiters pin each range inside one
+//     high-bits bucket.
+//  2. A synchronized in-place block shuffle across NUMA regions
+//     (Sections 3.2.4, 3.3.2) that makes every range contiguous.
+//  3. Shared-nothing recursion per range: out-of-cache in-place
+//     partitioning (Algorithm 4) while the segment exceeds the cache,
+//     in-cache in-place partitioning (Algorithm 2) below that, and
+//     insertion sort on trivial parts.
+//
+// MSB is not stable; unlike LSB it covers log n bits instead of log D, so
+// it wins on sparse key domains, and it needs no linear auxiliary array.
+func MSB[K kv.Key](keys, vals []K, opt Options) {
+	opt = opt.withDefaults()
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	st := opt.Stats
+	width := kv.Width[K]()
+
+	var domainBits int
+	timed(st, phHistogram, func() {
+		domainBits = kv.DomainBits(keys)
+	})
+
+	t := opt.Threads
+	if t == 1 && opt.regions() == 1 {
+		timed(st, phLocal, func() {
+			msbRecurse(keys, vals, domainBits, cacheTuples(opt, width))
+		})
+		return
+	}
+
+	// Step 1: T-1 sampled delimiters unioned with the boundaries of the
+	// top log2(T') bits, then duplicate refinement for heavy keys.
+	topBits := bits.Len(uint(t - 1)) // ceil(log2(T)), >= 1 for T >= 2
+	if topBits < 1 {
+		topBits = 1
+	}
+	var ref splitter.Refined[K]
+	var fn treeFunc[K]
+	timed(st, phHistogram, func() {
+		sampled := splitter.ForThreads(keys, t, opt.Seed)
+		delims := splitter.Union(sampled, splitter.RadixBoundaries[K](topBits))
+		ref = splitter.RefineDuplicates(delims)
+		fn = treeFunc[K]{rangeidx.NewTreeFor(ref.Delims), len(ref.Delims) + 1}
+	})
+
+	// Step 2: range partition into blocks, in place, in parallel.
+	var blocks *part.Blocks[K]
+	timed(st, phPartition, func() {
+		blocks = part.ToBlocksInPlaceParallel(keys, vals, fn, msbBlockTuples[K](), t)
+	})
+
+	// Step 3: synchronized in-place block shuffle across regions.
+	var starts []int
+	timed(st, phShuffle, func() {
+		shOpt := part.ShuffleOptions{Workers: t}
+		if opt.Topo != nil && !opt.Oblivious {
+			bounds := equalBounds(n, opt.regions())
+			shOpt.Topo = opt.Topo
+			shOpt.RegionOfTuple = func(i int) numa.Region {
+				for r := 1; r < len(bounds); r++ {
+					if i < bounds[r] {
+						return numa.Region(r - 1)
+					}
+				}
+				return numa.Region(len(bounds) - 2)
+			}
+		}
+		starts = part.ShuffleBlocksInPlace(blocks, shOpt)
+	})
+	if st != nil {
+		st.Passes++
+		if opt.Topo != nil {
+			st.RemoteBytes = opt.Topo.RemoteBytes()
+		}
+	}
+
+	// Step 4: shared-nothing recursion per range. The union with radix
+	// boundaries pins each range inside one top-bits bucket, so recursion
+	// covers the remaining width-topBits bits (capped by the domain).
+	hiBit := min(width-topBits, domainBits)
+	ct := cacheTuples(opt, width)
+	timed(st, phLocal, func() {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < t; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for q := range work {
+					seg := starts[q+1] - starts[q]
+					if seg <= 1 {
+						continue
+					}
+					if q < len(ref.SingleKey) && ref.SingleKey[q] {
+						continue // single-key partition: already sorted
+					}
+					msbRecurse(keys[starts[q]:starts[q+1]], vals[starts[q]:starts[q+1]], hiBit, ct)
+				}
+			}()
+		}
+		for q := 0; q < fn.Fanout(); q++ {
+			work <- q
+		}
+		close(work)
+		wg.Wait()
+	})
+}
+
+// msbBlockTuples is the block size of the first MSB pass: a multiple of
+// the cache-line tuple count, large enough to amortize block-list hops and
+// synchronization.
+func msbBlockTuples[K kv.Key]() int {
+	return 1024
+}
+
+// cacheTuples returns the per-worker cache-resident segment size in
+// tuples (derived from a 256 KiB private L2 unless overridden).
+func cacheTuples(opt Options, width int) int {
+	if opt.CacheTuples > 0 {
+		return opt.CacheTuples
+	}
+	return (256 << 10) / (2 * width / 8)
+}
+
+// msbRecurse sorts one segment in place by MSB radix partitioning over the
+// bit range [0, hiBit).
+func msbRecurse[K kv.Key](keys, vals []K, hiBit, cacheT int) {
+	n := len(keys)
+	if n <= msbInsertionCutoff {
+		InsertionSort(keys, vals)
+		return
+	}
+	if hiBit <= 0 {
+		return // all radix bits consumed: keys are equal
+	}
+	var b int
+	if n > cacheT {
+		b = min(hiBit, 8)
+	} else {
+		// In-cache: ~log n - 2 bits makes parts of average size 4-8.
+		b = min(hiBit, max(1, bits.Len(uint(n))-3))
+	}
+	fn := pfunc.NewRadix[K](uint(hiBit-b), uint(hiBit))
+	hist := part.Histogram(keys, fn)
+	if n > cacheT {
+		part.InPlaceOutOfCache(keys, vals, fn, hist)
+	} else {
+		part.InPlaceInCache(keys, vals, fn, hist)
+	}
+	lo := 0
+	for _, h := range hist {
+		if h > 1 {
+			msbRecurse(keys[lo:lo+h], vals[lo:lo+h], hiBit-b, cacheT)
+		}
+		lo += h
+	}
+}

@@ -1,0 +1,144 @@
+package sortalgo
+
+import (
+	"time"
+
+	"repro/internal/numa"
+)
+
+// Stats records the per-phase wall clock of a sort run (the breakdown of
+// Figures 11 and 13) and NUMA transfer counters.
+type Stats struct {
+	Alloc      time.Duration
+	Histogram  time.Duration
+	Partition  time.Duration // first (NUMA-split) partitioning pass
+	Shuffle    time.Duration // cross-region shuffle
+	LocalRadix time.Duration // subsequent local passes (radix or range)
+	CacheSort  time.Duration // in-cache comb-sort / insertion leaves
+
+	Passes      int
+	RemoteBytes uint64
+
+	// RegionBounds are the output segment boundaries per NUMA region after
+	// the shuffle (len regions+1); the witness for the load-balancing
+	// claims of Sections 4.2.1/4.3.2. Empty for single-region runs.
+	RegionBounds []int
+}
+
+// Total returns the summed wall clock.
+func (s *Stats) Total() time.Duration {
+	return s.Alloc + s.Histogram + s.Partition + s.Shuffle + s.LocalRadix + s.CacheSort
+}
+
+// phase identifies one Stats bucket.
+type phase int
+
+const (
+	phAlloc phase = iota
+	phHistogram
+	phPartition
+	phShuffle
+	phLocal
+	phCache
+)
+
+// add accumulates a duration into a phase bucket; nil-safe.
+func (s *Stats) add(p phase, d time.Duration) {
+	if s == nil {
+		return
+	}
+	switch p {
+	case phAlloc:
+		s.Alloc += d
+	case phHistogram:
+		s.Histogram += d
+	case phPartition:
+		s.Partition += d
+	case phShuffle:
+		s.Shuffle += d
+	case phLocal:
+		s.LocalRadix += d
+	case phCache:
+		s.CacheSort += d
+	}
+}
+
+// timed runs fn and charges its wall clock to phase p of s (nil-safe).
+func timed(s *Stats, p phase, fn func()) {
+	if s == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	s.add(p, time.Since(start))
+}
+
+// Options configures the sorting algorithms.
+type Options struct {
+	// Threads is the total number of worker goroutines (default 1).
+	Threads int
+	// Topo is the simulated NUMA topology; nil means a single region.
+	Topo *numa.Topology
+	// Oblivious disables the NUMA-aware layout: no range split, no shuffle
+	// — passes run over the whole array as if memory were interleaved.
+	Oblivious bool
+	// RadixBits is the per-pass fanout in bits for radix passes
+	// (default 8, the out-of-cache optimum at this scale).
+	RadixBits int
+	// RangeFanout is the per-pass fanout of the comparison sort
+	// (default 360).
+	RangeFanout int
+	// CacheTuples overrides the cache-resident segment size in tuples used
+	// to switch to in-cache variants (default: 256 KiB worth of tuples).
+	CacheTuples int
+	// Stats, when non-nil, receives the per-phase breakdown.
+	Stats *Stats
+	// Seed makes sampling deterministic.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads < 1 {
+		o.Threads = 1
+	}
+	if o.RadixBits < 1 {
+		o.RadixBits = 8
+	}
+	if o.RangeFanout < 2 {
+		o.RangeFanout = 360
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5EED
+	}
+	return o
+}
+
+// regions returns the region count (1 when no topology).
+func (o Options) regions() int {
+	if o.Topo == nil {
+		return 1
+	}
+	return o.Topo.Regions()
+}
+
+// groupRanges assigns each of len(totals) contiguous ranges to one of c
+// contiguous groups of near-equal tuple count, by the midpoint rule: a
+// range joins the group its center of mass falls in. Monotone by
+// construction, so group boundaries preserve range order.
+func groupRanges(totals []int, n, c int) []int {
+	groupOf := make([]int, len(totals))
+	acc := 0
+	for rg, tot := range totals {
+		g := 0
+		if n > 0 {
+			g = (acc + tot/2) * c / n
+		}
+		if g > c-1 {
+			g = c - 1
+		}
+		groupOf[rg] = g
+		acc += tot
+	}
+	return groupOf
+}

@@ -1,0 +1,49 @@
+package sortalgo
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/kv"
+)
+
+// checkSorted verifies keys are sorted, the pair multiset is unchanged,
+// and (optionally) equal keys kept their payload order (stability).
+func checkSorted[K kv.Key](t *testing.T, origK, origV, keys, vals []K, stable bool) {
+	t.Helper()
+	if !kv.IsSorted(keys) {
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] > keys[i] {
+				t.Fatalf("not sorted at %d: %v > %v", i, keys[i-1], keys[i])
+			}
+		}
+	}
+	if kv.ChecksumPairs(origK, origV) != kv.ChecksumPairs(keys, vals) {
+		t.Fatal("tuple multiset changed")
+	}
+	if stable {
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] == keys[i] && vals[i-1] >= vals[i] {
+				t.Fatalf("stability violated at %d: key %v, payloads %v then %v",
+					i, keys[i], vals[i-1], vals[i])
+			}
+		}
+	}
+}
+
+// sortWorkloads returns the standard test inputs (payloads are rids).
+func sortWorkloads32(n int) map[string][]uint32 {
+	return map[string][]uint32{
+		"uniform-sparse": gen.Uniform[uint32](n, 0, 1),
+		"dense":          gen.Dense[uint32](n, 2),
+		"zipf1.2":        gen.ZipfKeys[uint32](n, 1<<22, 1.2, 3),
+		"sorted":         gen.Sorted[uint32](n, 1<<30, 4),
+		"almost-sorted":  gen.AlmostSorted[uint32](n, 1<<30, 0.05, 8),
+		"reversed":       gen.Reversed[uint32](n, 1<<30, 5),
+		"allequal":       gen.AllEqual[uint32](n, 7),
+		"small-domain":   gen.Uniform[uint32](n, 16, 6),
+		"empty":          nil,
+		"single":         {42},
+		"two":            {9, 3},
+	}
+}

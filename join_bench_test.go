@@ -1,0 +1,70 @@
+package partsort
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/join"
+)
+
+// BenchmarkJoin compares the join strategies built from the partitioning
+// menu (the paper's Section 1 motivation / Section 6 conclusion).
+func BenchmarkJoin(b *testing.B) {
+	const nBuild, nProbe = 1 << 17, 1 << 19
+	build := join.Relation[uint32]{
+		Keys: gen.Uniform[uint32](nBuild, nBuild, 1),
+		Vals: gen.RIDs[uint32](nBuild),
+	}
+	probe := join.Relation[uint32]{
+		Keys: gen.Uniform[uint32](nProbe, nBuild, 2),
+		Vals: gen.RIDs[uint32](nProbe),
+	}
+	for _, fanout := range []int{1, 64, 512} {
+		name := fmt.Sprintf("hash/fanout=%d", fanout)
+		if fanout == 1 {
+			name = "hash/global-table"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var c join.Counter[uint32]
+				join.HashJoin(build, probe, c.Emit, join.HashJoinOptions{Fanout: fanout, Threads: 4})
+				if c.N == 0 {
+					b.Fatal("no matches")
+				}
+			}
+			b.ReportMetric(float64(nProbe)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mprobes/s")
+		})
+	}
+	b.Run("sortmerge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var c join.Counter[uint32]
+			join.SortMergeJoin(build, probe, c.Emit, join.SortMergeJoinOptions{Threads: 4})
+			if c.N == 0 {
+				b.Fatal("no matches")
+			}
+		}
+		b.ReportMetric(float64(nProbe)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mprobes/s")
+	})
+}
+
+// BenchmarkGroupBy compares direct vs partitioned aggregation.
+func BenchmarkGroupBy(b *testing.B) {
+	const n = 1 << 19
+	keys := gen.ZipfKeys[uint32](n, 1<<16, 1.0, 3)
+	vals := gen.Uniform[uint32](n, 1000, 5)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(join.GroupByDirect(keys, vals)) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	})
+	b.Run("partitioned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(join.GroupBy(keys, vals, join.GroupByOptions{Fanout: 128, Threads: 4})) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	})
+}

@@ -1,0 +1,230 @@
+// Package partsort is a main-memory partitioning and sorting library for
+// analytical database workloads, reproducing "A Comprehensive Study of
+// Main-Memory Partitioning and its Application to Large-Scale Comparison-
+// and Radix-Sort" (Polychroniou & Ross, SIGMOD 2014).
+//
+// The library operates on columnar tuples: a key column and a same-length
+// payload column of 32- or 64-bit unsigned integers (order-preserving
+// dictionary compression maps richer domains onto such keys; see
+// BuildDictionary). It provides:
+//
+//   - the full menu of partitioning variants (Figure 1 of the paper):
+//     radix, hash and range partition functions; in-cache and out-of-cache
+//     data movement; non-in-place, in-place, block-list and synchronized
+//     shared-segment variants; and NUMA-aware drivers,
+//   - a cache-resident range index that makes range partitioning
+//     comparably fast with radix and hash,
+//   - three large-scale sorting algorithms built from those variants:
+//     stable LSB radix-sort, fully in-place MSB radix-sort, and a
+//     wide-fanout range-partitioning comparison sort.
+//
+// Quick start:
+//
+//	keys := []uint32{...}
+//	rids := partsort.RIDs[uint32](len(keys))
+//	partsort.SortLSB(keys, rids, nil)
+package partsort
+
+import (
+	"repro/internal/gen"
+	"repro/internal/kv"
+	"repro/internal/part"
+	"repro/internal/pfunc"
+	"repro/internal/rangeidx"
+)
+
+// Key constrains the supported key and payload types: 32- and 64-bit
+// unsigned integers.
+type Key = kv.Key
+
+// PartitionFunc maps a key to a destination partition in [0, Fanout()).
+// Radix, Hash and NewRangeIndex produce implementations; any custom pure
+// function works too.
+type PartitionFunc[K Key] interface {
+	Partition(k K) int
+	Fanout() int
+}
+
+// Radix returns the radix partition function over the key bit range
+// [loBit, hiBit): shift right by loBit, mask to hiBit-loBit bits. Fanout
+// is 2^(hiBit-loBit).
+func Radix[K Key](loBit, hiBit uint) PartitionFunc[K] {
+	return pfunc.NewRadix[K](loBit, hiBit)
+}
+
+// Hash returns the multiplicative-hash partition function with the given
+// power-of-two fanout: cheap, balanced, and deliberately not a hash-table
+// quality hash (partitioning needs balance, not collision resistance).
+func Hash[K Key](fanout int) PartitionFunc[K] {
+	return pfunc.NewHash[K](fanout)
+}
+
+// RIDs returns the payload column 0..n-1 (each tuple's record id).
+func RIDs[K Key](n int) []K {
+	return gen.RIDs[K](n)
+}
+
+// Partition stably partitions src tuples into dst (same length) using
+// `threads` goroutines and returns the histogram. This is the paper's
+// parallel non-in-place out-of-cache variant: per-thread histograms, one
+// prefix-sum barrier, then software write-combining through per-partition
+// cache-line buffers.
+func Partition[K Key, F PartitionFunc[K]](srcKeys, srcVals, dstKeys, dstVals []K, fn F, threads int) []int {
+	if threads < 1 {
+		threads = 1
+	}
+	checkPairs(srcKeys, srcVals)
+	checkPairs(dstKeys, dstVals)
+	if len(srcKeys) != len(dstKeys) {
+		panic("partsort: src and dst lengths differ")
+	}
+	return part.ParallelNonInPlace(srcKeys, srcVals, dstKeys, dstVals, fn, threads)
+}
+
+// PartitionInPlace partitions keys/vals in place (single goroutine) and
+// returns the histogram: Algorithm 2's swap cycles for cache-resident
+// inputs, Algorithm 4's buffered swap cycles above cacheTuples (pass 0 to
+// use the default 256 KiB threshold).
+func PartitionInPlace[K Key, F PartitionFunc[K]](keys, vals []K, fn F, cacheTuples int) []int {
+	checkPairs(keys, vals)
+	if cacheTuples <= 0 {
+		cacheTuples = (256 << 10) / (2 * kv.Width[K]() / 8)
+	}
+	hist := part.Histogram(keys, fn)
+	if len(keys) <= cacheTuples {
+		part.InPlaceInCache(keys, vals, fn, hist)
+	} else {
+		part.InPlaceOutOfCache(keys, vals, fn, hist)
+	}
+	return hist
+}
+
+// PartitionInPlaceShared partitions keys/vals in place inside one shared
+// segment with multiple workers synchronized by atomic fetch-and-add
+// (Algorithm 5), and returns the histogram.
+func PartitionInPlaceShared[K Key, F PartitionFunc[K]](keys, vals []K, fn F, workers int) []int {
+	checkPairs(keys, vals)
+	if workers < 1 {
+		workers = 1
+	}
+	hist := part.Histogram(keys, fn)
+	part.InPlaceSynchronized(keys, vals, fn, hist, workers)
+	return hist
+}
+
+// BlockLists is the result of block-list partitioning: per partition, an
+// ordered list of storage blocks whose concatenation is the partition.
+type BlockLists[K Key] struct {
+	b *part.Blocks[K]
+}
+
+// Counts returns the tuples per partition.
+func (bl *BlockLists[K]) Counts() []int {
+	return append([]int(nil), bl.b.Counts...)
+}
+
+// ForEach visits partition p's tuples block by block, in order.
+func (bl *BlockLists[K]) ForEach(p int, fn func(keys, vals []K)) {
+	bl.b.ForEach(p, fn)
+}
+
+// AppendTo copies partition p's tuples into dst slices and returns the
+// tuple count.
+func (bl *BlockLists[K]) AppendTo(p int, dstKeys, dstVals []K) int {
+	return bl.b.AppendTo(p, dstKeys, dstVals)
+}
+
+// Compact rearranges the blocks in place (synchronized block permutation +
+// pack) so every partition becomes one contiguous segment of the original
+// arrays, and returns the per-partition start offsets (len fanout+1).
+func (bl *BlockLists[K]) Compact(workers int) []int {
+	return part.ShuffleBlocksInPlace(bl.b, part.ShuffleOptions{Workers: workers})
+}
+
+// PartitionBlocks partitions keys/vals in place into block lists (Section
+// 3.2.3): no histogram pre-pass, O(fanout · blockTuples) extra space, and
+// trivially parallel. blockTuples 0 selects the default (1024); other
+// values are rounded up to a multiple of the cache-line tuple count.
+// Workers below 1 run single-threaded.
+func PartitionBlocks[K Key, F PartitionFunc[K]](keys, vals []K, fn F, blockTuples, workers int) *BlockLists[K] {
+	checkPairs(keys, vals)
+	if blockTuples <= 0 {
+		blockTuples = part.DefaultBlockTuples
+	}
+	if l := part.LineTuples[K](); blockTuples%l != 0 {
+		blockTuples += l - blockTuples%l
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &BlockLists[K]{b: part.ToBlocksInPlaceParallel(keys, vals, fn, blockTuples, workers)}
+}
+
+// PartitionColumns stably partitions a key column plus any number of
+// payload columns of the same width (the columnar layout of RAM-resident
+// tables, Section 3.2.1: one buffered cache line per column per
+// partition). Returns the histogram. Single-threaded; combine with
+// Histogram/starts plumbing in package users needing parallelism.
+func PartitionColumns[K Key, F PartitionFunc[K]](srcKey []K, srcCols [][]K, dstKey []K, dstCols [][]K, fn F) []int {
+	hist := part.Histogram(srcKey, fn)
+	starts, _ := part.Starts(hist)
+	part.NonInPlaceOutOfCacheCols(srcKey, srcCols, dstKey, dstCols, fn, starts)
+	return hist
+}
+
+// Histogram counts tuples per partition without moving data.
+func Histogram[K Key, F PartitionFunc[K]](keys []K, fn F) []int {
+	return part.Histogram(keys, fn)
+}
+
+// RangeIndex computes range partition functions through the paper's
+// cache-resident pointerless tree (Section 3.5.2): given P-1 sorted
+// delimiters, Lookup(k) returns the partition whose range holds k, paying
+// a few lane-parallel node searches instead of log2(P) dependent loads.
+type RangeIndex[K Key] struct {
+	tree *rangeidx.Tree[K]
+}
+
+// NewRangeIndex builds an index over sorted delimiters (duplicates allowed
+// — they produce intentionally empty partitions). Fanout is
+// len(delims)+1.
+func NewRangeIndex[K Key](delims []K) *RangeIndex[K] {
+	return &RangeIndex[K]{tree: rangeidx.NewTreeFor(delims)}
+}
+
+// Partition implements PartitionFunc.
+func (ix *RangeIndex[K]) Partition(k K) int {
+	return ix.tree.Partition(k)
+}
+
+// Lookup returns the partition of k: the number of delimiters <= k.
+func (ix *RangeIndex[K]) Lookup(k K) int {
+	return ix.tree.Partition(k)
+}
+
+// LookupBatch computes partitions for a batch of keys with the 4-way
+// unrolled level-synchronous walk; out must have len(keys) capacity.
+func (ix *RangeIndex[K]) LookupBatch(keys []K, out []int32) {
+	ix.tree.LookupBatch(keys, out)
+}
+
+// Fanout implements PartitionFunc.
+func (ix *RangeIndex[K]) Fanout() int {
+	return ix.tree.Fanout()
+}
+
+// Dictionary is an order-preserving dictionary mapping a sparse key domain
+// onto dense codes, so radix sorts can run over minimal key bits.
+type Dictionary[K Key] = gen.Dictionary[K]
+
+// BuildDictionary constructs an order-preserving dictionary over the
+// distinct values of keys.
+func BuildDictionary[K Key](keys []K) *Dictionary[K] {
+	return gen.BuildDictionary(keys)
+}
+
+func checkPairs[K Key](keys, vals []K) {
+	if len(keys) != len(vals) {
+		panic("partsort: key and payload columns must have equal length")
+	}
+}

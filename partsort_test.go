@@ -1,0 +1,221 @@
+package partsort
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestPublicPartition(t *testing.T) {
+	n := 1 << 14
+	keys := gen.Uniform[uint32](n, 0, 1)
+	vals := RIDs[uint32](n)
+	dstK := make([]uint32, n)
+	dstV := make([]uint32, n)
+	fn := Radix[uint32](0, 8)
+	hist := Partition(keys, vals, dstK, dstV, fn, 4)
+	if len(hist) != 256 {
+		t.Fatalf("histogram size %d", len(hist))
+	}
+	o := 0
+	for p, h := range hist {
+		for i := o; i < o+h; i++ {
+			if fn.Partition(dstK[i]) != p {
+				t.Fatal("misplaced tuple")
+			}
+		}
+		o += h
+	}
+	if !SameMultiset(keys, vals, dstK, dstV) {
+		t.Fatal("multiset changed")
+	}
+}
+
+func TestPublicPartitionInPlaceBothLayers(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 15} { // below and above the cache threshold
+		keys := gen.Uniform[uint64](n, 0, 3)
+		vals := RIDs[uint64](n)
+		origK := append([]uint64(nil), keys...)
+		origV := append([]uint64(nil), vals...)
+		fn := Hash[uint64](16)
+		hist := PartitionInPlace(keys, vals, fn, 1<<12)
+		o := 0
+		for p, h := range hist {
+			for i := o; i < o+h; i++ {
+				if fn.Partition(keys[i]) != p {
+					t.Fatal("misplaced tuple")
+				}
+			}
+			o += h
+		}
+		if !SameMultiset(origK, origV, keys, vals) {
+			t.Fatal("multiset changed")
+		}
+	}
+}
+
+func TestPublicPartitionInPlaceShared(t *testing.T) {
+	n := 1 << 14
+	keys := gen.Uniform[uint32](n, 0, 5)
+	vals := RIDs[uint32](n)
+	origK := append([]uint32(nil), keys...)
+	origV := append([]uint32(nil), vals...)
+	fn := Hash[uint32](8)
+	hist := PartitionInPlaceShared(keys, vals, fn, 4)
+	o := 0
+	for p, h := range hist {
+		for i := o; i < o+h; i++ {
+			if fn.Partition(keys[i]) != p {
+				t.Fatal("misplaced tuple")
+			}
+		}
+		o += h
+	}
+	if !SameMultiset(origK, origV, keys, vals) {
+		t.Fatal("multiset changed")
+	}
+}
+
+func TestPublicPartitionBlocks(t *testing.T) {
+	n := 1 << 14
+	keys := gen.Uniform[uint32](n, 0, 7)
+	vals := RIDs[uint32](n)
+	origK := append([]uint32(nil), keys...)
+	origV := append([]uint32(nil), vals...)
+	fn := Radix[uint32](0, 4)
+	bl := PartitionBlocks(keys, vals, fn, 256, 2)
+	counts := bl.Counts()
+	total := 0
+	var allK, allV []uint32
+	for p := range counts {
+		bl.ForEach(p, func(ks, vs []uint32) {
+			for _, k := range ks {
+				if fn.Partition(k) != p {
+					t.Fatal("misplaced tuple in block")
+				}
+			}
+			allK = append(allK, ks...)
+			allV = append(allV, vs...)
+		})
+		total += counts[p]
+	}
+	if total != n || !SameMultiset(origK, origV, allK, allV) {
+		t.Fatal("block lists lost tuples")
+	}
+	starts := bl.Compact(2)
+	if starts[len(starts)-1] != n {
+		t.Fatal("compact lost tuples")
+	}
+	for p := 0; p+1 < len(starts); p++ {
+		for i := starts[p]; i < starts[p+1]; i++ {
+			if fn.Partition(keys[i]) != p {
+				t.Fatal("misplaced tuple after compact")
+			}
+		}
+	}
+}
+
+func TestPublicSorts(t *testing.T) {
+	n := 1 << 15
+	mk := func() ([]uint32, []uint32) {
+		return gen.ZipfKeys[uint32](n, 1<<20, 1.0, 9), RIDs[uint32](n)
+	}
+	origK, origV := mk()
+
+	type runFn func(k, v []uint32)
+	runs := map[string]runFn{
+		"LSB": func(k, v []uint32) { SortLSB(k, v, &SortOptions{Threads: 4, Regions: 2}) },
+		"MSB": func(k, v []uint32) { SortMSB(k, v, &SortOptions{Threads: 4, Regions: 2, CacheTuples: 2048}) },
+		"CMP": func(k, v []uint32) { SortCMP(k, v, &SortOptions{Threads: 4, Regions: 2, CacheTuples: 2048}) },
+		"nil": func(k, v []uint32) { SortLSB(k, v, nil) },
+	}
+	for name, run := range runs {
+		t.Run(name, func(t *testing.T) {
+			keys, vals := mk()
+			run(keys, vals)
+			if !IsSorted(keys) {
+				t.Fatal("not sorted")
+			}
+			if !SameMultiset(origK, origV, keys, vals) {
+				t.Fatal("multiset changed")
+			}
+			if name == "LSB" || name == "nil" {
+				if !IsStableSorted(keys, vals) {
+					t.Fatal("LSB must be stable")
+				}
+			}
+		})
+	}
+}
+
+func TestPublicSortWithScratchAndStats(t *testing.T) {
+	n := 1 << 14
+	keys := gen.Uniform[uint32](n, 0, 11)
+	vals := RIDs[uint32](n)
+	tmpK := make([]uint32, n)
+	tmpV := make([]uint32, n)
+	var st SortStats
+	SortLSBWithScratch(keys, vals, tmpK, tmpV, &SortOptions{Threads: 2, Stats: &st})
+	if !IsSorted(keys) || st.Total() == 0 || st.Passes == 0 {
+		t.Fatalf("scratch sort failed or no stats: %+v", st)
+	}
+}
+
+func TestPublicRangeIndex(t *testing.T) {
+	delims := gen.Uniform[uint32](999, 0, 13)
+	sort.Slice(delims, func(i, j int) bool { return delims[i] < delims[j] })
+	ix := NewRangeIndex(delims)
+	if ix.Fanout() != 1000 {
+		t.Fatalf("Fanout = %d", ix.Fanout())
+	}
+	keys := gen.Uniform[uint32](5000, 0, 17)
+	out := make([]int32, len(keys))
+	ix.LookupBatch(keys, out)
+	for i, k := range keys {
+		want := sort.Search(len(delims), func(j int) bool { return delims[j] > k })
+		if ix.Lookup(k) != want || int(out[i]) != want {
+			t.Fatalf("Lookup(%d) = %d/%d, want %d", k, ix.Lookup(k), out[i], want)
+		}
+	}
+}
+
+func TestPublicDictionary(t *testing.T) {
+	keys := gen.Uniform[uint64](1000, 0, 19)
+	d := BuildDictionary(keys)
+	codes, err := d.EncodeAll(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids := RIDs[uint64](len(codes))
+	SortLSB(codes, rids, &SortOptions{Threads: 2})
+	if !IsSorted(codes) {
+		t.Fatal("codes not sorted")
+	}
+	back, err := d.DecodeAll(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(back) {
+		t.Fatal("order-preserving decode violated")
+	}
+}
+
+func TestPublicValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("mismatched pair", func() { SortLSB([]uint32{1, 2}, []uint32{1}, nil) })
+	mustPanic("short scratch", func() {
+		SortCMPWithScratch([]uint32{1, 2}, []uint32{0, 1}, []uint32{0}, []uint32{0}, nil)
+	})
+	mustPanic("mismatched dst", func() {
+		Partition([]uint32{1}, []uint32{1}, []uint32{}, []uint32{}, Hash[uint32](2), 1)
+	})
+}

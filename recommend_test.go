@@ -1,0 +1,66 @@
+package partsort
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestRecommendMatchesPaperConclusion(t *testing.T) {
+	cases := []struct {
+		name string
+		w    Workload
+		want Algorithm
+	}{
+		{"dense 32-bit", Workload{N: 1 << 30, DomainBits: 30, KeyBits: 32}, LSB},
+		{"compressed dictionary codes", Workload{N: 1 << 20, DomainBits: 18, KeyBits: 32}, LSB},
+		{"sparse 64-bit", Workload{N: 1 << 30, DomainBits: 64, KeyBits: 64}, MSB},
+		{"sparse 32-bit small n", Workload{N: 1 << 16, DomainBits: 32, KeyBits: 32}, MSB},
+		{"space tight", Workload{N: 1 << 30, DomainBits: 30, KeyBits: 32, SpaceTight: true}, MSB},
+		{"heavy skew", Workload{N: 1 << 30, DomainBits: 30, KeyBits: 32, HeavySkew: true}, CMP},
+		{"stability wins over everything", Workload{N: 1 << 30, DomainBits: 64, KeyBits: 64, SpaceTight: true, NeedStable: true}, LSB},
+		{"unknown domain 64-bit", Workload{N: 1 << 20, KeyBits: 64}, MSB},
+	}
+	for _, c := range cases {
+		if got := Recommend(c.w); got != c.want {
+			t.Errorf("%s: Recommend = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if LSB.String() != "LSB" || MSB.String() != "MSB" || CMP.String() != "CMP" || Algorithm(9).String() != "unknown" {
+		t.Fatal("algorithm names wrong")
+	}
+}
+
+func TestAutoSort(t *testing.T) {
+	// Dense domain: should pick LSB.
+	n := 1 << 14
+	keys := gen.Dense[uint32](n, 3)
+	vals := RIDs[uint32](n)
+	if got := Sort(keys, vals, false, false, &SortOptions{Threads: 2}); got != LSB {
+		t.Fatalf("dense input picked %v", got)
+	}
+	if !IsSorted(keys) {
+		t.Fatal("not sorted")
+	}
+	// Sparse domain: MSB.
+	keys = gen.Uniform[uint32](n, 0, 5)
+	vals = RIDs[uint32](n)
+	if got := Sort(keys, vals, false, false, &SortOptions{Threads: 2}); got != MSB {
+		t.Fatalf("sparse input picked %v", got)
+	}
+	if !IsSorted(keys) {
+		t.Fatal("not sorted")
+	}
+	// Stability requirement: LSB regardless.
+	keys = gen.Uniform[uint32](n, 0, 7)
+	vals = RIDs[uint32](n)
+	if got := Sort(keys, vals, true, false, &SortOptions{Threads: 2}); got != LSB {
+		t.Fatalf("stable requirement picked %v", got)
+	}
+	if !IsStableSorted(keys, vals) {
+		t.Fatal("not stable")
+	}
+}

@@ -1,0 +1,137 @@
+package partsort
+
+import (
+	"repro/internal/kv"
+	"repro/internal/numa"
+	"repro/internal/sortalgo"
+)
+
+// SortStats is the per-phase wall-clock breakdown of a sort run, matching
+// the phases of the paper's Figures 11 and 13.
+type SortStats = sortalgo.Stats
+
+// SortOptions configures the sorting algorithms. The zero value (or a nil
+// pointer) selects sensible defaults: one worker per logical CPU is NOT
+// assumed — set Threads explicitly for parallel runs.
+type SortOptions struct {
+	// Threads is the number of worker goroutines (default 1).
+	Threads int
+	// Regions simulates a NUMA topology with this many regions and
+	// engages the NUMA-aware layout: range-split first pass plus one
+	// cross-region shuffle (default 1: no NUMA layer).
+	Regions int
+	// Oblivious disables the NUMA-aware layout even when Regions > 1.
+	Oblivious bool
+	// RadixBits is the per-pass radix fanout in bits (default 8).
+	RadixBits int
+	// RangeFanout is the comparison sort's per-pass fanout (default 360).
+	RangeFanout int
+	// CacheTuples overrides the cache-resident threshold in tuples.
+	CacheTuples int
+	// Stats, when non-nil, receives the phase breakdown.
+	Stats *SortStats
+	// Seed makes splitter sampling deterministic (default fixed).
+	Seed uint64
+}
+
+func (o *SortOptions) toInternal() (sortalgo.Options, *numa.Topology) {
+	if o == nil {
+		o = &SortOptions{}
+	}
+	var topo *numa.Topology
+	if o.Regions > 1 {
+		topo = numa.NewTopology(o.Regions)
+	}
+	return sortalgo.Options{
+		Threads:     o.Threads,
+		Topo:        topo,
+		Oblivious:   o.Oblivious,
+		RadixBits:   o.RadixBits,
+		RangeFanout: o.RangeFanout,
+		CacheTuples: o.CacheTuples,
+		Stats:       o.Stats,
+		Seed:        o.Seed,
+	}, topo
+}
+
+// SortLSB sorts (keys, vals) by key with the stable NUMA-aware LSB
+// radix-sort (Section 4.2.1): the fastest choice for dense (compressed)
+// key domains, using one linear auxiliary array allocated internally.
+// Payloads of equal keys keep their input order.
+func SortLSB[K Key](keys, vals []K, opt *SortOptions) {
+	checkPairs(keys, vals)
+	tmpK := make([]K, len(keys))
+	tmpV := make([]K, len(vals))
+	SortLSBWithScratch(keys, vals, tmpK, tmpV, opt)
+}
+
+// SortLSBWithScratch is SortLSB with caller-provided auxiliary arrays
+// (same length as keys), for pre-allocated pipelines.
+func SortLSBWithScratch[K Key](keys, vals, tmpKeys, tmpVals []K, opt *SortOptions) {
+	checkPairs(keys, vals)
+	if len(tmpKeys) != len(keys) || len(tmpVals) != len(keys) {
+		panic("partsort: scratch arrays must match the input length")
+	}
+	io, _ := opt.toInternal()
+	sortalgo.LSB(keys, vals, tmpKeys, tmpVals, io)
+}
+
+// SortMSB sorts (keys, vals) by key with the fully in-place MSB radix-sort
+// (Section 4.2.2): no linear auxiliary space, and passes proportional to
+// log n rather than the key domain width — the best choice for sparse
+// domains or when memory is tight. Not stable.
+func SortMSB[K Key](keys, vals []K, opt *SortOptions) {
+	checkPairs(keys, vals)
+	io, _ := opt.toInternal()
+	sortalgo.MSB(keys, vals, io)
+}
+
+// SortCMP sorts (keys, vals) by key with the range-partitioning comparison
+// sort (Section 4.3): sampled splitters give perfect load balance and skew
+// immunity regardless of the key distribution; heavily repeated keys get
+// single-key partitions that skip sorting entirely. Uses one linear
+// auxiliary array allocated internally. Not stable.
+func SortCMP[K Key](keys, vals []K, opt *SortOptions) {
+	checkPairs(keys, vals)
+	tmpK := make([]K, len(keys))
+	tmpV := make([]K, len(vals))
+	SortCMPWithScratch(keys, vals, tmpK, tmpV, opt)
+}
+
+// SortCMPWithScratch is SortCMP with caller-provided auxiliary arrays.
+func SortCMPWithScratch[K Key](keys, vals, tmpKeys, tmpVals []K, opt *SortOptions) {
+	checkPairs(keys, vals)
+	if len(tmpKeys) != len(keys) || len(tmpVals) != len(keys) {
+		panic("partsort: scratch arrays must match the input length")
+	}
+	io, _ := opt.toInternal()
+	sortalgo.CMP(keys, vals, tmpKeys, tmpVals, io)
+}
+
+// IsSorted reports whether keys are in non-decreasing order.
+func IsSorted[K Key](keys []K) bool {
+	return kv.IsSorted(keys)
+}
+
+// SameMultiset reports whether two (key, payload) column pairs hold the
+// same tuple multiset — the permutation check for partition and sort
+// outputs. It uses an order-independent mixed checksum; collisions are
+// astronomically unlikely but not impossible.
+func SameMultiset[K Key](aKeys, aVals, bKeys, bVals []K) bool {
+	return kv.ChecksumPairs(aKeys, aVals) == kv.ChecksumPairs(bKeys, bVals)
+}
+
+// IsStableSorted reports whether keys are sorted and payloads of equal
+// keys are in strictly increasing order — the stability witness when
+// payloads are record ids.
+func IsStableSorted[K Key](keys, vals []K) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return false
+		}
+		if keys[i-1] == keys[i] && vals[i-1] >= vals[i] {
+			return false
+		}
+	}
+	return true
+}

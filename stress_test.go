@@ -1,0 +1,99 @@
+package partsort
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// Stress tests at multi-million-tuple scale: large enough that every code
+// path (block allocators, shuffles, recursion depths, buffer reuse) is
+// exercised far from its edge conditions. Skipped under -short.
+
+func stressSort(t *testing.T, name string, n int, run func(k, v []uint32)) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	keys := gen.ZipfKeys[uint32](n, uint64(n), 1.0, 99)
+	vals := RIDs[uint32](n)
+	origK := append([]uint32(nil), keys...)
+	origV := append([]uint32(nil), vals...)
+	run(keys, vals)
+	if !IsSorted(keys) {
+		t.Fatalf("%s: not sorted at n=%d", name, n)
+	}
+	if !SameMultiset(origK, origV, keys, vals) {
+		t.Fatalf("%s: multiset changed at n=%d", name, n)
+	}
+}
+
+func TestStressLSB(t *testing.T) {
+	stressSort(t, "LSB", 4<<20, func(k, v []uint32) {
+		SortLSB(k, v, &SortOptions{Threads: 4, Regions: 4})
+	})
+}
+
+func TestStressMSB(t *testing.T) {
+	stressSort(t, "MSB", 4<<20, func(k, v []uint32) {
+		SortMSB(k, v, &SortOptions{Threads: 4, Regions: 4})
+	})
+}
+
+func TestStressCMP(t *testing.T) {
+	stressSort(t, "CMP", 4<<20, func(k, v []uint32) {
+		SortCMP(k, v, &SortOptions{Threads: 4, Regions: 4, RangeFanout: 1000})
+	})
+}
+
+func TestStressPartitionBlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	n := 4 << 20
+	keys := gen.Uniform[uint32](n, 0, 3)
+	vals := RIDs[uint32](n)
+	origK := append([]uint32(nil), keys...)
+	origV := append([]uint32(nil), vals...)
+	fn := Hash[uint32](512)
+	bl := PartitionBlocks(keys, vals, fn, 4096, 4)
+	starts := bl.Compact(4)
+	if starts[len(starts)-1] != n {
+		t.Fatal("tuples lost")
+	}
+	for p := 0; p+1 < len(starts); p++ {
+		for i := starts[p]; i < starts[p+1]; i += 997 {
+			if fn.Partition(keys[i]) != p {
+				t.Fatal("misplaced tuple")
+			}
+		}
+	}
+	if !SameMultiset(origK, origV, keys, vals) {
+		t.Fatal("multiset changed")
+	}
+}
+
+func TestStressSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	n := 2 << 20
+	keys := gen.Uniform[uint32](n, 0, 5)
+	vals := RIDs[uint32](n)
+	origK := append([]uint32(nil), keys...)
+	origV := append([]uint32(nil), vals...)
+	fn := Hash[uint32](64)
+	hist := PartitionInPlaceShared(keys, vals, fn, 8)
+	o := 0
+	for p, h := range hist {
+		for i := o; i < o+h; i += 131 {
+			if fn.Partition(keys[i]) != p {
+				t.Fatal("misplaced tuple")
+			}
+		}
+		o += h
+	}
+	if !SameMultiset(origK, origV, keys, vals) {
+		t.Fatal("multiset changed")
+	}
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full verification: build, vet, tests (with race detector), examples,
+# and a smoke pass over the figure harness and benchmarks.
+set -eux
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/part/ ./internal/sortalgo/ .
+go run ./cmd/figures -quick > /dev/null
+go run ./cmd/sortcli -n 100000 -algo lsb > /dev/null
+go run ./cmd/partcli -n 100000 -variant sync -threads 4 > /dev/null
+go run ./cmd/tracecli -n 65536 -fanout 512 > /dev/null
+go test -run xxx -bench 'Fig03|Fig09' -benchtime 0.2s . > /dev/null
+
+echo "verify: OK"
