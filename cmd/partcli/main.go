@@ -7,13 +7,17 @@
 //	partcli -fanout 1024 -fn radix -variant nip-ooc
 //	partcli -fanout 360 -fn range -variant blocks -threads 4
 //	partcli -fanout 64 -fn hash -variant sync -dist zipf -theta 1.2
+//	partcli -fanout 1024 -variant ip-ooc -stats        # event counters
+//	partcli -fanout 1024 -variant sync -trace t.json   # Perfetto trace
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	partsort "repro"
@@ -35,19 +39,61 @@ func main() {
 		width   = flag.Int("width", 32, "key width: 32 or 64")
 		threads = flag.Int("threads", 1, "workers (parallel/sync/blocks variants)")
 		seed    = flag.Uint64("seed", 42, "generator seed")
+		stats   = flag.Bool("stats", false, "print the observability counter snapshot for the pass")
+		jsonOut = flag.Bool("json", false, "print the result as one machine-readable JSON object")
+		traceTo = flag.String("trace", "", "write a span trace to this file: .jsonl extension selects JSON-lines, anything else Chrome trace-event JSON")
 	)
 	flag.Parse()
+
+	if *traceTo != "" || *stats || *jsonOut {
+		var sink partsort.TraceSink
+		if *traceTo != "" {
+			f, err := os.Create(*traceTo)
+			if err != nil {
+				fatal(err.Error())
+			}
+			defer f.Close()
+			if strings.HasSuffix(*traceTo, ".jsonl") {
+				sink = partsort.NewJSONLSink(f)
+			} else {
+				sink = partsort.NewChromeTraceSink(f)
+			}
+		}
+		partsort.StartObservability(sink)
+		defer func() {
+			if err := partsort.StopObservability(); err != nil {
+				fatal("closing trace sink: " + err.Error())
+			}
+		}()
+	}
+
 	switch *width {
 	case 32:
-		run[uint32](*n, *fanout, *fnName, *variant, *dist, *theta, *threads, *seed)
+		run[uint32](*n, *fanout, *fnName, *variant, *dist, *theta, *threads, *seed, *stats, *jsonOut)
 	case 64:
-		run[uint64](*n, *fanout, *fnName, *variant, *dist, *theta, *threads, *seed)
+		run[uint64](*n, *fanout, *fnName, *variant, *dist, *theta, *threads, *seed, *stats, *jsonOut)
 	default:
 		fatal("width must be 32 or 64")
 	}
 }
 
-func run[K kv.Key](n, fanout int, fnName, variant, dist string, theta float64, threads int, seed uint64) {
+// partResult is the machine-readable output of -json.
+type partResult struct {
+	Variant     string               `json:"variant"`
+	Fn          string               `json:"fn"`
+	Fanout      int                  `json:"fanout"`
+	N           int                  `json:"n"`
+	WidthBits   int                  `json:"width_bits"`
+	Threads     int                  `json:"threads"`
+	ElapsedNs   int64                `json:"elapsed_ns"`
+	MTuplesPerS float64              `json:"mtuples_per_s"`
+	MinPart     int                  `json:"min_part"`
+	MaxPart     int                  `json:"max_part"`
+	NonEmpty    int                  `json:"non_empty"`
+	Counters    partsort.ObsCounters `json:"counters"`
+}
+
+func run[K kv.Key](n, fanout int, fnName, variant, dist string, theta float64, threads int, seed uint64, stats, jsonOut bool) {
 	var keys []K
 	switch dist {
 	case "uniform":
@@ -75,6 +121,10 @@ func run[K kv.Key](n, fanout int, fnName, variant, dist string, theta float64, t
 	default:
 		fatal("unknown function " + fnName)
 	}
+
+	// Counter deltas for this pass: snapshot around the timed region so the
+	// range-splitter sampling above is excluded.
+	before := partsort.ObservedCounters()
 
 	var hist []int
 	var d time.Duration
@@ -109,6 +159,8 @@ func run[K kv.Key](n, fanout int, fnName, variant, dist string, theta float64, t
 		fatal("unknown variant " + variant)
 	}
 
+	cs := partsort.ObservedCounters().Sub(before)
+
 	minB, maxB, nonEmpty := n, 0, 0
 	for _, h := range hist {
 		if h > 0 {
@@ -116,11 +168,46 @@ func run[K kv.Key](n, fanout int, fnName, variant, dist string, theta float64, t
 		}
 		minB, maxB = min(minB, h), max(maxB, h)
 	}
+	rate := 0.0
+	if d > 0 && n > 0 {
+		rate = float64(n) / d.Seconds() / 1e6
+	}
+
+	if jsonOut {
+		res := partResult{
+			Variant:     variant,
+			Fn:          fnName,
+			Fanout:      len(hist),
+			N:           n,
+			WidthBits:   kv.Width[K](),
+			Threads:     threads,
+			ElapsedNs:   d.Nanoseconds(),
+			MTuplesPerS: rate,
+			MinPart:     minB,
+			MaxPart:     maxB,
+			NonEmpty:    nonEmpty,
+			Counters:    cs,
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+			fatal(err.Error())
+		}
+		return
+	}
+
 	fmt.Printf("%s/%s %d-way over %d %d-bit tuples: %.2f ms (%.1f Mtuples/s)\n",
 		variant, fnName, len(hist), n, kv.Width[K](),
-		float64(d.Microseconds())/1000, float64(n)/d.Seconds()/1e6)
+		float64(d.Microseconds())/1000, rate)
+	mean := 0
+	if len(hist) > 0 {
+		mean = n / len(hist)
+	}
 	fmt.Printf("balance: min %d / mean %d / max %d tuples, %d/%d partitions non-empty\n",
-		minB, n/len(hist), maxB, nonEmpty, len(hist))
+		minB, mean, maxB, nonEmpty, len(hist))
+	if stats {
+		fmt.Printf("counters: tuples %d  flushes %d  swap-cycles %d  sync-claims %d  parks %d  remote %d B  samples %d\n",
+			cs.TuplesPartitioned, cs.BufferFlushes, cs.SwapCycles, cs.SyncClaims,
+			cs.SyncParks, cs.RemoteBytes, cs.SplitterSamples)
+	}
 }
 
 // fnWrap fixes the concrete type for the generic kernels when fn is held

@@ -8,13 +8,19 @@
 //
 //	sortcli -n 10000000 -dist zipf -theta 1.2 -algo msb -threads 4
 //	sortcli -keys keys.bin -vals rids.bin -width 64 -algo lsb -out sorted
+//	sortcli -n 1000000 -algo lsb -stats -json          # machine-readable stats
+//	sortcli -n 1000000 -algo lsb -trace trace.json     # open in Perfetto
+//	sortcli -n 1000000 -algo lsb -gotrace go.trace     # go tool trace go.trace
 package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/trace"
+	"strings"
 	"time"
 
 	partsort "repro"
@@ -22,44 +28,117 @@ import (
 	"repro/internal/kv"
 )
 
+// cfg bundles the command-line configuration.
+type cfg struct {
+	n       int
+	dist    string
+	theta   float64
+	domain  uint64
+	algo    string
+	threads int
+	regions int
+	keysIn  string
+	valsIn  string
+	out     string
+	stats   bool
+	jsonOut bool
+	seed    uint64
+	dict    bool
+	verify  bool
+}
+
 func main() {
-	var (
-		n       = flag.Int("n", 1<<20, "tuples to generate when no -keys file is given")
-		dist    = flag.String("dist", "uniform", "generated distribution: uniform, dense, zipf, sorted, reversed")
-		theta   = flag.Float64("theta", 1.0, "Zipf parameter for -dist zipf")
-		domain  = flag.Uint64("domain", 0, "key domain size (0 = full width)")
-		algo    = flag.String("algo", "lsb", "sorting algorithm: lsb, msb, cmp")
-		width   = flag.Int("width", 32, "key/payload width in bits: 32 or 64")
-		threads = flag.Int("threads", 4, "worker goroutines")
-		regions = flag.Int("regions", 1, "simulated NUMA regions")
-		keysIn  = flag.String("keys", "", "key column file (raw little-endian)")
-		valsIn  = flag.String("vals", "", "payload column file (default: record ids)")
-		out     = flag.String("out", "", "output prefix; writes <out>.keys and <out>.vals")
-		stats   = flag.Bool("stats", false, "print the per-phase breakdown")
-		seed    = flag.Uint64("seed", 42, "generator seed")
-		dict    = flag.Bool("dict", false, "dictionary-compress keys before sorting (order-preserving), decode after — reduces LSB passes on sparse domains")
-		verify  = flag.Bool("verify", false, "keep a copy of the input and verify the output multiset (and stability for lsb)")
-	)
+	var c cfg
+	flag.IntVar(&c.n, "n", 1<<20, "tuples to generate when no -keys file is given")
+	flag.StringVar(&c.dist, "dist", "uniform", "generated distribution: uniform, dense, zipf, sorted, reversed")
+	flag.Float64Var(&c.theta, "theta", 1.0, "Zipf parameter for -dist zipf")
+	flag.Uint64Var(&c.domain, "domain", 0, "key domain size (0 = full width)")
+	flag.StringVar(&c.algo, "algo", "lsb", "sorting algorithm: lsb, msb, cmp")
+	width := flag.Int("width", 32, "key/payload width in bits: 32 or 64")
+	flag.IntVar(&c.threads, "threads", 4, "worker goroutines")
+	flag.IntVar(&c.regions, "regions", 1, "simulated NUMA regions")
+	flag.StringVar(&c.keysIn, "keys", "", "key column file (raw little-endian)")
+	flag.StringVar(&c.valsIn, "vals", "", "payload column file (default: record ids)")
+	flag.StringVar(&c.out, "out", "", "output prefix; writes <out>.keys and <out>.vals")
+	flag.BoolVar(&c.stats, "stats", false, "print the per-phase breakdown and event counters")
+	flag.BoolVar(&c.jsonOut, "json", false, "print the result as one machine-readable JSON object")
+	flag.Uint64Var(&c.seed, "seed", 42, "generator seed")
+	flag.BoolVar(&c.dict, "dict", false, "dictionary-compress keys before sorting (order-preserving), decode after — reduces LSB passes on sparse domains")
+	flag.BoolVar(&c.verify, "verify", false, "keep a copy of the input and verify the output multiset (and stability for lsb)")
+	traceOut := flag.String("trace", "", "write a span trace to this file: .jsonl extension selects JSON-lines, anything else Chrome trace-event JSON (open in Perfetto)")
+	gotrace := flag.String("gotrace", "", "write a runtime/trace file for `go tool trace`")
 	flag.Parse()
+
+	// Start the Go execution tracer first so the obs session sees it and
+	// annotates passes as runtime/trace regions.
+	if *gotrace != "" {
+		f, err := os.Create(*gotrace)
+		if err != nil {
+			fatal(err.Error())
+		}
+		if err := trace.Start(f); err != nil {
+			fatal(err.Error())
+		}
+		defer trace.Stop()
+	}
+	if *traceOut != "" || c.stats || c.jsonOut {
+		var sink partsort.TraceSink
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err.Error())
+			}
+			defer f.Close()
+			if strings.HasSuffix(*traceOut, ".jsonl") {
+				sink = partsort.NewJSONLSink(f)
+			} else {
+				sink = partsort.NewChromeTraceSink(f)
+			}
+		}
+		partsort.StartObservability(sink)
+		defer func() {
+			if err := partsort.StopObservability(); err != nil {
+				fatal("closing trace sink: " + err.Error())
+			}
+		}()
+	}
 
 	switch *width {
 	case 32:
-		run[uint32](*n, *dist, *theta, *domain, *algo, *threads, *regions, *keysIn, *valsIn, *out, *stats, *seed, *dict, *verify)
+		run[uint32](c)
 	case 64:
-		run[uint64](*n, *dist, *theta, *domain, *algo, *threads, *regions, *keysIn, *valsIn, *out, *stats, *seed, *dict, *verify)
+		run[uint64](c)
 	default:
 		fatal("width must be 32 or 64")
 	}
 }
 
-func run[K kv.Key](n int, dist string, theta float64, domain uint64, algo string,
-	threads, regions int, keysIn, valsIn, out string, stats bool, seed uint64, dict, verify bool) {
+// jsonResult is the machine-readable output of -json: the figure-harness
+// and CI contract (phase breakdown in nanoseconds, pass count, NUMA
+// traffic, region bounds, and the observability counter snapshot).
+type jsonResult struct {
+	Algo         string             `json:"algo"`
+	N            int                `json:"n"`
+	WidthBits    int                `json:"width_bits"`
+	Threads      int                `json:"threads"`
+	Regions      int                `json:"regions"`
+	Dist         string             `json:"dist,omitempty"`
+	ElapsedNs    int64              `json:"elapsed_ns"`
+	MTuplesPerS  float64            `json:"mtuples_per_s"`
+	Passes       int                `json:"passes"`
+	RemoteBytes  uint64             `json:"remote_bytes"`
+	RegionBounds []int              `json:"region_bounds,omitempty"`
+	PhaseNs      map[string]int64   `json:"phase_ns"`
+	Counters     partsort.ObsCounters `json:"counters"`
+	Verified     *bool              `json:"verified,omitempty"`
+}
 
+func run[K kv.Key](c cfg) {
 	var keys, vals []K
-	if keysIn != "" {
-		keys = mustRead[K](keysIn)
-		if valsIn != "" {
-			vals = mustRead[K](valsIn)
+	if c.keysIn != "" {
+		keys = mustRead[K](c.keysIn)
+		if c.valsIn != "" {
+			vals = mustRead[K](c.valsIn)
 			if len(vals) != len(keys) {
 				fatal("key and payload files have different lengths")
 			}
@@ -67,35 +146,35 @@ func run[K kv.Key](n int, dist string, theta float64, domain uint64, algo string
 			vals = partsort.RIDs[K](len(keys))
 		}
 	} else {
-		switch dist {
+		switch c.dist {
 		case "uniform":
-			keys = gen.Uniform[K](n, domain, seed)
+			keys = gen.Uniform[K](c.n, c.domain, c.seed)
 		case "dense":
-			keys = gen.Dense[K](n, seed)
+			keys = gen.Dense[K](c.n, c.seed)
 		case "zipf":
-			d := domain
+			d := c.domain
 			if d == 0 {
-				d = uint64(n)
+				d = uint64(c.n)
 			}
-			keys = gen.ZipfKeys[K](n, d, theta, seed)
+			keys = gen.ZipfKeys[K](c.n, d, c.theta, c.seed)
 		case "sorted":
-			keys = gen.Sorted[K](n, domain, seed)
+			keys = gen.Sorted[K](c.n, c.domain, c.seed)
 		case "reversed":
-			keys = gen.Reversed[K](n, domain, seed)
+			keys = gen.Reversed[K](c.n, c.domain, c.seed)
 		default:
-			fatal("unknown distribution " + dist)
+			fatal("unknown distribution " + c.dist)
 		}
 		vals = partsort.RIDs[K](len(keys))
 	}
 
 	var origK, origV []K
-	if verify {
+	if c.verify {
 		origK = append([]K(nil), keys...)
 		origV = append([]K(nil), vals...)
 	}
 
 	var d *partsort.Dictionary[K]
-	if dict {
+	if c.dict {
 		var err error
 		dictStart := time.Now()
 		d = partsort.BuildDictionary(keys)
@@ -103,14 +182,16 @@ func run[K kv.Key](n int, dist string, theta float64, domain uint64, algo string
 		if err != nil {
 			fatal(err.Error())
 		}
-		fmt.Printf("dictionary: %d distinct values -> %d-bit dense codes (built in %.2f ms)\n",
-			d.Cardinality(), bitsFor(d.Cardinality()), float64(time.Since(dictStart).Microseconds())/1000)
+		if !c.jsonOut {
+			fmt.Printf("dictionary: %d distinct values -> %d-bit dense codes (built in %.2f ms)\n",
+				d.Cardinality(), bitsFor(d.Cardinality()), float64(time.Since(dictStart).Microseconds())/1000)
+		}
 	}
 
 	var st partsort.SortStats
-	opt := &partsort.SortOptions{Threads: threads, Regions: regions, Stats: &st}
+	opt := &partsort.SortOptions{Threads: c.threads, Regions: c.regions, Stats: &st}
 	start := time.Now()
-	switch algo {
+	switch c.algo {
 	case "lsb":
 		partsort.SortLSB(keys, vals, opt)
 	case "msb":
@@ -118,7 +199,7 @@ func run[K kv.Key](n int, dist string, theta float64, domain uint64, algo string
 	case "cmp":
 		partsort.SortCMP(keys, vals, opt)
 	default:
-		fatal("unknown algorithm " + algo)
+		fatal("unknown algorithm " + c.algo)
 	}
 	elapsed := time.Since(start)
 
@@ -135,28 +216,78 @@ func run[K kv.Key](n int, dist string, theta float64, domain uint64, algo string
 			fatal("decoded output not sorted (order-preservation bug)")
 		}
 	}
-	fmt.Printf("%s sorted %d %d-bit tuples in %.2f ms (%.1f Mtuples/s)\n",
-		algo, len(keys), kv.Width[K](), float64(elapsed.Microseconds())/1000,
-		float64(len(keys))/elapsed.Seconds()/1e6)
-	if stats {
-		fmt.Printf("  histogram %v  partition %v  shuffle %v  local %v  cache %v  (%d passes)\n",
-			st.Histogram, st.Partition, st.Shuffle, st.LocalRadix, st.CacheSort, st.Passes)
-	}
 
-	if verify {
+	var verified *bool
+	if c.verify {
 		if !partsort.SameMultiset(origK, origV, keys, vals) {
 			fatal("verification failed: output tuple multiset differs from input")
 		}
-		if algo == "lsb" && valsIn == "" && !partsort.IsStableSorted(keys, vals) {
+		if c.algo == "lsb" && c.valsIn == "" && !partsort.IsStableSorted(keys, vals) {
 			fatal("verification failed: lsb output not stable")
 		}
-		fmt.Println("verified: sorted, multiset preserved" + map[bool]string{true: ", stable", false: ""}[algo == "lsb" && valsIn == ""])
+		ok := true
+		verified = &ok
 	}
 
-	if out != "" {
-		mustWrite(out+".keys", keys)
-		mustWrite(out+".vals", vals)
-		fmt.Printf("wrote %s.keys and %s.vals\n", out, out)
+	rate := 0.0
+	if elapsed > 0 && len(keys) > 0 {
+		rate = float64(len(keys)) / elapsed.Seconds() / 1e6
+	}
+
+	if c.jsonOut {
+		res := jsonResult{
+			Algo:        c.algo,
+			N:           len(keys),
+			WidthBits:   kv.Width[K](),
+			Threads:     c.threads,
+			Regions:     c.regions,
+			ElapsedNs:   elapsed.Nanoseconds(),
+			MTuplesPerS: rate,
+			Passes:      st.Passes,
+			RemoteBytes: st.RemoteBytes,
+			RegionBounds: st.RegionBounds,
+			PhaseNs: map[string]int64{
+				"alloc":     st.Alloc.Nanoseconds(),
+				"histogram": st.Histogram.Nanoseconds(),
+				"partition": st.Partition.Nanoseconds(),
+				"shuffle":   st.Shuffle.Nanoseconds(),
+				"local":     st.LocalRadix.Nanoseconds(),
+				"cache":     st.CacheSort.Nanoseconds(),
+				"total":     st.Total().Nanoseconds(),
+			},
+			Counters: st.Counters,
+			Verified: verified,
+		}
+		if c.keysIn == "" {
+			res.Dist = c.dist
+		}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(res); err != nil {
+			fatal(err.Error())
+		}
+	} else {
+		fmt.Printf("%s sorted %d %d-bit tuples in %.2f ms (%.1f Mtuples/s)\n",
+			c.algo, len(keys), kv.Width[K](), float64(elapsed.Microseconds())/1000, rate)
+		if c.stats {
+			fmt.Printf("  histogram %v  partition %v  shuffle %v  local %v  cache %v  (%d passes)\n",
+				st.Histogram, st.Partition, st.Shuffle, st.LocalRadix, st.CacheSort, st.Passes)
+			cs := st.Counters
+			fmt.Printf("  counters: tuples %d  flushes %d  swap-cycles %d  sync-claims %d  parks %d  remote %d B  samples %d  comb-leaves %d\n",
+				cs.TuplesPartitioned, cs.BufferFlushes, cs.SwapCycles, cs.SyncClaims,
+				cs.SyncParks, cs.RemoteBytes, cs.SplitterSamples, cs.CombSortLeaves)
+		}
+		if verified != nil {
+			fmt.Println("verified: sorted, multiset preserved" +
+				map[bool]string{true: ", stable", false: ""}[c.algo == "lsb" && c.valsIn == ""])
+		}
+	}
+
+	if c.out != "" {
+		mustWrite(c.out+".keys", keys)
+		mustWrite(c.out+".vals", vals)
+		if !c.jsonOut {
+			fmt.Printf("wrote %s.keys and %s.vals\n", c.out, c.out)
+		}
 	}
 }
 

@@ -1,0 +1,121 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// sortcli/partcli -trace, plus (optionally) the counter invariants of a
+// matching sortcli -json stats file. It is the CI gate behind verify.sh's
+// observability smoke: exit 0 means the trace is well-formed and the
+// requested structural properties hold.
+//
+// Examples:
+//
+//	sortcli -n 100000 -algo lsb -trace t.json -json > stats.json
+//	tracecheck -require-pass -workers 4 -stats stats.json t.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// event mirrors the Chrome trace-event fields the sinks emit.
+type event struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	Ts   *float64         `json:"ts"`
+	Dur  *float64         `json:"dur"`
+	Pid  *int             `json:"pid"`
+	Tid  *int             `json:"tid"`
+	Args map[string]int64 `json:"args"`
+}
+
+// stats mirrors the subset of sortcli -json output that tracecheck
+// reconciles against the trace.
+type stats struct {
+	Algo     string `json:"algo"`
+	N        uint64 `json:"n"`
+	Passes   uint64 `json:"passes"`
+	Counters struct {
+		TuplesPartitioned uint64 `json:"tuples_partitioned"`
+	} `json:"counters"`
+}
+
+func main() {
+	requirePass := flag.Bool("require-pass", false, "require at least one span with cat \"pass\"")
+	workers := flag.Int("workers", 0, "require spans from at least this many distinct worker tids (cat \"worker\")")
+	statsFile := flag.String("stats", "", "sortcli -json output to reconcile: for lsb, tuples_partitioned must equal passes*n")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fail("usage: tracecheck [flags] <trace.json>")
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err.Error())
+	}
+	var events []event
+	if err := json.Unmarshal(data, &events); err != nil {
+		fail("not a JSON array of trace events: " + err.Error())
+	}
+
+	passSpans := 0
+	workerTids := map[int]bool{}
+	for i, e := range events {
+		switch e.Ph {
+		case "X":
+			if e.Name == "" || e.Ts == nil || e.Dur == nil || e.Pid == nil || e.Tid == nil {
+				fail(fmt.Sprintf("event %d: complete event missing name/ts/dur/pid/tid", i))
+			}
+			if *e.Ts < 0 || *e.Dur < 0 {
+				fail(fmt.Sprintf("event %d: negative ts or dur", i))
+			}
+		case "i":
+			if e.Name == "" || e.Ts == nil {
+				fail(fmt.Sprintf("event %d: instant event missing name/ts", i))
+			}
+		default:
+			fail(fmt.Sprintf("event %d: unexpected phase %q", i, e.Ph))
+		}
+		switch e.Cat {
+		case "pass":
+			passSpans++
+		case "worker":
+			workerTids[*e.Tid] = true
+		}
+	}
+
+	if *requirePass && passSpans == 0 {
+		fail("no spans with cat \"pass\" in trace")
+	}
+	if len(workerTids) < *workers {
+		fail(fmt.Sprintf("spans from %d distinct worker tids, want >= %d", len(workerTids), *workers))
+	}
+
+	if *statsFile != "" {
+		sdata, err := os.ReadFile(*statsFile)
+		if err != nil {
+			fail(err.Error())
+		}
+		var st stats
+		if err := json.Unmarshal(sdata, &st); err != nil {
+			fail("stats file: " + err.Error())
+		}
+		// LSB scatters all n tuples exactly once per pass; MSB/CMP recurse
+		// and repartition sub-ranges, so equality holds only for lsb.
+		if st.Algo == "lsb" {
+			want := st.Passes * st.N
+			if st.Counters.TuplesPartitioned != want {
+				fail(fmt.Sprintf("lsb counter reconciliation: tuples_partitioned = %d, want passes*n = %d*%d = %d",
+					st.Counters.TuplesPartitioned, st.Passes, st.N, want))
+			}
+		}
+	}
+
+	fmt.Printf("tracecheck: %d events ok (%d pass spans, %d worker tids)\n",
+		len(events), passSpans, len(workerTids))
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", msg)
+	os.Exit(1)
+}

@@ -15,6 +15,7 @@ package join
 
 import (
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/part"
 	"repro/internal/pfunc"
 	"repro/internal/sortalgo"
@@ -96,6 +97,7 @@ func HashJoin[K kv.Key](build, probe Relation[K], emit Emit[K], opt HashJoinOpti
 	}
 	fn := pfunc.NewHash[K](fanout)
 
+	sp := obs.Begin("hashjoin-partition", "join", -1)
 	bK := make([]K, build.Len())
 	bV := make([]K, build.Len())
 	bHist := part.ParallelNonInPlace(build.Keys, build.Vals, bK, bV, fn, opt.Threads)
@@ -103,7 +105,9 @@ func HashJoin[K kv.Key](build, probe Relation[K], emit Emit[K], opt HashJoinOpti
 	pK := make([]K, probe.Len())
 	pV := make([]K, probe.Len())
 	pHist := part.ParallelNonInPlace(probe.Keys, probe.Vals, pK, pV, fn, opt.Threads)
+	sp.EndN(int64(build.Len() + probe.Len()))
 
+	sp = obs.Begin("hashjoin-probe", "join", -1)
 	bo, po := 0, 0
 	for q := 0; q < fanout; q++ {
 		bn, pn := bHist[q], pHist[q]
@@ -114,6 +118,7 @@ func HashJoin[K kv.Key](build, probe Relation[K], emit Emit[K], opt HashJoinOpti
 		bo += bn
 		po += pn
 	}
+	sp.End()
 }
 
 // joinPiece joins one cache-resident piece pair.
@@ -154,9 +159,12 @@ func SortMergeJoin[K kv.Key](build, probe Relation[K], emit Emit[K], opt SortMer
 	tmpK := make([]K, max(len(bK), len(pK)))
 	tmpV := make([]K, max(len(bV), len(pV)))
 	so := sortalgo.Options{Threads: opt.Threads}
+	sp := obs.Begin("sortmerge-sort", "join", -1)
 	sortalgo.LSB(bK, bV, tmpK[:len(bK)], tmpV[:len(bV)], so)
 	sortalgo.LSB(pK, pV, tmpK[:len(pK)], tmpV[:len(pV)], so)
+	sp.EndN(int64(len(bK) + len(pK)))
 
+	sp = obs.Begin("sortmerge-merge", "join", -1)
 	i, j := 0, 0
 	for i < len(bK) && j < len(pK) {
 		switch {
@@ -182,4 +190,5 @@ func SortMergeJoin[K kv.Key](build, probe Relation[K], emit Emit[K], opt SortMer
 			i, j = iEnd, jEnd
 		}
 	}
+	sp.End()
 }

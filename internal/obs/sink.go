@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one completed span (or, for Cat "meta", a point event carrying
+// arguments such as the final counter totals).
+type Event struct {
+	Name   string
+	Cat    string
+	Worker int           // -1 for coordinator-level spans
+	Start  time.Duration // since session epoch
+	Dur    time.Duration
+	N      int64             // optional item count (0 = not applicable)
+	Args   map[string]uint64 // optional extra arguments (meta events)
+}
+
+// Sink receives completed spans. Implementations must be safe for
+// concurrent Emit calls; Close flushes and finalizes the output.
+type Sink interface {
+	Emit(Event)
+	Close() error
+}
+
+// JSONLSink writes one JSON object per line — trivially parseable by any
+// log pipeline, and robust to truncation.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a JSONL sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+type jsonlEvent struct {
+	Name   string            `json:"name"`
+	Cat    string            `json:"cat"`
+	Worker int               `json:"worker"`
+	TsUs   float64           `json:"ts_us"`
+	DurUs  float64           `json:"dur_us"`
+	N      int64             `json:"n,omitempty"`
+	Args   map[string]uint64 `json:"args,omitempty"`
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Encoder errors are deliberately dropped: observability must never
+	// fail the workload it observes.
+	_ = s.enc.Encode(jsonlEvent{
+		Name:   e.Name,
+		Cat:    e.Cat,
+		Worker: e.Worker,
+		TsUs:   float64(e.Start.Nanoseconds()) / 1e3,
+		DurUs:  float64(e.Dur.Nanoseconds()) / 1e3,
+		N:      e.N,
+		Args:   e.Args,
+	})
+}
+
+// Close implements Sink (JSONL needs no trailer).
+func (s *JSONLSink) Close() error {
+	return nil
+}
+
+// ChromeSink writes the Chrome trace-event JSON array format, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Spans become complete
+// ("X") events; worker w maps to tid w+1 so coordinator spans (worker -1)
+// land on tid 0. A zero-event session still closes to the valid document
+// "[]".
+type ChromeSink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	started bool
+	closed  bool
+}
+
+// NewChromeTraceSink returns a Chrome trace-event sink writing to w.
+func NewChromeTraceSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{w: w}
+}
+
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"` // microseconds
+	Dur  float64          `json:"dur"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// Emit implements Sink.
+func (s *ChromeSink) Emit(e Event) {
+	ce := chromeEvent{
+		Name: e.Name,
+		Cat:  e.Cat,
+		Ph:   "X",
+		Ts:   float64(e.Start.Nanoseconds()) / 1e3,
+		Dur:  float64(e.Dur.Nanoseconds()) / 1e3,
+		Pid:  1,
+		Tid:  e.Worker + 1,
+	}
+	if e.Cat == "meta" {
+		ce.Ph = "i" // instant event
+	}
+	if e.N != 0 || len(e.Args) > 0 {
+		ce.Args = make(map[string]int64, len(e.Args)+1)
+		if e.N != 0 {
+			ce.Args["n"] = e.N
+		}
+		for k, v := range e.Args {
+			ce.Args[k] = int64(v)
+		}
+	}
+	buf, err := json.Marshal(ce)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if !s.started {
+		_, _ = s.w.Write([]byte("[\n"))
+		s.started = true
+	} else {
+		_, _ = s.w.Write([]byte(",\n"))
+	}
+	_, _ = s.w.Write(buf)
+}
+
+// Close implements Sink, terminating the JSON array.
+func (s *ChromeSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if !s.started {
+		_, err := s.w.Write([]byte("[]\n"))
+		return err
+	}
+	_, err := s.w.Write([]byte("\n]\n"))
+	return err
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/pfunc"
 )
 
@@ -103,15 +104,16 @@ func (b *Blocks[K]) AppendTo(p int, dstK, dstV []K) int {
 // cache-line buffers (the fast non-in-place out-of-cache inner loop of
 // Algorithm 3, writing into blocks instead of a single segment).
 type blockWriter[K kv.Key] struct {
-	store *BlockStore[K]
-	alloc func() int32
-	l     int
-	lists [][]BlockRef
-	cnt   []int
-	fill  []int32 // fill of the current (last) block; -1 when no block yet
-	bufK  []K
-	bufV  []K
-	bufN  []int32
+	store   *BlockStore[K]
+	alloc   func() int32
+	l       int
+	lists   [][]BlockRef
+	cnt     []int
+	fill    []int32 // fill of the current (last) block; -1 when no block yet
+	bufK    []K
+	bufV    []K
+	bufN    []int32
+	flushes uint64 // line write-backs, published to obs by the caller
 }
 
 func newBlockWriter[K kv.Key](store *BlockStore[K], p int, alloc func() int32) *blockWriter[K] {
@@ -165,6 +167,7 @@ func (w *blockWriter[K]) flushLine(p, m int) {
 	copy(vs[f:int(f)+m], w.bufV[p*w.l:p*w.l+m])
 	w.fill[p] = f + int32(m)
 	w.lists[p][len(w.lists[p])-1].Len = w.fill[p]
+	w.flushes++
 }
 
 // drain flushes the partial lines and returns the finished lists.
@@ -205,6 +208,7 @@ func ToBlocks[K kv.Key, F pfunc.Func[K]](srcK, srcV []K, fn F, store *BlockStore
 		w.add(fn.Partition(k), k, srcV[i])
 	}
 	lists, cnt := w.drain()
+	publishScatter(len(srcK), w.flushes)
 	return &Blocks[K]{Store: store, Lists: lists, Counts: cnt}
 }
 
@@ -282,7 +286,9 @@ func toBlocksChunk[K kv.Key, F pfunc.Func[K]](store *BlockStore[K], keys, vals [
 	for i := range savedK {
 		w.add(fn.Partition(savedK[i]), savedK[i], savedV[i])
 	}
-	return w.drain()
+	lists, cnt := w.drain()
+	publishScatter(hi-lo, w.flushes)
+	return lists, cnt
 }
 
 // ToBlocksInPlaceParallel is the multi-threaded in-place block
@@ -323,7 +329,9 @@ func ToBlocksInPlaceParallel[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, bl
 				hi = n // the last chunk takes the unaligned tail
 			}
 			scrLo := store.nPrimary + t*scratchPer
+			sp := obs.Begin("to-blocks", "worker", t)
 			lists, counts := toBlocksChunk(store, keys, vals, lo, hi, fn, blockBounds[t+1], scrLo, scrLo+scratchPer)
+			sp.EndN(int64(hi - lo))
 			results[t] = result{lists, counts}
 		}(t)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kv"
 	"repro/internal/numa"
+	"repro/internal/obs"
 )
 
 // RepackLists compacts every partition's block list in parallel so that
@@ -209,7 +210,9 @@ func ShuffleBlocksInPlace[K kv.Key](blocks *Blocks[K], opt ShuffleOptions) []int
 	if opt.Workers < 1 {
 		opt.Workers = 1
 	}
+	sp := obs.Begin("repack", "shuffle", -1)
 	RepackLists(blocks, opt.Workers)
+	sp.End()
 
 	store := blocks.Store
 	np := len(blocks.Lists)
@@ -261,7 +264,9 @@ func ShuffleBlocksInPlace[K kv.Key](blocks *Blocks[K], opt ShuffleOptions) []int
 	hist[np] = slots - used
 	starts, _ := Starts(hist)
 
+	sp = obs.Begin("block-permute", "shuffle", -1)
 	SyncPermute(hist, starts, opt.Workers, mover)
+	sp.End()
 
 	// Move each partition's single partial block (if any) to its range end.
 	for p := 0; p < np; p++ {
@@ -278,6 +283,7 @@ func ShuffleBlocksInPlace[K kv.Key](blocks *Blocks[K], opt ShuffleOptions) []int
 	}
 
 	// Pack block contents down to tuple-contiguous position.
+	sp = obs.Begin("block-pack", "shuffle", -1)
 	tupleStarts := make([]int, np+1)
 	n := 0
 	for p := 0; p < np; p++ {
@@ -299,6 +305,7 @@ func ShuffleBlocksInPlace[K kv.Key](blocks *Blocks[K], opt ShuffleOptions) []int
 			panic("part: block shuffle lost tuples")
 		}
 	}
+	sp.EndN(int64(n))
 	return tupleStarts
 }
 

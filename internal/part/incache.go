@@ -2,6 +2,7 @@ package part
 
 import (
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/pfunc"
 )
 
@@ -20,6 +21,15 @@ func NonInPlaceInCache[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn
 		dstK[o] = k
 		dstV[o] = srcV[i]
 	}
+	publishTuples(len(srcK))
+}
+
+// publishTuples credits tuples moved by an unbuffered kernel to the obs
+// counters.
+func publishTuples(tuples int) {
+	if o := obs.Cur(); o != nil {
+		o.Counters.TuplesPartitioned.Add(uint64(tuples))
+	}
 }
 
 // NonInPlaceInCacheCodes is Algorithm 1 driven by precomputed partition
@@ -34,6 +44,7 @@ func NonInPlaceInCacheCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32,
 		dstK[o] = k
 		dstV[o] = srcV[i]
 	}
+	publishTuples(len(srcK))
 }
 
 // InPlaceInCacheLowHigh is the low-to-high swap-cycle formulation the
@@ -70,6 +81,7 @@ func InPlaceInCacheLowHigh[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist
 			next[q]++
 		}
 	}
+	publishTuples(len(keys))
 }
 
 // InPlaceInCache is Algorithm 2: in-place partitioning by swap cycles,
@@ -89,10 +101,12 @@ func InPlaceInCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []int)
 	}
 	q := 0
 	iend := 0 // base of the first incomplete partition: the next cycle head
+	var cycles uint64
 	for q < p && hist[q] == 0 {
 		q++
 	}
 	for q < p {
+		cycles++
 		// Start a swap cycle by lifting the tuple at the cycle head. The
 		// head slot (the base of partition q) is written last for q, so it
 		// still holds an unplaced tuple.
@@ -114,5 +128,9 @@ func InPlaceInCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []int)
 			iend += hist[q]
 			q++
 		}
+	}
+	if o := obs.Cur(); o != nil {
+		o.Counters.TuplesPartitioned.Add(uint64(len(keys)))
+		o.Counters.SwapCycles.Add(cycles)
 	}
 }

@@ -2,6 +2,7 @@ package part
 
 import (
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/pfunc"
 )
 
@@ -23,9 +24,10 @@ func LineTuples[K kv.Key]() int {
 // variants: one line of keys and one line of payloads per partition, laid
 // out flat so partition p's lines are contiguous.
 type lineBuffers[K kv.Key] struct {
-	l    int
-	keys []K
-	vals []K
+	l       int
+	keys    []K
+	vals    []K
+	flushes uint64 // line write-backs, published to obs by the caller
 }
 
 func newLineBuffers[K kv.Key](p int) *lineBuffers[K] {
@@ -59,6 +61,17 @@ func NonInPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K,
 		writeBuffered(buf, dstK, dstV, off, starts, p, k, srcV[i])
 	}
 	drainBuffers(buf, dstK, dstV, off, starts)
+	publishScatter(len(srcK), buf.flushes)
+}
+
+// publishScatter credits one buffered scatter call to the obs counters;
+// a single pointer load plus two atomic adds when enabled, a nil check
+// when not.
+func publishScatter(tuples int, flushes uint64) {
+	if o := obs.Cur(); o != nil {
+		o.Counters.TuplesPartitioned.Add(uint64(tuples))
+		o.Counters.BufferFlushes.Add(flushes)
+	}
 }
 
 // NonInPlaceOutOfCacheCodes is Algorithm 3 driven by precomputed partition
@@ -72,6 +85,7 @@ func NonInPlaceOutOfCacheCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int
 		writeBuffered(buf, dstK, dstV, off, starts, int(codes[i]), k, srcV[i])
 	}
 	drainBuffers(buf, dstK, dstV, off, starts)
+	publishScatter(len(srcK), buf.flushes)
 }
 
 // writeBuffered appends one tuple to partition p's line buffer, flushing
@@ -94,6 +108,7 @@ func writeBuffered[K kv.Key](buf *lineBuffers[K], dstK, dstV []K, off, starts []
 		bs := lo & (l - 1)
 		copy(dstK[lo:o+1], buf.keys[p*l+bs:p*l+l])
 		copy(dstV[lo:o+1], buf.vals[p*l+bs:p*l+l])
+		buf.flushes++
 	}
 }
 
@@ -112,6 +127,7 @@ func drainBuffers[K kv.Key](buf *lineBuffers[K], dstK, dstV []K, off, starts []i
 		bs := lo & (l - 1)
 		copy(dstK[lo:o], buf.keys[p*l+bs:p*l+bs+(o-lo)])
 		copy(dstV[lo:o], buf.vals[p*l+bs:p*l+bs+(o-lo)])
+		buf.flushes++
 	}
 }
 
@@ -148,10 +164,12 @@ func InPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []i
 
 	q := 0
 	iend := 0
+	var cycles uint64
 	for q < np && hist[q] == 0 {
 		q++
 	}
 	for q < np {
+		cycles++
 		// Lift the cycle head. Its slot may currently be staged in q's
 		// buffer (when q's final line is loaded), in which case the array
 		// holds stale data and the buffer holds the truth.
@@ -188,6 +206,11 @@ func InPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []i
 			q++
 		}
 	}
+	if o := obs.Cur(); o != nil {
+		o.Counters.TuplesPartitioned.Add(uint64(len(keys)))
+		o.Counters.BufferFlushes.Add(buf.flushes)
+		o.Counters.SwapCycles.Add(cycles)
+	}
 }
 
 // loadLine stages the line of partition p that ends at `end` (exclusive):
@@ -206,4 +229,5 @@ func loadLine[K kv.Key](buf *lineBuffers[K], keys, vals []K, base []int, end int
 func flushLine[K kv.Key](buf *lineBuffers[K], keys, vals []K, lo, hi, p, l int) {
 	copy(keys[lo:hi], buf.keys[p*l:p*l+hi-lo])
 	copy(vals[lo:hi], buf.vals[p*l:p*l+hi-lo])
+	buf.flushes++
 }

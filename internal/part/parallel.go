@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/pfunc"
 )
 
@@ -31,7 +32,9 @@ func ParallelHistograms[K kv.Key, F pfunc.Func[K]](keys []K, fn F, workers int) 
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
+			sp := obs.Begin("histogram", "worker", t)
 			hists[t] = Histogram(keys[bounds[t]:bounds[t+1]], fn)
+			sp.EndN(int64(bounds[t+1] - bounds[t]))
 		}(t)
 	}
 	wg.Wait()
@@ -49,11 +52,13 @@ func ParallelHistogramsCodes[K kv.Key, F pfunc.Func[K]](keys []K, fn F, codes []
 		go func(t int) {
 			defer wg.Done()
 			lo, hi := bounds[t], bounds[t+1]
+			sp := obs.Begin("histogram-codes", "worker", t)
 			if bl, ok := any(fn).(BatchLookuper[K]); ok {
 				hists[t] = HistogramCodesBatch(keys[lo:hi], bl, fn.Fanout(), codes[lo:hi])
 			} else {
 				hists[t] = HistogramCodes(keys[lo:hi], fn, codes[lo:hi])
 			}
+			sp.EndN(int64(hi - lo))
 		}(t)
 	}
 	wg.Wait()
@@ -116,7 +121,9 @@ func ParallelNonInPlace[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, f
 		go func(t int) {
 			defer wg.Done()
 			lo, hi := bounds[t], bounds[t+1]
+			sp := obs.Begin("scatter", "worker", t)
 			NonInPlaceOutOfCache(srcK[lo:hi], srcV[lo:hi], dstK, dstV, fn, starts[t])
+			sp.EndN(int64(hi - lo))
 		}(t)
 	}
 	wg.Wait()
@@ -138,7 +145,9 @@ func ParallelScatter[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F
 		go func(t int) {
 			defer wg.Done()
 			lo, hi := bounds[t], bounds[t+1]
+			sp := obs.Begin("scatter", "worker", t)
 			NonInPlaceOutOfCache(srcK[lo:hi], srcV[lo:hi], dstK, dstV, fn, starts[t])
+			sp.EndN(int64(hi - lo))
 		}(t)
 	}
 	wg.Wait()
@@ -159,7 +168,9 @@ func ParallelNonInPlaceCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32
 		go func(t int) {
 			defer wg.Done()
 			lo, hi := bounds[t], bounds[t+1]
+			sp := obs.Begin("scatter-codes", "worker", t)
 			NonInPlaceOutOfCacheCodes(srcK[lo:hi], srcV[lo:hi], dstK, dstV, codes[lo:hi], np, starts[t])
+			sp.EndN(int64(hi - lo))
 		}(t)
 	}
 	wg.Wait()
@@ -180,7 +191,9 @@ func ParallelInPlaceSharedNothing[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn 
 		go func(t int) {
 			defer wg.Done()
 			lo, hi := bounds[t], bounds[t+1]
+			sp := obs.Begin("inplace-chunk", "worker", t)
 			InPlaceOutOfCache(keys[lo:hi], vals[lo:hi], fn, hists[t])
+			sp.EndN(int64(hi - lo))
 		}(t)
 	}
 	wg.Wait()

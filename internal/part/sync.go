@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/pfunc"
 )
 
@@ -47,6 +48,7 @@ type Mover interface {
 func SyncPermute(hist, starts []int, workers int, m Mover) {
 	np := len(hist)
 	used := make([]atomic.Int64, np)
+	ob := obs.Cur()
 
 	type record struct {
 		park int // parking token holding an item of partition `part`
@@ -62,6 +64,8 @@ func SyncPermute(hist, starts []int, workers int, m Mover) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var claims uint64
+			sp := obs.Begin("sync-permute", "worker", w)
 			for k := 0; k < np; k++ {
 				// Start each worker at a different partition to spread
 				// counter contention.
@@ -72,6 +76,7 @@ func SyncPermute(hist, starts []int, workers int, m Mover) {
 					if i >= int64(hist[p]) {
 						break
 					}
+					claims++
 					ibeg := starts[p] + int(i)
 					m.LoadHand(w, ibeg)
 					for {
@@ -89,13 +94,21 @@ func SyncPermute(hist, starts []int, workers int, m Mover) {
 							mu.Unlock()
 							continue claims
 						}
+						claims++
 						m.SwapHand(w, starts[q]+int(j))
 					}
 				}
 			}
+			sp.EndN(int64(claims))
+			if ob != nil {
+				ob.Counters.SyncClaims.Add(claims)
+			}
 		}(w)
 	}
 	wg.Wait()
+	if ob != nil {
+		ob.Counters.SyncParks.Add(uint64(len(records)))
+	}
 
 	// Offline fix-up: the multiset of parked items' partitions equals the
 	// multiset of recorded slots' partitions, so a greedy match resolves
@@ -172,4 +185,5 @@ func InPlaceSynchronized[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist [
 		handK: make([]K, workers), handV: make([]K, workers),
 	}
 	SyncPermute(hist, starts, workers, m)
+	publishTuples(len(keys))
 }

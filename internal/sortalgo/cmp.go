@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/kv"
 	"repro/internal/numa"
+	"repro/internal/obs"
 	"repro/internal/part"
 	"repro/internal/rangeidx"
 	"repro/internal/splitter"
@@ -25,6 +26,13 @@ import (
 // or more get single-key partitions that skip sorting entirely.
 func CMP[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	opt = opt.withDefaults()
+	instrument(opt.Stats, "cmp", func() {
+		cmpRun(keys, vals, tmpK, tmpV, opt)
+	})
+}
+
+// cmpRun is CMP after defaults and instrumentation setup.
+func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	n := len(keys)
 	if n <= 1 {
 		return
@@ -60,12 +68,14 @@ func CMP[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	var starts []int    // global per-partition start offsets
 	if c == 1 || opt.Oblivious {
 		var hists [][]int
+		pass0 := obs.BeginPass(0, -1)
 		timed(st, phHistogram, func() {
 			hists = part.ParallelHistogramsCodes(keys, fn, codes, t)
 		})
 		timed(st, phPartition, func() {
 			part.ParallelNonInPlaceCodes(keys, vals, tmpK, tmpV, codes, hists, 0)
 		})
+		pass0.EndN(int64(n))
 		starts, _ = part.Starts(part.MergeHistograms(hists))
 		starts = append(starts, n)
 		// Data is in tmp; recursion delivers results back into keys.
@@ -83,6 +93,7 @@ func CMP[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	inBounds := equalBounds(n, c)
 	tpr := threadsPerRegion(opt)
 	regionHists := make([][][]int, c)
+	pass0 := obs.BeginPass(0, -1)
 	timed(st, phHistogram, func() {
 		var wg sync.WaitGroup
 		for r := 0; r < c; r++ {
@@ -173,6 +184,8 @@ func CMP[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 			meter.Flush()
 		})
 	})
+	pass0.EndN(int64(n))
+	addRemoteBytes(topo.RemoteBytes())
 	if st != nil {
 		st.Passes++
 		st.RemoteBytes = topo.RemoteBytes()
@@ -198,8 +211,10 @@ func cmpRecurseAll[K kv.Key](xK, xV, yK, yV []K, starts []int, singleKey []bool,
 	var wg sync.WaitGroup
 	for w := 0; w < opt.Threads; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			sp := obs.Begin("cmp-recurse", "worker", w)
+			var done int64
 			cs := NewCombSorter[K](ct + ct/2)
 			for q := range work {
 				lo, hi := starts[q], starts[q+1]
@@ -215,8 +230,10 @@ func cmpRecurseAll[K kv.Key](xK, xV, yK, yV []K, starts []int, singleKey []bool,
 					continue
 				}
 				cmpRecurse(xK[lo:hi], xV[lo:hi], yK[lo:hi], yV[lo:hi], wantInX, cs, opt, ct, &passNs, &leafNs)
+				done += int64(hi - lo)
 			}
-		}()
+			sp.EndN(done)
+		}(w)
 	}
 	for q := 0; q+1 < len(starts); q++ {
 		work <- q

@@ -10,6 +10,7 @@ package sortalgo
 
 import (
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/simd"
 )
 
@@ -97,6 +98,9 @@ func NewCombSorter[K kv.Key](capacity int) *CombSorter[K] {
 // the sorter's pad buffer up front and never read again, so dst may alias
 // src.
 func (c *CombSorter[K]) SortInto(srcK, srcV, dstK, dstV []K) {
+	if o := obs.Cur(); o != nil {
+		o.Counters.CombSortLeaves.Add(1)
+	}
 	n := len(srcK)
 	w := Lanes[K]()
 	if n <= 2*w {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kv"
 	"repro/internal/numa"
+	"repro/internal/obs"
 	"repro/internal/part"
 	"repro/internal/pfunc"
 	"repro/internal/rangeidx"
@@ -24,6 +25,13 @@ import (
 // sorted result lands back in keys/vals.
 func LSB[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	opt = opt.withDefaults()
+	instrument(opt.Stats, "lsb", func() {
+		lsbRun(keys, vals, tmpK, tmpV, opt)
+	})
+}
+
+// lsbRun is LSB after defaults and instrumentation setup.
+func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	n := len(keys)
 	if n <= 1 {
 		return
@@ -85,6 +93,7 @@ func LSB[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 		}
 		wg.Wait()
 	})
+	pass0 := obs.BeginPass(0, -1)
 	timed(st, phPartition, func() {
 		var wg sync.WaitGroup
 		for r := 0; r < c; r++ {
@@ -170,6 +179,8 @@ func LSB[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 			meter.Flush()
 		})
 	})
+	pass0.EndN(int64(n))
+	addRemoteBytes(topo.RemoteBytes())
 	if st != nil {
 		st.Passes++
 		st.RemoteBytes = topo.RemoteBytes()
@@ -247,9 +258,11 @@ func lsbLocalN[K kv.Key](keys, vals, tmpK, tmpV []K, fromBit, domainBits int, op
 			})
 		}
 		sk, sv, dk, dv := srcK, srcV, dstK, dstV
+		sp := obs.BeginPass(lo/opt.RadixBits, -1)
 		timed(st, ph, func() {
 			part.ParallelScatter(sk, sv, dk, dv, fn, hists, 0)
 		})
+		sp.EndN(int64(n))
 		if st != nil {
 			st.Passes++
 		}

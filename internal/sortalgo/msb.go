@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kv"
 	"repro/internal/numa"
+	"repro/internal/obs"
 	"repro/internal/part"
 	"repro/internal/pfunc"
 	"repro/internal/rangeidx"
@@ -35,6 +36,13 @@ const msbInsertionCutoff = 24
 // it wins on sparse key domains, and it needs no linear auxiliary array.
 func MSB[K kv.Key](keys, vals []K, opt Options) {
 	opt = opt.withDefaults()
+	instrument(opt.Stats, "msb", func() {
+		msbRun(keys, vals, opt)
+	})
+}
+
+// msbRun is MSB after defaults and instrumentation setup.
+func msbRun[K kv.Key](keys, vals []K, opt Options) {
 	n := len(keys)
 	if n <= 1 {
 		return
@@ -71,6 +79,7 @@ func MSB[K kv.Key](keys, vals []K, opt Options) {
 	})
 
 	// Step 2: range partition into blocks, in place, in parallel.
+	pass0 := obs.BeginPass(0, -1)
 	var blocks *part.Blocks[K]
 	timed(st, phPartition, func() {
 		blocks = part.ToBlocksInPlaceParallel(keys, vals, fn, msbBlockTuples[K](), t)
@@ -94,6 +103,10 @@ func MSB[K kv.Key](keys, vals []K, opt Options) {
 		}
 		starts = part.ShuffleBlocksInPlace(blocks, shOpt)
 	})
+	pass0.EndN(int64(n))
+	if opt.Topo != nil {
+		addRemoteBytes(opt.Topo.RemoteBytes())
+	}
 	if st != nil {
 		st.Passes++
 		if opt.Topo != nil {
@@ -111,8 +124,10 @@ func MSB[K kv.Key](keys, vals []K, opt Options) {
 		var wg sync.WaitGroup
 		for w := 0; w < t; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				sp := obs.Begin("msb-recurse", "worker", w)
+				var done int64
 				for q := range work {
 					seg := starts[q+1] - starts[q]
 					if seg <= 1 {
@@ -122,8 +137,10 @@ func MSB[K kv.Key](keys, vals []K, opt Options) {
 						continue // single-key partition: already sorted
 					}
 					msbRecurse(keys[starts[q]:starts[q+1]], vals[starts[q]:starts[q+1]], hiBit, ct)
+					done += int64(seg)
 				}
-			}()
+				sp.EndN(done)
+			}(w)
 		}
 		for q := 0; q < fn.Fanout(); q++ {
 			work <- q

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/numa"
+	"repro/internal/obs"
 )
 
 // Stats records the per-phase wall clock of a sort run (the breakdown of
@@ -23,6 +24,13 @@ type Stats struct {
 	// the shuffle (len regions+1); the witness for the load-balancing
 	// claims of Sections 4.2.1/4.3.2. Empty for single-region runs.
 	RegionBounds []int
+
+	// Counters is this run's observability counter delta (the events
+	// behind the wall-clock buckets: buffer flushes, swap cycles, sync
+	// claims/parks, remote bytes, ...). Zero when the obs subsystem is
+	// disabled. Concurrent sorts under one obs session fold each other's
+	// events into their deltas; attribute with care.
+	Counters obs.CounterSnapshot
 }
 
 // Total returns the summed wall clock.
@@ -41,6 +49,25 @@ const (
 	phLocal
 	phCache
 )
+
+// name returns the phase's span/JSON label.
+func (p phase) name() string {
+	switch p {
+	case phAlloc:
+		return "alloc"
+	case phHistogram:
+		return "histogram"
+	case phPartition:
+		return "partition"
+	case phShuffle:
+		return "shuffle"
+	case phLocal:
+		return "local"
+	case phCache:
+		return "cache"
+	}
+	return "unknown"
+}
 
 // add accumulates a duration into a phase bucket; nil-safe.
 func (s *Stats) add(p phase, d time.Duration) {
@@ -64,14 +91,49 @@ func (s *Stats) add(p phase, d time.Duration) {
 }
 
 // timed runs fn and charges its wall clock to phase p of s (nil-safe).
+// When an obs session is active it additionally emits a phase span, so
+// trace-only runs (nil Stats) still show the breakdown.
 func timed(s *Stats, p phase, fn func()) {
-	if s == nil {
+	o := obs.Cur()
+	if s == nil && o == nil {
 		fn()
 		return
 	}
+	var sp obs.SpanHandle
+	if o != nil {
+		sp = o.Begin(p.name(), "phase", -1)
+	}
 	start := time.Now()
 	fn()
-	s.add(p, time.Since(start))
+	d := time.Since(start)
+	sp.End()
+	s.add(p, d)
+}
+
+// instrument wraps one whole sort run: opens a top-level span and stores
+// the run's counter delta into st.Counters (nil-safe; a plain call when
+// observability is disabled).
+func instrument(st *Stats, algo string, fn func()) {
+	o := obs.Cur()
+	if o == nil {
+		fn()
+		return
+	}
+	sp := o.Begin(algo, "sort", -1)
+	before := o.Counters.Snapshot()
+	fn()
+	if st != nil {
+		st.Counters = o.Counters.Snapshot().Sub(before)
+	}
+	sp.End()
+}
+
+// addRemoteBytes publishes NUMA interconnect traffic to the obs counters
+// (nil-safe).
+func addRemoteBytes(n uint64) {
+	if o := obs.Cur(); o != nil {
+		o.Counters.RemoteBytes.Add(n)
+	}
 }
 
 // Options configures the sorting algorithms.

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/kv"
+	"repro/internal/obs"
 )
 
 // Sample draws size keys uniformly (with replacement) from keys, using a
@@ -25,6 +26,9 @@ func Sample[K kv.Key](keys []K, size int, seed uint64) []K {
 	s := make([]K, size)
 	for i := range s {
 		s[i] = keys[r.Uint64n(uint64(len(keys)))]
+	}
+	if o := obs.Cur(); o != nil {
+		o.Counters.SplitterSamples.Add(uint64(size))
 	}
 	return s
 }

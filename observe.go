@@ -1,0 +1,58 @@
+package partsort
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Observability: the runtime measurement layer behind the per-phase
+// breakdowns of the paper's Figures 11/13. When enabled, the partitioning
+// kernels and sorting algorithms publish event counters (tuples moved,
+// write-combining buffer flushes, swap cycles, synchronized-claim and
+// park events, NUMA remote bytes, splitter samples, comb-sort leaves) and
+// emit per-pass/per-worker spans to a pluggable sink. Disabled — the
+// default — the hooks cost one atomic load per kernel call and allocate
+// nothing.
+
+// ObsCounters is the machine-readable counter snapshot; SortStats.Counters
+// carries one per run when observability is enabled.
+type ObsCounters = obs.CounterSnapshot
+
+// TraceSink receives completed spans; see NewJSONLSink and
+// NewChromeTraceSink for the built-in formats.
+type TraceSink = obs.Sink
+
+// StartObservability installs a process-wide observability session.
+// sink may be nil to collect counters only. If the Go execution tracer
+// (runtime/trace) is running, spans additionally appear as regions in
+// `go tool trace`.
+func StartObservability(sink TraceSink) {
+	obs.Start(sink)
+}
+
+// StopObservability uninstalls the session, emits the final counter
+// totals to the sink, and closes it.
+func StopObservability() error {
+	return obs.Stop()
+}
+
+// ObservedCounters returns the current session's running counter totals
+// (zero when observability is disabled).
+func ObservedCounters() ObsCounters {
+	if s := obs.Cur(); s != nil {
+		return s.Counters.Snapshot()
+	}
+	return ObsCounters{}
+}
+
+// NewJSONLSink returns a sink writing one JSON object per span per line.
+func NewJSONLSink(w io.Writer) TraceSink {
+	return obs.NewJSONLSink(w)
+}
+
+// NewChromeTraceSink returns a sink writing Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func NewChromeTraceSink(w io.Writer) TraceSink {
+	return obs.NewChromeTraceSink(w)
+}

@@ -13,4 +13,17 @@ go run ./cmd/partcli -n 100000 -variant sync -threads 4 > /dev/null
 go run ./cmd/tracecli -n 65536 -fanout 512 > /dev/null
 go test -run xxx -bench 'Fig03|Fig09' -benchtime 0.2s . > /dev/null
 
+# Observability smoke: spans + counters must produce a valid Chrome trace
+# whose LSB counters reconcile (tuples_partitioned == passes * n), with at
+# least one span per pass and per worker — and degenerate inputs must
+# still close to valid JSON.
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/sortcli -n 200000 -algo lsb -threads 4 -trace "$obsdir/t.json" -json > "$obsdir/stats.json"
+go run ./cmd/tracecheck -require-pass -workers 4 -stats "$obsdir/stats.json" "$obsdir/t.json"
+go run ./cmd/sortcli -n 0 -algo lsb -trace "$obsdir/empty.json" -json > /dev/null
+go run ./cmd/tracecheck "$obsdir/empty.json"
+go run ./cmd/partcli -n 100000 -variant sync -threads 4 -stats > /dev/null
+go test -run xxx -bench ObsOverhead -benchtime 0.2s ./internal/part/ > /dev/null
+
 echo "verify: OK"
