@@ -19,6 +19,7 @@ import (
 	"repro/internal/rangeidx"
 	"repro/internal/sortalgo"
 	"repro/internal/splitter"
+	"repro/internal/ws"
 )
 
 const (
@@ -534,6 +535,76 @@ func BenchmarkAblation_RangeIndex(b *testing.B) {
 			for _, k := range keys {
 				out[0] = int32(vert.Partition(k))
 			}
+		}
+		reportMtps(b, benchPartN)
+	})
+}
+
+// --- Zero-allocation hot paths: workspace reuse (Sections 3.2, 4.2.1) ---
+
+// BenchmarkLSBReuse measures the server scenario the workspace exists for:
+// the same-shaped sort repeated many times. "fresh" is the workspace-less
+// path — scratch, tables, and line buffers allocated per call, histograms
+// recomputed before every pass; "workspace" serves every buffer from a warm
+// arena and fuses all pass histograms into the first read scan (one scan
+// instead of one per pass, Section 4.2.1). Threads=1 keeps both sides on
+// their single-worker drivers so the comparison isolates reuse + fusion
+// rather than goroutine scheduling.
+func BenchmarkLSBReuse(b *testing.B) {
+	const n = 1 << 20
+	keys := gen.Uniform[uint32](n, 0, 5)
+	rids := gen.RIDs[uint32](n)
+	wk := make([]uint32, n)
+	wv := make([]uint32, n)
+	run := func(b *testing.B, opt *SortOptions) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(wk, keys)
+			copy(wv, rids)
+			b.StartTimer()
+			SortLSB(wk, wv, opt)
+		}
+		reportMtps(b, n)
+	}
+	b.Run("fresh", func(b *testing.B) {
+		run(b, &SortOptions{Threads: 1})
+	})
+	b.Run("workspace", func(b *testing.B) {
+		w := NewWorkspace()
+		defer w.Close()
+		opt := &SortOptions{Threads: 1, Workspace: w}
+		SortLSB(append([]uint32(nil), keys...), append([]uint32(nil), rids...), opt) // warm
+		run(b, opt)
+	})
+}
+
+// BenchmarkScatterAlloc isolates the buffered scatter kernel (Algorithm 3):
+// per-call line-buffer/offset allocation versus the pooled workspace path.
+func BenchmarkScatterAlloc(b *testing.B) {
+	keys := gen.Uniform[uint32](benchPartN, 0, 42)
+	vals := gen.RIDs[uint32](benchPartN)
+	dstK := make([]uint32, benchPartN)
+	dstV := make([]uint32, benchPartN)
+	fn := pfunc.NewRadix[uint32](0, 8)
+	hist := part.Histogram(keys, fn)
+	starts, _ := part.Starts(hist)
+	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			part.NonInPlaceOutOfCache(keys, vals, dstK, dstV, fn, starts)
+		}
+		reportMtps(b, benchPartN)
+	})
+	b.Run("workspace", func(b *testing.B) {
+		w := ws.New()
+		defer w.Close()
+		part.NonInPlaceOutOfCacheWS(w, keys, vals, dstK, dstV, fn, starts) // warm
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			part.NonInPlaceOutOfCacheWS(w, keys, vals, dstK, dstV, fn, starts)
 		}
 		reportMtps(b, benchPartN)
 	})

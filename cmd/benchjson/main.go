@@ -1,0 +1,212 @@
+// Command benchjson runs a set of Go benchmarks and emits their results as
+// machine-readable JSON (ns/op, B/op, allocs/op, plus any ReportMetric
+// extras such as Mtuples/s), so performance numbers can be recorded in the
+// repository and diffed across changes.
+//
+// Examples:
+//
+//	benchjson                                   # the PR 2 kernels -> BENCH_PR2.json
+//	benchjson -bench 'Fig10' -out fig10.json    # any benchmark family
+//	go test -bench X -benchmem | benchjson -stdin -out x.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in parsed form.
+type Result struct {
+	Name        string   `json:"name"`
+	Iters       int64    `json:"iters"`
+	NsPerOp     float64  `json:"ns_op"`
+	BytesPerOp  *float64 `json:"b_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_op,omitempty"`
+	// Extra holds custom ReportMetric units (e.g. "Mtuples/s").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GoVersion string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Command   string   `json:"command,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	var (
+		bench = flag.String("bench", "LSBReuse|ScatterAlloc", "benchmark regexp passed to go test")
+		btime = flag.String("benchtime", "10x", "benchtime passed to go test")
+		count = flag.Int("count", 1, "count passed to go test")
+		pkg   = flag.String("pkg", ".", "package to benchmark")
+		out   = flag.String("out", "BENCH_PR2.json", "output file (- for stdout)")
+		stdin = flag.Bool("stdin", false, "parse go test output from stdin instead of running go test")
+	)
+	flag.Parse()
+
+	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+
+	var src io.Reader
+	if *stdin {
+		src = os.Stdin
+	} else {
+		args := []string{"test", "-run", "xxx", "-bench", *bench, "-benchmem",
+			"-benchtime", *btime, "-count", strconv.Itoa(*count), *pkg}
+		rep.Command = "go " + strings.Join(args, " ")
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n%s", err, raw)
+			os.Exit(1)
+		}
+		src = strings.NewReader(string(raw))
+	}
+
+	results, err := parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+	rep.Results = merge(results)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+// parse extracts benchmark result lines ("BenchmarkX-8  N  v unit  v unit ...")
+// from go test output.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: trimProcSuffix(fields[0]), Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				b := v
+				res.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				res.AllocsPerOp = &a
+			default:
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
+				}
+				res.Extra[unit] = v
+			}
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// trimProcSuffix strips the trailing "-N" GOMAXPROCS marker from a
+// benchmark name (sub-benchmark slashes are kept).
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// merge averages repeated lines of the same benchmark (from -count > 1),
+// weighting each line equally.
+func merge(in []Result) []Result {
+	type acc struct {
+		r Result
+		n float64
+	}
+	var order []string
+	byName := map[string]*acc{}
+	for _, r := range in {
+		a, ok := byName[r.Name]
+		if !ok {
+			cp := r
+			if r.BytesPerOp != nil {
+				b := *r.BytesPerOp
+				cp.BytesPerOp = &b
+			}
+			if r.AllocsPerOp != nil {
+				al := *r.AllocsPerOp
+				cp.AllocsPerOp = &al
+			}
+			if r.Extra != nil {
+				cp.Extra = map[string]float64{}
+				for k, v := range r.Extra {
+					cp.Extra[k] = v
+				}
+			}
+			byName[r.Name] = &acc{r: cp, n: 1}
+			order = append(order, r.Name)
+			continue
+		}
+		a.n++
+		a.r.Iters += r.Iters
+		a.r.NsPerOp += (r.NsPerOp - a.r.NsPerOp) / a.n
+		if a.r.BytesPerOp != nil && r.BytesPerOp != nil {
+			*a.r.BytesPerOp += (*r.BytesPerOp - *a.r.BytesPerOp) / a.n
+		}
+		if a.r.AllocsPerOp != nil && r.AllocsPerOp != nil {
+			*a.r.AllocsPerOp += (*r.AllocsPerOp - *a.r.AllocsPerOp) / a.n
+		}
+		for k, v := range r.Extra {
+			if a.r.Extra == nil {
+				a.r.Extra = map[string]float64{}
+			}
+			a.r.Extra[k] += (v - a.r.Extra[k]) / a.n
+		}
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, byName[name].r)
+	}
+	return out
+}

@@ -117,20 +117,20 @@ func main() {
 // and CI contract (phase breakdown in nanoseconds, pass count, NUMA
 // traffic, region bounds, and the observability counter snapshot).
 type jsonResult struct {
-	Algo         string             `json:"algo"`
-	N            int                `json:"n"`
-	WidthBits    int                `json:"width_bits"`
-	Threads      int                `json:"threads"`
-	Regions      int                `json:"regions"`
-	Dist         string             `json:"dist,omitempty"`
-	ElapsedNs    int64              `json:"elapsed_ns"`
-	MTuplesPerS  float64            `json:"mtuples_per_s"`
-	Passes       int                `json:"passes"`
-	RemoteBytes  uint64             `json:"remote_bytes"`
-	RegionBounds []int              `json:"region_bounds,omitempty"`
-	PhaseNs      map[string]int64   `json:"phase_ns"`
+	Algo         string               `json:"algo"`
+	N            int                  `json:"n"`
+	WidthBits    int                  `json:"width_bits"`
+	Threads      int                  `json:"threads"`
+	Regions      int                  `json:"regions"`
+	Dist         string               `json:"dist,omitempty"`
+	ElapsedNs    int64                `json:"elapsed_ns"`
+	MTuplesPerS  float64              `json:"mtuples_per_s"`
+	Passes       int                  `json:"passes"`
+	RemoteBytes  uint64               `json:"remote_bytes"`
+	RegionBounds []int                `json:"region_bounds,omitempty"`
+	PhaseNs      map[string]int64     `json:"phase_ns"`
 	Counters     partsort.ObsCounters `json:"counters"`
-	Verified     *bool              `json:"verified,omitempty"`
+	Verified     *bool                `json:"verified,omitempty"`
 }
 
 func run[K kv.Key](c cfg) {
@@ -236,15 +236,15 @@ func run[K kv.Key](c cfg) {
 
 	if c.jsonOut {
 		res := jsonResult{
-			Algo:        c.algo,
-			N:           len(keys),
-			WidthBits:   kv.Width[K](),
-			Threads:     c.threads,
-			Regions:     c.regions,
-			ElapsedNs:   elapsed.Nanoseconds(),
-			MTuplesPerS: rate,
-			Passes:      st.Passes,
-			RemoteBytes: st.RemoteBytes,
+			Algo:         c.algo,
+			N:            len(keys),
+			WidthBits:    kv.Width[K](),
+			Threads:      c.threads,
+			Regions:      c.regions,
+			ElapsedNs:    elapsed.Nanoseconds(),
+			MTuplesPerS:  rate,
+			Passes:       st.Passes,
+			RemoteBytes:  st.RemoteBytes,
 			RegionBounds: st.RegionBounds,
 			PhaseNs: map[string]int64{
 				"alloc":     st.Alloc.Nanoseconds(),

@@ -52,6 +52,11 @@ type Counters struct {
 	// CombSortLeaves counts in-cache comb-sort leaf invocations (Section
 	// 4.3.1).
 	CombSortLeaves atomic.Uint64
+	// WorkspaceHits / WorkspaceMisses count buffer acquisitions served from
+	// (respectively missed by) the reuse arena of internal/ws — the
+	// allocator-pressure witness of the zero-allocation hot paths.
+	WorkspaceHits   atomic.Uint64
+	WorkspaceMisses atomic.Uint64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy (each field is
@@ -67,6 +72,8 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		RemoteBytes:       c.RemoteBytes.Load(),
 		SplitterSamples:   c.SplitterSamples.Load(),
 		CombSortLeaves:    c.CombSortLeaves.Load(),
+		WorkspaceHits:     c.WorkspaceHits.Load(),
+		WorkspaceMisses:   c.WorkspaceMisses.Load(),
 	}
 }
 
@@ -80,6 +87,8 @@ type CounterSnapshot struct {
 	RemoteBytes       uint64 `json:"remote_bytes"`
 	SplitterSamples   uint64 `json:"splitter_samples"`
 	CombSortLeaves    uint64 `json:"combsort_leaves"`
+	WorkspaceHits     uint64 `json:"workspace_hits"`
+	WorkspaceMisses   uint64 `json:"workspace_misses"`
 }
 
 // Sub returns s - o field by field (the delta of one run).
@@ -93,6 +102,8 @@ func (s CounterSnapshot) Sub(o CounterSnapshot) CounterSnapshot {
 		RemoteBytes:       s.RemoteBytes - o.RemoteBytes,
 		SplitterSamples:   s.SplitterSamples - o.SplitterSamples,
 		CombSortLeaves:    s.CombSortLeaves - o.CombSortLeaves,
+		WorkspaceHits:     s.WorkspaceHits - o.WorkspaceHits,
+		WorkspaceMisses:   s.WorkspaceMisses - o.WorkspaceMisses,
 	}
 }
 
@@ -112,6 +123,8 @@ func (s CounterSnapshot) Map() map[string]uint64 {
 		"remote_bytes":       s.RemoteBytes,
 		"splitter_samples":   s.SplitterSamples,
 		"combsort_leaves":    s.CombSortLeaves,
+		"workspace_hits":     s.WorkspaceHits,
+		"workspace_misses":   s.WorkspaceMisses,
 	}
 }
 

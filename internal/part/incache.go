@@ -4,6 +4,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/obs"
 	"repro/internal/pfunc"
+	"repro/internal/ws"
 )
 
 // NonInPlaceInCache is Algorithm 1: the simplest partitioning loop, two
@@ -12,15 +13,25 @@ import (
 // hist must be the histogram of keys under fn. The output is stable: tuples
 // keep their input order within each partition.
 func NonInPlaceInCache[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, hist []int) {
+	NonInPlaceInCacheWS(nil, srcK, srcV, dstK, dstV, fn, hist)
+}
+
+// NonInPlaceInCacheWS is NonInPlaceInCache with a workspace-pooled offset
+// array (zero allocations in steady state; nil workspace allocates).
+func NonInPlaceInCacheWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK, srcV, dstK, dstV []K, fn F, hist []int) {
 	CheckHistogram(hist, len(srcK))
-	offset, _ := Starts(hist)
-	for i, k := range srcK {
-		p := fn.Partition(k)
-		o := offset[p]
-		offset[p] = o + 1
-		dstK[o] = k
-		dstV[o] = srcV[i]
+	offset, _ := StartsInto(w.Ints(len(hist)), hist)
+	if len(srcK) > 0 {
+		srcV := srcV[:len(srcK)]
+		for i, k := range srcK {
+			p := fn.Partition(k)
+			o := offset[p]
+			offset[p] = o + 1
+			dstK[o] = k
+			dstV[o] = srcV[i]
+		}
 	}
+	w.PutInts(offset)
 	publishTuples(len(srcK))
 }
 
@@ -35,15 +46,26 @@ func publishTuples(tuples int) {
 // NonInPlaceInCacheCodes is Algorithm 1 driven by precomputed partition
 // codes (one code per tuple), the data-movement path of range partitioning.
 func NonInPlaceInCacheCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32, hist []int) {
+	NonInPlaceInCacheCodesWS(nil, srcK, srcV, dstK, dstV, codes, hist)
+}
+
+// NonInPlaceInCacheCodesWS is NonInPlaceInCacheCodes with a
+// workspace-pooled offset array.
+func NonInPlaceInCacheCodesWS[K kv.Key](w *ws.Workspace, srcK, srcV, dstK, dstV []K, codes []int32, hist []int) {
 	CheckHistogram(hist, len(srcK))
-	offset, _ := Starts(hist)
-	for i, k := range srcK {
-		p := codes[i]
-		o := offset[p]
-		offset[p] = o + 1
-		dstK[o] = k
-		dstV[o] = srcV[i]
+	offset, _ := StartsInto(w.Ints(len(hist)), hist)
+	if len(srcK) > 0 {
+		srcV := srcV[:len(srcK)]
+		codes := codes[:len(srcK)]
+		for i, k := range srcK {
+			p := codes[i]
+			o := offset[p]
+			offset[p] = o + 1
+			dstK[o] = k
+			dstV[o] = srcV[i]
+		}
 	}
+	w.PutInts(offset)
 	publishTuples(len(srcK))
 }
 
@@ -89,11 +111,16 @@ func InPlaceInCacheLowHigh[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist
 // partition's last (lowest) slot is filled — no per-tuple branch on the
 // cycle head. Each tuple is moved exactly once. The result is not stable.
 func InPlaceInCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []int) {
+	InPlaceInCacheWS(nil, keys, vals, fn, hist)
+}
+
+// InPlaceInCacheWS is InPlaceInCache with a workspace-pooled cursor array.
+func InPlaceInCacheWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, keys, vals []K, fn F, hist []int) {
 	CheckHistogram(hist, len(keys))
 	p := len(hist) // number of partitions
 	// offset[q] points one past the next write slot of partition q
 	// (descending); when offset[q] reaches the partition base, q is done.
-	offset := make([]int, p)
+	offset := w.Ints(p)
 	i := 0
 	for q := 0; q < p; q++ {
 		i += hist[q]
@@ -129,6 +156,7 @@ func InPlaceInCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []int)
 			q++
 		}
 	}
+	w.PutInts(offset)
 	if o := obs.Cur(); o != nil {
 		o.Counters.TuplesPartitioned.Add(uint64(len(keys)))
 		o.Counters.SwapCycles.Add(cycles)

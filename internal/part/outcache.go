@@ -4,6 +4,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/obs"
 	"repro/internal/pfunc"
+	"repro/internal/ws"
 )
 
 // LineTuples returns L, the number of K-sized tuples per simulated cache
@@ -22,7 +23,9 @@ func LineTuples[K kv.Key]() int {
 
 // lineBuffers is the per-partition staging area of the out-of-cache
 // variants: one line of keys and one line of payloads per partition, laid
-// out flat so partition p's lines are contiguous.
+// out flat so partition p's lines are contiguous. The buffers come from the
+// workspace arena when one is present; contents start undefined — every
+// slot is written before it is flushed, so no clearing is needed.
 type lineBuffers[K kv.Key] struct {
 	l       int
 	keys    []K
@@ -30,9 +33,14 @@ type lineBuffers[K kv.Key] struct {
 	flushes uint64 // line write-backs, published to obs by the caller
 }
 
-func newLineBuffers[K kv.Key](p int) *lineBuffers[K] {
+func newLineBuffers[K kv.Key](w *ws.Workspace, p int) lineBuffers[K] {
 	l := LineTuples[K]()
-	return &lineBuffers[K]{l: l, keys: make([]K, p*l), vals: make([]K, p*l)}
+	return lineBuffers[K]{l: l, keys: ws.Keys[K](w, p*l), vals: ws.Keys[K](w, p*l)}
+}
+
+func (b *lineBuffers[K]) release(w *ws.Workspace) {
+	ws.PutKeys(w, b.keys)
+	ws.PutKeys(w, b.vals)
 }
 
 // NonInPlaceOutOfCache is Algorithm 3: non-in-place partitioning through
@@ -54,14 +62,65 @@ func newLineBuffers[K kv.Key](p int) *lineBuffers[K] {
 // hardware cache control the trick buys nothing — the memmodel prices the
 // one-line-per-iteration layout when modeling the paper platform.
 func NonInPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, starts []int) {
-	buf := newLineBuffers[K](fn.Fanout())
-	off := append([]int(nil), starts...)
-	for i, k := range srcK {
-		p := fn.Partition(k)
-		writeBuffered(buf, dstK, dstV, off, starts, p, k, srcV[i])
-	}
-	drainBuffers(buf, dstK, dstV, off, starts)
+	NonInPlaceOutOfCacheWS(nil, srcK, srcV, dstK, dstV, fn, starts)
+}
+
+// NonInPlaceOutOfCacheWS is NonInPlaceOutOfCache drawing its line buffers
+// and write cursors from the workspace: zero heap allocations in steady
+// state. A nil workspace allocates per call.
+func NonInPlaceOutOfCacheWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK, srcV, dstK, dstV []K, fn F, starts []int) {
+	p := fn.Fanout()
+	buf := newLineBuffers[K](w, p)
+	off := w.Ints(p)
+	copy(off, starts[:p])
+	scatterLines(srcK, srcV, dstK, dstV, fn, &buf, off, starts)
+	drainBuffers(&buf, dstK, dstV, off, starts)
+	buf.release(w)
+	w.PutInts(off)
 	publishScatter(len(srcK), buf.flushes)
+}
+
+// scatterLines is the buffered scatter inner loop, structured for
+// bounds-check elimination: the payload column is re-sliced to the key
+// column's length so srcV[i] piggybacks on the range check, the buffer
+// columns live in locals, and the in-line slot index o&(l-1) is provably
+// below l (verify with: go build -gcflags='-d=ssa/check_bce' ./internal/part).
+func scatterLines[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, buf *lineBuffers[K], off, starts []int) {
+	if len(srcK) == 0 {
+		return
+	}
+	l := buf.l
+	bufK, bufV := buf.keys, buf.vals
+	srcV = srcV[:len(srcK)]
+	var flushes uint64
+	for i, k := range srcK {
+		v := srcV[i]
+		p := fn.Partition(k)
+		o := off[p]
+		s := o & (l - 1)
+		bi := p*l + s
+		bufK[bi] = k
+		bufV[bi] = v
+		off[p] = o + 1
+		if s == l-1 {
+			flushLineAt(bufK, bufV, dstK, dstV, starts, p, o, l)
+			flushes++
+		}
+	}
+	buf.flushes += flushes
+}
+
+// flushLineAt writes partition p's full line ending at offset o (inclusive)
+// to the output, clipped at the caller's own start so the first (unaligned)
+// line never writes below its share.
+func flushLineAt[K kv.Key](bufK, bufV, dstK, dstV []K, starts []int, p, o, l int) {
+	lo := o + 1 - l
+	if lo < starts[p] {
+		lo = starts[p]
+	}
+	bs := lo & (l - 1)
+	copy(dstK[lo:o+1], bufK[p*l+bs:p*l+l])
+	copy(dstV[lo:o+1], bufV[p*l+bs:p*l+l])
 }
 
 // publishScatter credits one buffered scatter call to the obs counters;
@@ -79,37 +138,48 @@ func publishScatter(tuples int, flushes uint64) {
 // performs almost as fast as radix partitioning because scanning the short
 // code array is sequential (Section 4.3.2).
 func NonInPlaceOutOfCacheCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32, p int, starts []int) {
-	buf := newLineBuffers[K](p)
-	off := append([]int(nil), starts...)
-	for i, k := range srcK {
-		writeBuffered(buf, dstK, dstV, off, starts, int(codes[i]), k, srcV[i])
-	}
-	drainBuffers(buf, dstK, dstV, off, starts)
+	NonInPlaceOutOfCacheCodesWS(nil, srcK, srcV, dstK, dstV, codes, p, starts)
+}
+
+// NonInPlaceOutOfCacheCodesWS is NonInPlaceOutOfCacheCodes with
+// workspace-pooled line buffers and write cursors.
+func NonInPlaceOutOfCacheCodesWS[K kv.Key](w *ws.Workspace, srcK, srcV, dstK, dstV []K, codes []int32, p int, starts []int) {
+	buf := newLineBuffers[K](w, p)
+	off := w.Ints(p)
+	copy(off, starts[:p])
+	scatterLinesCodes(srcK, srcV, dstK, dstV, codes, &buf, off, starts)
+	drainBuffers(&buf, dstK, dstV, off, starts)
+	buf.release(w)
+	w.PutInts(off)
 	publishScatter(len(srcK), buf.flushes)
 }
 
-// writeBuffered appends one tuple to partition p's line buffer, flushing
-// the line when it fills. The buffer slot of output offset o is o mod L, so
-// a full line always occupies buffer slots 0..L-1 in output order.
-func writeBuffered[K kv.Key](buf *lineBuffers[K], dstK, dstV []K, off, starts []int, p int, k, v K) {
-	l := buf.l
-	o := off[p]
-	s := o & (l - 1)
-	buf.keys[p*l+s] = k
-	buf.vals[p*l+s] = v
-	off[p] = o + 1
-	if s == l-1 {
-		// Flush the full line [o+1-l, o+1), clipped at the caller's own
-		// start so the first (unaligned) line never writes below its share.
-		lo := o + 1 - l
-		if lo < starts[p] {
-			lo = starts[p]
-		}
-		bs := lo & (l - 1)
-		copy(dstK[lo:o+1], buf.keys[p*l+bs:p*l+l])
-		copy(dstV[lo:o+1], buf.vals[p*l+bs:p*l+l])
-		buf.flushes++
+// scatterLinesCodes is scatterLines driven by the code array instead of the
+// partition function.
+func scatterLinesCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32, buf *lineBuffers[K], off, starts []int) {
+	if len(srcK) == 0 {
+		return
 	}
+	l := buf.l
+	bufK, bufV := buf.keys, buf.vals
+	srcV = srcV[:len(srcK)]
+	codes = codes[:len(srcK)]
+	var flushes uint64
+	for i, k := range srcK {
+		v := srcV[i]
+		p := int(codes[i])
+		o := off[p]
+		s := o & (l - 1)
+		bi := p*l + s
+		bufK[bi] = k
+		bufV[bi] = v
+		off[p] = o + 1
+		if s == l-1 {
+			flushLineAt(bufK, bufV, dstK, dstV, starts, p, o, l)
+			flushes++
+		}
+	}
+	buf.flushes += flushes
 }
 
 // drainBuffers flushes every partition's final partial line.
@@ -139,15 +209,22 @@ func drainBuffers[K kv.Key](buf *lineBuffers[K], dstK, dstV []K, off, starts []i
 // loaded. RAM is therefore touched one full line at a time — (L-1)/L of the
 // swaps run inside the cache-resident buffer and do not miss in the TLB.
 func InPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []int) {
+	InPlaceOutOfCacheWS(nil, keys, vals, fn, hist)
+}
+
+// InPlaceOutOfCacheWS is InPlaceOutOfCache with workspace-pooled buffers
+// and cursor arrays.
+func InPlaceOutOfCacheWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, keys, vals []K, fn F, hist []int) {
 	CheckHistogram(hist, len(keys))
 	np := len(hist)
 	l := LineTuples[K]()
-	buf := newLineBuffers[K](np)
+	buf := newLineBuffers[K](w, np)
 
-	base := make([]int, np) // first slot of each partition
-	off := make([]int, np)  // descending write cursor (one past next slot)
-	lo := make([]int, np)   // low bound of the staged line
-	hi := make([]int, np)   // high bound (exclusive) of the staged line
+	cursors := w.Ints(4 * np)
+	base := cursors[0*np : 1*np] // first slot of each partition
+	off := cursors[1*np : 2*np]  // descending write cursor (one past next slot)
+	lo := cursors[2*np : 3*np]   // low bound of the staged line
+	hi := cursors[3*np : 4*np]   // high bound (exclusive) of the staged line
 	i := 0
 	for p := 0; p < np; p++ {
 		base[p] = i
@@ -159,7 +236,7 @@ func InPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []i
 		if hist[p] == 0 {
 			continue
 		}
-		loadLine(buf, keys, vals, base, off[p], lo, hi, p, l)
+		loadLine(&buf, keys, vals, base, off[p], lo, hi, p, l)
 	}
 
 	q := 0
@@ -190,9 +267,9 @@ func InPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []i
 			tk, tv = bk, bv
 			if j == lo[d] {
 				// Line fully written: stream it out and stage the next one.
-				flushLine(buf, keys, vals, lo[d], hi[d], d, l)
+				flushLine(&buf, keys, vals, lo[d], hi[d], d, l)
 				if lo[d] > base[d] {
-					loadLine(buf, keys, vals, base, lo[d], lo, hi, d, l)
+					loadLine(&buf, keys, vals, base, lo[d], lo, hi, d, l)
 				}
 			}
 			if j == iend {
@@ -206,9 +283,12 @@ func InPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []i
 			q++
 		}
 	}
+	flushes := buf.flushes
+	buf.release(w)
+	w.PutInts(cursors)
 	if o := obs.Cur(); o != nil {
 		o.Counters.TuplesPartitioned.Add(uint64(len(keys)))
-		o.Counters.BufferFlushes.Add(buf.flushes)
+		o.Counters.BufferFlushes.Add(flushes)
 		o.Counters.SwapCycles.Add(cycles)
 	}
 }

@@ -1,73 +1,139 @@
 package part
 
 import (
-	"sync"
-
 	"repro/internal/kv"
 	"repro/internal/obs"
 	"repro/internal/pfunc"
+	"repro/internal/ws"
 )
 
 // ChunkBounds splits n items into `workers` near-equal contiguous chunks
 // and returns the workers+1 boundary offsets.
 func ChunkBounds(n, workers int) []int {
+	return ChunkBoundsInto(make([]int, workers+1), n)
+}
+
+// ChunkBoundsInto is ChunkBounds into a caller-provided (pooled) array of
+// length workers+1.
+func ChunkBoundsInto(bounds []int, n int) []int {
+	workers := len(bounds) - 1
 	if workers < 1 {
 		panic("part: need at least one worker")
 	}
-	bounds := make([]int, workers+1)
 	for t := 0; t <= workers; t++ {
 		bounds[t] = t * n / workers
 	}
 	return bounds
 }
 
+// histRunner is the worker-pool driver of ParallelHistograms: one object
+// reused across Runs (via ws.Scratch) so a pass costs zero allocations.
+type histRunner[K kv.Key, F pfunc.Func[K]] struct {
+	keys   []K
+	fn     F
+	bounds []int
+	hists  [][]int
+}
+
+func (r *histRunner[K, F]) RunTask(t int) {
+	lo, hi := r.bounds[t], r.bounds[t+1]
+	sp := obs.Begin("histogram", "worker", t)
+	HistogramInto(r.hists[t], r.keys[lo:hi], r.fn)
+	sp.EndN(int64(hi - lo))
+}
+
 // ParallelHistograms computes one histogram per worker over that worker's
 // input chunk. Workers synchronize only after the histograms are built —
 // the single barrier of parallel non-in-place partitioning.
 func ParallelHistograms[K kv.Key, F pfunc.Func[K]](keys []K, fn F, workers int) [][]int {
-	bounds := ChunkBounds(len(keys), workers)
 	hists := make([][]int, workers)
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			sp := obs.Begin("histogram", "worker", t)
-			hists[t] = Histogram(keys[bounds[t]:bounds[t+1]], fn)
-			sp.EndN(int64(bounds[t+1] - bounds[t]))
-		}(t)
+	for t := range hists {
+		hists[t] = make([]int, fn.Fanout())
 	}
-	wg.Wait()
+	parallelHistogramsInto(nil, hists, ChunkBounds(len(keys), workers), keys, fn)
 	return hists
+}
+
+// ParallelHistogramsWS is ParallelHistograms on the workspace's worker pool
+// with a pooled histogram matrix and chunk-bound array. The caller returns
+// them with PutMatrix and PutInts.
+func ParallelHistogramsWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, keys []K, fn F, workers int) (hists [][]int, bounds []int) {
+	hists = w.Matrix(workers, fn.Fanout())
+	bounds = ChunkBoundsInto(w.Ints(workers+1), len(keys))
+	parallelHistogramsInto(w, hists, bounds, keys, fn)
+	return hists, bounds
+}
+
+func parallelHistogramsInto[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, hists [][]int, bounds []int, keys []K, fn F) {
+	r := ws.Scratch[histRunner[K, F]](w, ws.SlotParHist)
+	*r = histRunner[K, F]{keys: keys, fn: fn, bounds: bounds, hists: hists}
+	ws.RunWorkers(w, len(hists), r)
+	*r = histRunner[K, F]{}
+	ws.PutScratch(w, ws.SlotParHist, r)
+}
+
+// histCodesRunner drives ParallelHistogramsCodes on the pool.
+type histCodesRunner[K kv.Key, F pfunc.Func[K]] struct {
+	keys   []K
+	fn     F
+	codes  []int32
+	bounds []int
+	hists  [][]int
+}
+
+func (r *histCodesRunner[K, F]) RunTask(t int) {
+	lo, hi := r.bounds[t], r.bounds[t+1]
+	sp := obs.Begin("histogram-codes", "worker", t)
+	if bl, ok := any(r.fn).(BatchLookuper[K]); ok {
+		HistogramCodesBatchInto(r.hists[t], r.keys[lo:hi], bl, r.codes[lo:hi])
+	} else {
+		clear(r.hists[t])
+		for i, k := range r.keys[lo:hi] {
+			p := r.fn.Partition(k)
+			r.codes[lo+i] = int32(p)
+			r.hists[t][p]++
+		}
+	}
+	sp.EndN(int64(hi - lo))
 }
 
 // ParallelHistogramsCodes is ParallelHistograms that also records each
 // tuple's partition code (for range partitioning).
 func ParallelHistogramsCodes[K kv.Key, F pfunc.Func[K]](keys []K, fn F, codes []int32, workers int) [][]int {
-	bounds := ChunkBounds(len(keys), workers)
 	hists := make([][]int, workers)
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			lo, hi := bounds[t], bounds[t+1]
-			sp := obs.Begin("histogram-codes", "worker", t)
-			if bl, ok := any(fn).(BatchLookuper[K]); ok {
-				hists[t] = HistogramCodesBatch(keys[lo:hi], bl, fn.Fanout(), codes[lo:hi])
-			} else {
-				hists[t] = HistogramCodes(keys[lo:hi], fn, codes[lo:hi])
-			}
-			sp.EndN(int64(hi - lo))
-		}(t)
+	for t := range hists {
+		hists[t] = make([]int, fn.Fanout())
 	}
-	wg.Wait()
+	parallelHistogramsCodesInto(nil, hists, ChunkBounds(len(keys), workers), keys, fn, codes)
 	return hists
+}
+
+// ParallelHistogramsCodesWS is ParallelHistogramsCodes on the workspace's
+// worker pool with pooled outputs (PutMatrix/PutInts to release).
+func ParallelHistogramsCodesWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, keys []K, fn F, codes []int32, workers int) (hists [][]int, bounds []int) {
+	hists = w.Matrix(workers, fn.Fanout())
+	bounds = ChunkBoundsInto(w.Ints(workers+1), len(keys))
+	parallelHistogramsCodesInto(w, hists, bounds, keys, fn, codes)
+	return hists, bounds
+}
+
+func parallelHistogramsCodesInto[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, hists [][]int, bounds []int, keys []K, fn F, codes []int32) {
+	r := ws.Scratch[histCodesRunner[K, F]](w, ws.SlotParHistCodes)
+	*r = histCodesRunner[K, F]{keys: keys, fn: fn, codes: codes, bounds: bounds, hists: hists}
+	ws.RunWorkers(w, len(hists), r)
+	*r = histCodesRunner[K, F]{}
+	ws.PutScratch(w, ws.SlotParHistCodes, r)
 }
 
 // MergeHistograms sums per-worker histograms into the global histogram.
 func MergeHistograms(hists [][]int) []int {
-	total := make([]int, len(hists[0]))
+	return MergeHistogramsInto(make([]int, len(hists[0])), hists)
+}
+
+// MergeHistogramsInto is MergeHistograms into a caller-provided (pooled,
+// reused across passes) output of the histogram length, cleared here.
+func MergeHistogramsInto(total []int, hists [][]int) []int {
+	clear(total)
 	for _, h := range hists {
 		for p, c := range h {
 			total[p] += c
@@ -84,20 +150,21 @@ func MergeHistograms(hists [][]int) []int {
 func ThreadStarts(hists [][]int, base int) ([][]int, []int) {
 	workers := len(hists)
 	np := len(hists[0])
-	global := make([]int, np)
+	starts := make([][]int, workers)
+	for t := range starts {
+		starts[t] = make([]int, np)
+	}
+	return ThreadStartsInto(starts, make([]int, np), hists, base)
+}
+
+// ThreadStartsInto is ThreadStarts into caller-provided (pooled) tables:
+// starts is workers x np, global has length np; both are fully overwritten.
+func ThreadStartsInto(starts [][]int, global []int, hists [][]int, base int) ([][]int, []int) {
+	workers := len(hists)
+	np := len(hists[0])
 	o := base
 	for p := 0; p < np; p++ {
 		global[p] = o
-		for t := 0; t < workers; t++ {
-			o += hists[t][p]
-		}
-	}
-	starts := make([][]int, workers)
-	for t := 0; t < workers; t++ {
-		starts[t] = make([]int, np)
-	}
-	for p := 0; p < np; p++ {
-		o := global[p]
 		for t := 0; t < workers; t++ {
 			starts[t][p] = o
 			o += hists[t][p]
@@ -106,27 +173,31 @@ func ThreadStarts(hists [][]int, base int) ([][]int, []int) {
 	return starts, global
 }
 
+// scatterRunner drives the data-movement half of parallel non-in-place
+// partitioning on the pool.
+type scatterRunner[K kv.Key, F pfunc.Func[K]] struct {
+	w                      *ws.Workspace
+	srcK, srcV, dstK, dstV []K
+	fn                     F
+	bounds                 []int
+	starts                 [][]int
+}
+
+func (r *scatterRunner[K, F]) RunTask(t int) {
+	lo, hi := r.bounds[t], r.bounds[t+1]
+	sp := obs.Begin("scatter", "worker", t)
+	NonInPlaceOutOfCacheWS(r.w, r.srcK[lo:hi], r.srcV[lo:hi], r.dstK, r.dstV, r.fn, r.starts[t])
+	sp.EndN(int64(hi - lo))
+}
+
 // ParallelNonInPlace partitions srcK/srcV into a single shared segment of
 // dstK/dstV using `workers` goroutines: per-worker histograms, one prefix-sum
 // barrier, then each worker runs buffered non-in-place partitioning
 // (Algorithm 3) on its chunk into its disjoint output shares. The output is
 // stable. Returns the global histogram.
 func ParallelNonInPlace[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, workers int) []int {
-	bounds := ChunkBounds(len(srcK), workers)
 	hists := ParallelHistograms(srcK, fn, workers)
-	starts, _ := ThreadStarts(hists, 0)
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			lo, hi := bounds[t], bounds[t+1]
-			sp := obs.Begin("scatter", "worker", t)
-			NonInPlaceOutOfCache(srcK[lo:hi], srcV[lo:hi], dstK, dstV, fn, starts[t])
-			sp.EndN(int64(hi - lo))
-		}(t)
-	}
-	wg.Wait()
+	ParallelScatter(srcK, srcV, dstK, dstV, fn, hists, 0)
 	return MergeHistograms(hists)
 }
 
@@ -136,21 +207,51 @@ func ParallelNonInPlace[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, f
 // histogram and movement phases timed separately use
 // ParallelHistograms + ParallelScatter.
 func ParallelScatter[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, hists [][]int, base int) {
+	ParallelScatterWS(nil, srcK, srcV, dstK, dstV, fn, hists, base)
+}
+
+// ParallelScatterWS is ParallelScatter on the workspace's pool with pooled
+// offset tables and line buffers.
+func ParallelScatterWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK, srcV, dstK, dstV []K, fn F, hists [][]int, base int) {
+	bounds := ChunkBoundsInto(w.Ints(len(hists)+1), len(srcK))
+	ParallelScatterBoundsWS(w, srcK, srcV, dstK, dstV, fn, hists, base, bounds)
+	w.PutInts(bounds)
+}
+
+// ParallelScatterBoundsWS is ParallelScatterWS with explicit per-worker
+// input bounds (len(hists)+1 offsets): hists[t] must be the histogram of
+// srcK[bounds[t]:bounds[t+1]]. The fused-histogram LSB path uses it to
+// align worker chunks to digit-group boundaries of the previous pass.
+func ParallelScatterBoundsWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK, srcV, dstK, dstV []K, fn F, hists [][]int, base int, bounds []int) {
 	workers := len(hists)
-	bounds := ChunkBounds(len(srcK), workers)
-	starts, _ := ThreadStarts(hists, base)
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			lo, hi := bounds[t], bounds[t+1]
-			sp := obs.Begin("scatter", "worker", t)
-			NonInPlaceOutOfCache(srcK[lo:hi], srcV[lo:hi], dstK, dstV, fn, starts[t])
-			sp.EndN(int64(hi - lo))
-		}(t)
-	}
-	wg.Wait()
+	np := len(hists[0])
+	starts := w.Matrix(workers, np)
+	global := w.Ints(np)
+	ThreadStartsInto(starts, global, hists, base)
+	r := ws.Scratch[scatterRunner[K, F]](w, ws.SlotScatter)
+	*r = scatterRunner[K, F]{w: w, srcK: srcK, srcV: srcV, dstK: dstK, dstV: dstV, fn: fn, bounds: bounds, starts: starts}
+	ws.RunWorkers(w, workers, r)
+	*r = scatterRunner[K, F]{}
+	ws.PutScratch(w, ws.SlotScatter, r)
+	w.PutMatrix(starts)
+	w.PutInts(global)
+}
+
+// scatterCodesRunner drives code-driven scatter on the pool.
+type scatterCodesRunner[K kv.Key] struct {
+	w                      *ws.Workspace
+	srcK, srcV, dstK, dstV []K
+	codes                  []int32
+	np                     int
+	bounds                 []int
+	starts                 [][]int
+}
+
+func (r *scatterCodesRunner[K]) RunTask(t int) {
+	lo, hi := r.bounds[t], r.bounds[t+1]
+	sp := obs.Begin("scatter-codes", "worker", t)
+	NonInPlaceOutOfCacheCodesWS(r.w, r.srcK[lo:hi], r.srcV[lo:hi], r.dstK, r.dstV, r.codes[lo:hi], r.np, r.starts[t])
+	sp.EndN(int64(hi - lo))
 }
 
 // ParallelNonInPlaceCodes is ParallelNonInPlace for precomputed partition
@@ -158,22 +259,42 @@ func ParallelScatter[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F
 // histograms previously computed by ParallelHistogramsCodes over the same
 // chunk bounds.
 func ParallelNonInPlaceCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32, hists [][]int, base int) {
+	ParallelNonInPlaceCodesWS(nil, srcK, srcV, dstK, dstV, codes, hists, base)
+}
+
+// ParallelNonInPlaceCodesWS is ParallelNonInPlaceCodes on the workspace's
+// pool with pooled offset tables and line buffers.
+func ParallelNonInPlaceCodesWS[K kv.Key](w *ws.Workspace, srcK, srcV, dstK, dstV []K, codes []int32, hists [][]int, base int) {
 	workers := len(hists)
-	bounds := ChunkBounds(len(srcK), workers)
-	starts, _ := ThreadStarts(hists, base)
 	np := len(hists[0])
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			lo, hi := bounds[t], bounds[t+1]
-			sp := obs.Begin("scatter-codes", "worker", t)
-			NonInPlaceOutOfCacheCodes(srcK[lo:hi], srcV[lo:hi], dstK, dstV, codes[lo:hi], np, starts[t])
-			sp.EndN(int64(hi - lo))
-		}(t)
-	}
-	wg.Wait()
+	bounds := ChunkBoundsInto(w.Ints(workers+1), len(srcK))
+	starts := w.Matrix(workers, np)
+	global := w.Ints(np)
+	ThreadStartsInto(starts, global, hists, base)
+	r := ws.Scratch[scatterCodesRunner[K]](w, ws.SlotScatterCodes)
+	*r = scatterCodesRunner[K]{w: w, srcK: srcK, srcV: srcV, dstK: dstK, dstV: dstV, codes: codes, np: np, bounds: bounds, starts: starts}
+	ws.RunWorkers(w, workers, r)
+	*r = scatterCodesRunner[K]{}
+	ws.PutScratch(w, ws.SlotScatterCodes, r)
+	w.PutMatrix(starts)
+	w.PutInts(global)
+	w.PutInts(bounds)
+}
+
+// inplaceChunkRunner drives shared-nothing in-place partitioning on the pool.
+type inplaceChunkRunner[K kv.Key, F pfunc.Func[K]] struct {
+	w          *ws.Workspace
+	keys, vals []K
+	fn         F
+	bounds     []int
+	hists      [][]int
+}
+
+func (r *inplaceChunkRunner[K, F]) RunTask(t int) {
+	lo, hi := r.bounds[t], r.bounds[t+1]
+	sp := obs.Begin("inplace-chunk", "worker", t)
+	InPlaceOutOfCacheWS(r.w, r.keys[lo:hi], r.vals[lo:hi], r.fn, r.hists[t])
+	sp.EndN(int64(hi - lo))
 }
 
 // ParallelInPlaceSharedNothing runs in-place out-of-cache partitioning
@@ -183,19 +304,24 @@ func ParallelNonInPlaceCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32
 // synchronization (Section 3.2.2). It returns the per-worker histograms and
 // chunk bounds so callers can locate each worker's segments.
 func ParallelInPlaceSharedNothing[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, workers int) ([][]int, []int) {
-	bounds := ChunkBounds(len(keys), workers)
-	hists := ParallelHistograms(keys, fn, workers)
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			lo, hi := bounds[t], bounds[t+1]
-			sp := obs.Begin("inplace-chunk", "worker", t)
-			InPlaceOutOfCache(keys[lo:hi], vals[lo:hi], fn, hists[t])
-			sp.EndN(int64(hi - lo))
-		}(t)
+	return ParallelInPlaceSharedNothingWS(nil, keys, vals, fn, workers)
+}
+
+// ParallelInPlaceSharedNothingWS is ParallelInPlaceSharedNothing on the
+// workspace's pool; the returned histogram matrix and bound array are
+// pooled (PutMatrix/PutInts when done).
+func ParallelInPlaceSharedNothingWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, keys, vals []K, fn F, workers int) ([][]int, []int) {
+	var hists, bounds = [][]int(nil), []int(nil)
+	if w == nil {
+		hists = ParallelHistograms(keys, fn, workers)
+		bounds = ChunkBounds(len(keys), workers)
+	} else {
+		hists, bounds = ParallelHistogramsWS(w, keys, fn, workers)
 	}
-	wg.Wait()
+	r := ws.Scratch[inplaceChunkRunner[K, F]](w, ws.SlotInPlaceChunk)
+	*r = inplaceChunkRunner[K, F]{w: w, keys: keys, vals: vals, fn: fn, bounds: bounds, hists: hists}
+	ws.RunWorkers(w, workers, r)
+	*r = inplaceChunkRunner[K, F]{}
+	ws.PutScratch(w, ws.SlotInPlaceChunk, r)
 	return hists, bounds
 }

@@ -27,7 +27,13 @@ import (
 
 // Histogram counts the tuples per partition.
 func Histogram[K kv.Key, F pfunc.Func[K]](keys []K, fn F) []int {
-	hist := make([]int, fn.Fanout())
+	return HistogramInto(make([]int, fn.Fanout()), keys, fn)
+}
+
+// HistogramInto is Histogram into a caller-provided (workspace-pooled)
+// bucket array of length fn.Fanout(), cleared here.
+func HistogramInto[K kv.Key, F pfunc.Func[K]](hist []int, keys []K, fn F) []int {
+	clear(hist)
 	for _, k := range keys {
 		hist[fn.Partition(k)]++
 	}
@@ -61,11 +67,17 @@ type BatchLookuper[K kv.Key] interface {
 // HistogramCodesBatch is HistogramCodes using a batch lookup (the paper's
 // 4-at-a-time unrolled index walk).
 func HistogramCodesBatch[K kv.Key](keys []K, fn BatchLookuper[K], fanout int, codes []int32) []int {
+	return HistogramCodesBatchInto(make([]int, fanout), keys, fn, codes)
+}
+
+// HistogramCodesBatchInto is HistogramCodesBatch into a caller-provided
+// bucket array of length fanout, cleared here.
+func HistogramCodesBatchInto[K kv.Key](hist []int, keys []K, fn BatchLookuper[K], codes []int32) []int {
 	if len(codes) < len(keys) {
 		panic("part: codes buffer smaller than input")
 	}
 	fn.LookupBatch(keys, codes)
-	hist := make([]int, fanout)
+	clear(hist)
 	for _, c := range codes[:len(keys)] {
 		hist[c]++
 	}
@@ -81,19 +93,80 @@ func HistogramCodesBatch[K kv.Key](keys []K, fn BatchLookuper[K], fanout int, co
 // buckets.
 func MultiHistogram[K kv.Key](keys []K, ranges [][2]uint) [][]int {
 	hists := make([][]int, len(ranges))
-	shifts := make([]uint, len(ranges))
-	masks := make([]K, len(ranges))
+	for i, r := range ranges {
+		if r[1] <= r[0] || r[1]-r[0] >= 64 {
+			panic(fmt.Sprintf("part: invalid radix bit range [%d,%d)", r[0], r[1]))
+		}
+		hists[i] = make([]int, 1<<(r[1]-r[0]))
+	}
+	return MultiHistogramInto(hists, keys, ranges)
+}
+
+// MaxRadixPasses bounds the number of simultaneous radix bit ranges: one
+// pass per key bit is the worst case (RadixBits = 1 over 64-bit keys).
+const MaxRadixPasses = 64
+
+// MultiHistogramInto is MultiHistogram into caller-provided (pooled) bucket
+// rows: hists[i] must have length 2^(ranges[i][1]-ranges[i][0]) and is
+// cleared here. It allocates nothing.
+func MultiHistogramInto[K kv.Key](hists [][]int, keys []K, ranges [][2]uint) [][]int {
+	if len(ranges) > MaxRadixPasses {
+		panic(fmt.Sprintf("part: %d radix ranges exceed the %d-pass bound", len(ranges), MaxRadixPasses))
+	}
+	var shifts [MaxRadixPasses]uint
+	var masks [MaxRadixPasses]K
 	for i, r := range ranges {
 		if r[1] <= r[0] || r[1]-r[0] >= 64 {
 			panic(fmt.Sprintf("part: invalid radix bit range [%d,%d)", r[0], r[1]))
 		}
 		shifts[i] = r[0]
 		masks[i] = K(1)<<(r[1]-r[0]) - 1
-		hists[i] = make([]int, int(masks[i])+1)
+		if len(hists[i]) != int(masks[i])+1 {
+			panic("part: multi-histogram row sized differently from its bit range")
+		}
+		clear(hists[i])
 	}
-	for _, k := range keys {
-		for i := range hists {
-			hists[i][(k>>shifts[i])&masks[i]]++
+	// The scan is compute-bound (the tables are cache-resident), so the
+	// common pass counts are specialized: hoisting rows, shifts, and masks
+	// into locals keeps the key loop free of slice-header reloads, and
+	// indexing each row at its mask first lets the compiler drop the bounds
+	// check on every masked increment.
+	switch len(ranges) {
+	case 2:
+		h0, h1 := hists[0], hists[1]
+		s0, s1 := shifts[0], shifts[1]
+		m0, m1 := masks[0], masks[1]
+		_, _ = h0[m0], h1[m1]
+		for _, k := range keys {
+			h0[(k>>s0)&m0]++
+			h1[(k>>s1)&m1]++
+		}
+	case 3:
+		h0, h1, h2 := hists[0], hists[1], hists[2]
+		s0, s1, s2 := shifts[0], shifts[1], shifts[2]
+		m0, m1, m2 := masks[0], masks[1], masks[2]
+		_, _, _ = h0[m0], h1[m1], h2[m2]
+		for _, k := range keys {
+			h0[(k>>s0)&m0]++
+			h1[(k>>s1)&m1]++
+			h2[(k>>s2)&m2]++
+		}
+	case 4:
+		h0, h1, h2, h3 := hists[0], hists[1], hists[2], hists[3]
+		s0, s1, s2, s3 := shifts[0], shifts[1], shifts[2], shifts[3]
+		m0, m1, m2, m3 := masks[0], masks[1], masks[2], masks[3]
+		_, _, _, _ = h0[m0], h1[m1], h2[m2], h3[m3]
+		for _, k := range keys {
+			h0[(k>>s0)&m0]++
+			h1[(k>>s1)&m1]++
+			h2[(k>>s2)&m2]++
+			h3[(k>>s3)&m3]++
+		}
+	default:
+		for _, k := range keys {
+			for i := range hists {
+				hists[i][(k>>shifts[i])&masks[i]]++
+			}
 		}
 	}
 	return hists
@@ -102,7 +175,13 @@ func MultiHistogram[K kv.Key](keys []K, ranges [][2]uint) [][]int {
 // Starts converts a histogram into exclusive-prefix-sum start offsets and
 // returns the total.
 func Starts(hist []int) ([]int, int) {
-	starts := make([]int, len(hist))
+	return StartsInto(make([]int, len(hist)), hist)
+}
+
+// StartsInto is Starts into a caller-provided offset array of the
+// histogram's length.
+func StartsInto(starts, hist []int) ([]int, int) {
+	starts = starts[:len(hist)] // one check here, none in the loop
 	total := 0
 	for p, h := range hist {
 		starts[p] = total

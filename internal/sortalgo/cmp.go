@@ -11,6 +11,7 @@ import (
 	"repro/internal/part"
 	"repro/internal/rangeidx"
 	"repro/internal/splitter"
+	"repro/internal/ws"
 )
 
 // CMP is the comparison sort of Section 4.3: very few wide-fanout range
@@ -26,7 +27,8 @@ import (
 // or more get single-key partitions that skip sorting entirely.
 func CMP[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	opt = opt.withDefaults()
-	instrument(opt.Stats, "cmp", func() {
+	primePool(opt)
+	instrumentWS(opt.Stats, opt.Workspace, "cmp", func() {
 		cmpRun(keys, vals, tmpK, tmpV, opt)
 	})
 }
@@ -41,15 +43,18 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	width := kv.Width[K]()
 	ct := cacheTuples(opt, width)
 
+	w := opt.Workspace
 	if n <= ct {
-		cs := NewCombSorter[K](n)
+		cs := getCombSorter[K](w, n)
 		timed(st, phCache, func() {
 			cs.SortInto(keys, vals, keys, vals)
 		})
+		putCombSorter(w, cs)
 		return
 	}
 
-	codes := make([]int32, n)
+	codes := w.Int32s(n)
+	defer w.PutInt32s(codes)
 	c := opt.regions()
 	t := opt.Threads
 
@@ -68,18 +73,25 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	var starts []int    // global per-partition start offsets
 	if c == 1 || opt.Oblivious {
 		var hists [][]int
+		var bounds []int
 		pass0 := obs.BeginPass(0, -1)
 		timed(st, phHistogram, func() {
-			hists = part.ParallelHistogramsCodes(keys, fn, codes, t)
+			hists, bounds = part.ParallelHistogramsCodesWS(w, keys, fn, codes, t)
 		})
 		timed(st, phPartition, func() {
-			part.ParallelNonInPlaceCodes(keys, vals, tmpK, tmpV, codes, hists, 0)
+			part.ParallelNonInPlaceCodesWS(w, keys, vals, tmpK, tmpV, codes, hists, 0)
 		})
 		pass0.EndN(int64(n))
-		starts, _ = part.Starts(part.MergeHistograms(hists))
-		starts = append(starts, n)
+		merged := part.MergeHistogramsInto(w.Ints(fanout), hists)
+		starts = w.Ints(fanout + 1)
+		part.StartsInto(starts[:fanout], merged)
+		starts[fanout] = n
+		w.PutInts(merged)
+		w.PutMatrix(hists)
+		w.PutInts(bounds)
 		// Data is in tmp; recursion delivers results back into keys.
 		cmpRecurseAll(tmpK, tmpV, keys, vals, starts, ref.SingleKey, false, opt, ct)
+		w.PutInts(starts)
 		if st != nil {
 			st.Passes++
 		}
@@ -93,6 +105,7 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	inBounds := equalBounds(n, c)
 	tpr := threadsPerRegion(opt)
 	regionHists := make([][][]int, c)
+	regionChunks := make([][]int, c)
 	pass0 := obs.BeginPass(0, -1)
 	timed(st, phHistogram, func() {
 		var wg sync.WaitGroup
@@ -101,7 +114,7 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 			go func(r int) {
 				defer wg.Done()
 				lo, hi := inBounds[r], inBounds[r+1]
-				regionHists[r] = part.ParallelHistogramsCodes(keys[lo:hi], fn, codes[lo:hi], tpr)
+				regionHists[r], regionChunks[r] = part.ParallelHistogramsCodesWS(w, keys[lo:hi], fn, codes[lo:hi], tpr)
 			}(r)
 		}
 		wg.Wait()
@@ -113,15 +126,17 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 			go func(r int) {
 				defer wg.Done()
 				lo, hi := inBounds[r], inBounds[r+1]
-				part.ParallelNonInPlaceCodes(keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], codes[lo:hi], regionHists[r], 0)
+				part.ParallelNonInPlaceCodesWS(w, keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], codes[lo:hi], regionHists[r], 0)
 			}(r)
 		}
 		wg.Wait()
 	})
 
-	perRegion := make([][]int, c)
+	perRegion := w.Matrix(c, fanout)
 	for r := 0; r < c; r++ {
-		perRegion[r] = part.MergeHistograms(regionHists[r])
+		part.MergeHistogramsInto(perRegion[r], regionHists[r])
+		w.PutMatrix(regionHists[r])
+		w.PutInts(regionChunks[r])
 	}
 	totals := make([]int, fanout)
 	for r := 0; r < c; r++ {
@@ -132,11 +147,8 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	// Group partitions into C contiguous runs of near-equal tuple count.
 	groupOf := groupRanges(totals, n, c)
 	// Global layout: partition-major, source-region order within each.
-	dstOff := make([][]int, c)
-	for r := range dstOff {
-		dstOff[r] = make([]int, fanout)
-	}
-	starts = make([]int, fanout+1)
+	dstOff := w.Matrix(c, fanout)
+	starts = w.Ints(fanout + 1)
 	outBounds = make([]int, c+1)
 	o := 0
 	prevGroup := 0
@@ -163,9 +175,10 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 			dst := int(w.Region)
 			// Rotated all-to-all schedule ([10], Section 3.3): step s reads
 			// from region (dst+s) mod C, balancing interconnect use.
+			srcStarts := opt.Workspace.Ints(fanout)
 			for s := 0; s < c; s++ {
 				src := (dst + s) % c
-				srcStarts, _ := part.Starts(perRegion[src])
+				part.StartsInto(srcStarts, perRegion[src])
 				for q := 0; q < fanout; q++ {
 					if groupOf[q] != dst || q%tpr != w.Index {
 						continue
@@ -181,9 +194,12 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 					meter.Record(numa.Region(src), w.Region, uint64(cnt*2*width/8))
 				}
 			}
+			opt.Workspace.PutInts(srcStarts)
 			meter.Flush()
 		})
 	})
+	w.PutMatrix(perRegion)
+	w.PutMatrix(dstOff)
 	pass0.EndN(int64(n))
 	addRemoteBytes(topo.RemoteBytes())
 	if st != nil {
@@ -195,6 +211,52 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	// Recursion: data is in keys (post-shuffle); results must stay in
 	// keys, scratch is tmp.
 	cmpRecurseAll(keys, vals, tmpK, tmpV, starts, ref.SingleKey, true, opt, ct)
+	w.PutInts(starts)
+}
+
+// cmpWorker is the worker-pool driver of cmpRecurseAll: workers claim
+// top-level partitions off an atomic cursor (the same dynamic balancing as
+// the old channel feed, without the channel) and recurse. Reused via
+// ws.Scratch so a steady-state run allocates no driver state.
+type cmpWorker[K kv.Key] struct {
+	xK, xV, yK, yV []K
+	starts         []int
+	singleKey      []bool
+	wantInX        bool
+	opt            Options
+	ct             int
+	next           atomic.Int64
+	passNs, leafNs atomic.Int64
+}
+
+func (r *cmpWorker[K]) RunTask(wi int) {
+	w := r.opt.Workspace
+	sp := obs.Begin("cmp-recurse", "worker", wi)
+	var done int64
+	cs := getCombSorter[K](w, r.ct+r.ct/2)
+	nq := int64(len(r.starts) - 1)
+	for {
+		q := r.next.Add(1) - 1
+		if q >= nq {
+			break
+		}
+		lo, hi := r.starts[q], r.starts[q+1]
+		if hi-lo == 0 {
+			continue
+		}
+		single := int(q) < len(r.singleKey) && r.singleKey[q]
+		if single || hi-lo == 1 {
+			if !r.wantInX {
+				copy(r.yK[lo:hi], r.xK[lo:hi])
+				copy(r.yV[lo:hi], r.xV[lo:hi])
+			}
+			continue
+		}
+		cmpRecurse(r.xK[lo:hi], r.xV[lo:hi], r.yK[lo:hi], r.yV[lo:hi], r.wantInX, cs, r.opt, r.ct, &r.passNs, &r.leafNs)
+		done += int64(hi - lo)
+	}
+	putCombSorter(w, cs)
+	sp.EndN(done)
 }
 
 // cmpRecurseAll distributes the top-level partitions over the worker pool.
@@ -205,55 +267,34 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 // phases.
 func cmpRecurseAll[K kv.Key](xK, xV, yK, yV []K, starts []int, singleKey []bool, wantInX bool, opt Options, ct int) {
 	st := opt.Stats
-	var passNs, leafNs atomic.Int64
+	w := opt.Workspace
 	begin := time.Now()
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < opt.Threads; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			sp := obs.Begin("cmp-recurse", "worker", w)
-			var done int64
-			cs := NewCombSorter[K](ct + ct/2)
-			for q := range work {
-				lo, hi := starts[q], starts[q+1]
-				if hi-lo == 0 {
-					continue
-				}
-				single := q < len(singleKey) && singleKey[q]
-				if single || hi-lo == 1 {
-					if !wantInX {
-						copy(yK[lo:hi], xK[lo:hi])
-						copy(yV[lo:hi], xV[lo:hi])
-					}
-					continue
-				}
-				cmpRecurse(xK[lo:hi], xV[lo:hi], yK[lo:hi], yV[lo:hi], wantInX, cs, opt, ct, &passNs, &leafNs)
-				done += int64(hi - lo)
-			}
-			sp.EndN(done)
-		}(w)
-	}
-	for q := 0; q+1 < len(starts); q++ {
-		work <- q
-	}
-	close(work)
-	wg.Wait()
-	if st != nil {
+	r := ws.Scratch[cmpWorker[K]](w, ws.SlotCmpWork)
+	r.xK, r.xV, r.yK, r.yV = xK, xV, yK, yV
+	r.starts, r.singleKey, r.wantInX = starts, singleKey, wantInX
+	r.opt, r.ct = opt, ct
+	r.next.Store(0)
+	r.passNs.Store(0)
+	r.leafNs.Store(0)
+	ws.RunWorkers(w, opt.Threads, r)
+	p, l := r.passNs.Load(), r.leafNs.Load()
+	r.xK, r.xV, r.yK, r.yV = nil, nil, nil, nil
+	r.starts, r.singleKey = nil, nil
+	r.opt = Options{}
+	ws.PutScratch(w, ws.SlotCmpWork, r)
+	if st != nil && p+l > 0 {
 		wall := time.Since(begin)
-		p, l := passNs.Load(), leafNs.Load()
-		if p+l > 0 {
-			st.add(phLocal, time.Duration(int64(wall)*p/(p+l)))
-			st.add(phCache, time.Duration(int64(wall)*l/(p+l)))
-		}
+		st.add(phLocal, time.Duration(int64(wall)*p/(p+l)))
+		st.add(phCache, time.Duration(int64(wall)*l/(p+l)))
 	}
 }
 
 // cmpRecurse sorts one segment: data in x, scratch y, result in x when
-// wantInX else in y.
+// wantInX else in y. Codes, histogram, and offsets come from the
+// workspace; only the adaptive splitter sampling still allocates.
 func cmpRecurse[K kv.Key](xK, xV, yK, yV []K, wantInX bool, cs *CombSorter[K], opt Options, ct int, passNs, leafNs *atomic.Int64) {
 	n := len(xK)
+	w := opt.Workspace
 	if n <= ct {
 		start := time.Now()
 		if wantInX {
@@ -269,10 +310,12 @@ func cmpRecurse[K kv.Key](xK, xV, yK, yV []K, wantInX bool, cs *CombSorter[K], o
 	ref := splitter.RefineDuplicates(sampled)
 	tree := rangeidx.NewTreeFor(ref.Delims)
 	fanout := len(ref.Delims) + 1
-	codes := make([]int32, n)
-	hist := part.HistogramCodesBatch(xK, tree, fanout, codes)
-	starts, _ := part.Starts(hist)
-	part.NonInPlaceOutOfCacheCodes(xK, xV, yK, yV, codes, fanout, starts)
+	codes := w.Int32s(n)
+	hist := part.HistogramCodesBatchInto(w.Ints(fanout), xK, tree, codes)
+	starts, _ := part.StartsInto(w.Ints(fanout), hist)
+	part.NonInPlaceOutOfCacheCodesWS(w, xK, xV, yK, yV, codes, fanout, starts)
+	w.PutInt32s(codes)
+	w.PutInts(starts)
 	passNs.Add(int64(time.Since(start)))
 	lo := 0
 	for q, h := range hist {
@@ -291,6 +334,7 @@ func cmpRecurse[K kv.Key](xK, xV, yK, yV []K, wantInX bool, cs *CombSorter[K], o
 		}
 		lo += h
 	}
+	w.PutInts(hist)
 }
 
 // treeBatchFunc adapts a range tree to pfunc.Func and BatchLookuper with a

@@ -12,6 +12,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/obs"
 	"repro/internal/simd"
+	"repro/internal/ws"
 )
 
 // InsertionSort sorts keys[lo:hi] and the matching payloads in place; the
@@ -92,6 +93,28 @@ func NewCombSorter[K kv.Key](capacity int) *CombSorter[K] {
 	w := Lanes[K]()
 	c := (capacity/w + 2) * w
 	return &CombSorter[K]{padK: make([]K, c), padV: make([]K, c)}
+}
+
+// getCombSorter returns a workspace-pooled sorter able to sort capacity
+// tuples; release with putCombSorter. The pad buffers come from (and return
+// to) the arena, so steady-state acquisition allocates nothing.
+func getCombSorter[K kv.Key](w *ws.Workspace, capacity int) *CombSorter[K] {
+	cs := ws.Scratch[CombSorter[K]](w, ws.SlotCombSorter)
+	lanes := Lanes[K]()
+	c := (capacity/lanes + 2) * lanes
+	if cap(cs.padK) < c {
+		ws.PutKeys(w, cs.padK)
+		ws.PutKeys(w, cs.padV)
+		cs.padK = ws.Keys[K](w, c)
+		cs.padV = ws.Keys[K](w, c)
+	}
+	cs.padK = cs.padK[:cap(cs.padK)]
+	cs.padV = cs.padV[:cap(cs.padV)]
+	return cs
+}
+
+func putCombSorter[K kv.Key](w *ws.Workspace, cs *CombSorter[K]) {
+	ws.PutScratch(w, ws.SlotCombSorter, cs)
 }
 
 // SortInto sorts srcK/srcV into dstK/dstV (same length). src is copied into

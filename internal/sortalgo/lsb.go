@@ -25,7 +25,8 @@ import (
 // sorted result lands back in keys/vals.
 func LSB[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	opt = opt.withDefaults()
-	instrument(opt.Stats, "lsb", func() {
+	primePool(opt)
+	instrumentWS(opt.Stats, opt.Workspace, "lsb", func() {
 		lsbRun(keys, vals, tmpK, tmpV, opt)
 	})
 }
@@ -38,9 +39,8 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	}
 	st := opt.Stats
 
-	var domainBits int
-	timed(st, phHistogram, func() {
-		domainBits = kv.DomainBits(keys)
+	domainBits := timedInt(st, phHistogram, func() int {
+		return kv.DomainBits(keys)
 	})
 
 	c := opt.regions()
@@ -78,9 +78,11 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	// Step 2: range-radix partition locally on each NUMA region into the
 	// region's own segment of the auxiliary array.
 	topo := opt.Topo
+	w := opt.Workspace
 	inBounds := equalBounds(n, c)
 	tpr := threadsPerRegion(opt)
-	regionHists := make([][][]int, c) // [region][thread][partition]
+	regionHists := make([][][]int, c) // [region][thread][partition], pooled
+	regionChunks := make([][]int, c)  // per-region worker bounds, pooled
 	timed(st, phHistogram, func() {
 		var wg sync.WaitGroup
 		for r := 0; r < c; r++ {
@@ -88,7 +90,7 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 			go func(r int) {
 				defer wg.Done()
 				seg := keys[inBounds[r]:inBounds[r+1]]
-				regionHists[r] = part.ParallelHistograms(seg, fn1, tpr)
+				regionHists[r], regionChunks[r] = part.ParallelHistogramsWS(w, seg, fn1, tpr)
 			}(r)
 		}
 		wg.Wait()
@@ -101,7 +103,7 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 			go func(r int) {
 				defer wg.Done()
 				lo, hi := inBounds[r], inBounds[r+1]
-				part.ParallelScatter(keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], fn1, regionHists[r], 0)
+				part.ParallelScatterBoundsWS(w, keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], fn1, regionHists[r], 0, regionChunks[r])
 			}(r)
 		}
 		wg.Wait()
@@ -113,9 +115,11 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	// order preserved, so the global order stays a concatenation), and the
 	// destination region of partition pid is its range's group.
 	np := fn1.Fanout()
-	perRegion := make([][]int, c) // merged per-region histograms
+	perRegion := w.Matrix(c, np) // merged per-region histograms
 	for r := 0; r < c; r++ {
-		perRegion[r] = part.MergeHistograms(regionHists[r])
+		part.MergeHistogramsInto(perRegion[r], regionHists[r])
+		w.PutMatrix(regionHists[r])
+		w.PutInts(regionChunks[r])
 	}
 	rangeTotals := make([]int, rr)
 	for r := 0; r < c; r++ {
@@ -125,10 +129,7 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	}
 	groupOf := groupRanges(rangeTotals, n, c)
 	// dstOff[r][pid]: where region r's piece of pid lands in the output.
-	dstOff := make([][]int, c)
-	for r := range dstOff {
-		dstOff[r] = make([]int, np)
-	}
+	dstOff := w.Matrix(c, np)
 	outBounds := make([]int, c+1) // output segment bounds per region group
 	o := 0
 	prevGroup := 0
@@ -156,9 +157,10 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 			// schedule of [10], Section 3.3): in step s, region r reads
 			// from region (r+s) mod C, so no source region is hammered by
 			// every destination at once.
+			srcStarts := opt.Workspace.Ints(np)
 			for s := 0; s < c; s++ {
 				src := (dst + s) % c
-				srcStarts, _ := part.Starts(perRegion[src])
+				part.StartsInto(srcStarts, perRegion[src])
 				for pid := 0; pid < np; pid++ {
 					// Round-robin partitions among the destination
 					// region's threads.
@@ -176,9 +178,12 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 					meter.Record(numa.Region(src), w.Region, uint64(cnt*2*kv.Width[K]()/8))
 				}
 			}
+			opt.Workspace.PutInts(srcStarts)
 			meter.Flush()
 		})
 	})
+	w.PutMatrix(perRegion)
+	w.PutMatrix(dstOff)
 	pass0.EndN(int64(n))
 	addRemoteBytes(topo.RemoteBytes())
 	if st != nil {
@@ -216,66 +221,240 @@ func lsbLocal[K kv.Key](keys, vals, tmpK, tmpV []K, fromBit, domainBits int, opt
 	lsbLocalN(keys, vals, tmpK, tmpV, fromBit, domainBits, opt, threadsPerRegion(opt), ph)
 }
 
-// lsbLocalN is lsbLocal with an explicit worker count.
+// fusedCellBudget caps the per-worker joint-histogram cells of the fused
+// LSB path: 2^12 ints = 32 KiB, the private-cache footprint below which the
+// joint increments are effectively free. Larger joint tables (e.g. the
+// default 8-bit passes: 3 x 2^16 cells = 1.5 MiB per worker) turn every
+// increment into a cache miss that costs more than the sequential per-pass
+// histogram scans they replace, so the driver falls back. On machines where
+// the scans are the bottleneck (many cores saturating memory bandwidth, the
+// paper's setting) a larger budget shifts the trade toward fusion.
+const fusedCellBudget = 1 << 12
+
+// lsbLocalN is lsbLocal with an explicit worker count. It picks among three
+// drivers:
+//
+//   - fused single-threaded (workspace only): all pass histograms in one
+//     scan (Section 4.2.1 — radix histograms are value-based, so reordering
+//     between passes cannot change them), tables held in the workspace, and
+//     direct kernel calls; zero steady-state allocations;
+//   - fused parallel (workspace only): one parallel read computes pass-0
+//     per-worker histograms plus joint digit-pair histograms, from which
+//     every later pass's per-worker histograms are derived without
+//     re-scanning (Section 4.2.1 generalized to threads), gated on the
+//     joint tables staying cache-resident;
+//   - per-pass: re-scan for histograms before every pass — the pre-workspace
+//     behavior and the fallback whenever no workspace exists (buffers are
+//     then allocated per call, as before).
 func lsbLocalN[K kv.Key](keys, vals, tmpK, tmpV []K, fromBit, domainBits int, opt Options, threads int, ph phase) {
 	n := len(keys)
-	if n <= 1 {
+	if n <= 1 || fromBit >= domainBits {
 		return
 	}
 	if threads < 1 {
 		threads = 1
 	}
-	st := opt.Stats
 
-	// Single-threaded: all pass histograms in one scan (radix histograms
-	// are value-based, so reordering between passes cannot change them).
-	// Multi-threaded scatter needs per-chunk histograms of the current
-	// arrangement, which do change, so it recomputes per pass.
-	var multi [][]int
-	var multiRanges [][2]uint
-	if threads == 1 {
-		for lo := fromBit; lo < domainBits; lo += opt.RadixBits {
-			hi := min(lo+opt.RadixBits, domainBits)
-			multiRanges = append(multiRanges, [2]uint{uint(lo), uint(hi)})
-		}
-		timed(st, phHistogram, func() {
-			multi = part.MultiHistogram(keys, multiRanges)
-		})
-	}
-
-	srcK, srcV := keys, vals
-	dstK, dstV := tmpK, tmpV
-	pass := 0
+	var rangesArr [part.MaxRadixPasses][2]uint
+	m := 0
 	for lo := fromBit; lo < domainBits; lo += opt.RadixBits {
 		hi := min(lo+opt.RadixBits, domainBits)
-		fn := pfunc.NewRadix[K](uint(lo), uint(hi))
-		var hists [][]int
-		if multi != nil {
-			hists = [][]int{multi[pass]}
-		} else {
-			timed(st, phHistogram, func() {
-				hists = part.ParallelHistograms(srcK, fn, threads)
-			})
-		}
-		sk, sv, dk, dv := srcK, srcV, dstK, dstV
-		sp := obs.BeginPass(lo/opt.RadixBits, -1)
-		timed(st, ph, func() {
-			part.ParallelScatter(sk, sv, dk, dv, fn, hists, 0)
-		})
-		sp.EndN(int64(n))
-		if st != nil {
-			st.Passes++
-		}
-		pass++
-		srcK, dstK = dstK, srcK
-		srcV, dstV = dstV, srcV
+		rangesArr[m] = [2]uint{uint(lo), uint(hi)}
+		m++
 	}
+	ranges := rangesArr[:m]
+
+	switch {
+	case threads == 1 && opt.Workspace != nil:
+		lsbSingle(keys, vals, tmpK, tmpV, ranges, opt, ph)
+	case threads > 1 && opt.Workspace != nil && m > 1 && part.FusedJointCells(ranges) <= fusedCellBudget:
+		lsbFused(keys, vals, tmpK, tmpV, ranges, opt, threads, ph)
+	default:
+		lsbPerPass(keys, vals, tmpK, tmpV, ranges, opt, threads, ph)
+	}
+}
+
+// lsbPassCopyback moves the result to keys/vals when the final swap left it
+// in the auxiliary arrays.
+func lsbPassCopyback[K kv.Key](keys, vals, srcK, srcV []K, st *Stats, ph phase) {
 	if &srcK[0] != &keys[0] {
 		timed(st, ph, func() {
 			copy(keys, srcK)
 			copy(vals, srcV)
 		})
 	}
+}
+
+// lsbSingle is the single-threaded driver: one histogram scan for all
+// passes, then one buffered scatter per pass, all scratch pooled. Zero heap
+// allocations in steady state with a warm workspace.
+func lsbSingle[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Options, ph phase) {
+	n := len(keys)
+	st := opt.Stats
+	w := opt.Workspace
+	maxP := 0
+	multi := w.Matrix(len(ranges), 0)
+	for i, rg := range ranges {
+		p := 1 << (rg[1] - rg[0])
+		multi[i] = w.ResizeInts(multi[i], p)
+		maxP = max(maxP, p)
+	}
+	timed(st, phHistogram, func() {
+		part.MultiHistogramInto(multi, keys, ranges)
+	})
+	starts := w.Ints(maxP)
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK, tmpV
+	for pass, rg := range ranges {
+		fn := pfunc.NewRadix[K](rg[0], rg[1])
+		p := 1 << (rg[1] - rg[0])
+		part.StartsInto(starts[:p], multi[pass])
+		sk, sv, dk, dv := srcK, srcV, dstK, dstV
+		sp := obs.BeginPass(int(rg[0])/opt.RadixBits, -1)
+		timed(st, ph, func() {
+			wsp := obs.Begin("scatter", "worker", 0)
+			part.NonInPlaceOutOfCacheWS(w, sk, sv, dk, dv, fn, starts[:p])
+			wsp.EndN(int64(n))
+		})
+		sp.EndN(int64(n))
+		if st != nil {
+			st.Passes++
+		}
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	lsbPassCopyback(keys, vals, srcK, srcV, st, ph)
+	w.PutMatrix(multi)
+	w.PutInts(starts)
+}
+
+// lsbPerPass is the per-pass parallel driver: per-chunk histograms of the
+// current arrangement are recomputed before every scatter (they change as
+// the data moves). With a workspace, tables and line buffers are pooled and
+// workers run on the persistent pool; without one, behavior matches the
+// pre-workspace code (fresh tables, fresh goroutines).
+func lsbPerPass[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Options, threads int, ph phase) {
+	n := len(keys)
+	st := opt.Stats
+	w := opt.Workspace
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK, tmpV
+	for _, rg := range ranges {
+		fn := pfunc.NewRadix[K](rg[0], rg[1])
+		var hists [][]int
+		var bounds []int
+		sk, sv, dk, dv := srcK, srcV, dstK, dstV
+		timed(st, phHistogram, func() {
+			hists, bounds = part.ParallelHistogramsWS(w, sk, fn, threads)
+		})
+		sp := obs.BeginPass(int(rg[0])/opt.RadixBits, -1)
+		timed(st, ph, func() {
+			part.ParallelScatterBoundsWS(w, sk, sv, dk, dv, fn, hists, 0, bounds)
+		})
+		sp.EndN(int64(n))
+		if st != nil {
+			st.Passes++
+		}
+		w.PutMatrix(hists)
+		w.PutInts(bounds)
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	lsbPassCopyback(keys, vals, srcK, srcV, st, ph)
+}
+
+// lsbFused is the fused-histogram parallel driver. One parallel read
+// (part.FusedHistograms) yields pass-0 per-worker histograms and global
+// joint digit-pair histograms. For pass k >= 1 the data is already grouped
+// by the previous pass's digit, so worker chunks are aligned to
+// digit-group boundaries (balanced with the same midpoint rule as the NUMA
+// range grouping) and each worker's pass-k histogram is the sum of the
+// joint rows of the digits it owns — no re-scan. Workers process whole
+// digit groups in position order, so stability is preserved.
+func lsbFused[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Options, threads int, ph phase) {
+	n := len(keys)
+	st := opt.Stats
+	w := opt.Workspace
+	m := len(ranges)
+	maxP := 0
+	for _, rg := range ranges {
+		maxP = max(maxP, 1<<(rg[1]-rg[0]))
+	}
+
+	bounds0 := part.ChunkBoundsInto(w.Ints(threads+1), n)
+	var h0, joints [][]int
+	timed(st, phHistogram, func() {
+		h0, joints = part.FusedHistograms(w, keys, ranges, bounds0)
+	})
+
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK, tmpV
+	runPass := func(pass int, hists [][]int, bounds []int) {
+		rg := ranges[pass]
+		fn := pfunc.NewRadix[K](rg[0], rg[1])
+		sk, sv, dk, dv := srcK, srcV, dstK, dstV
+		sp := obs.BeginPass(int(rg[0])/opt.RadixBits, -1)
+		timed(st, ph, func() {
+			part.ParallelScatterBoundsWS(w, sk, sv, dk, dv, fn, hists, 0, bounds)
+		})
+		sp.EndN(int64(n))
+		if st != nil {
+			st.Passes++
+		}
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+
+	runPass(0, h0, bounds0)
+
+	totals := w.Ints(maxP)  // per-digit totals of the previous pass
+	groupOf := w.Ints(maxP) // previous-pass digit -> owning worker
+	bounds := w.Ints(threads + 1)
+	prevP := len(h0[0])
+	for k := 1; k < m; k++ {
+		p := 1 << (ranges[k][1] - ranges[k][0])
+		joint := joints[k-1] // prevP x p, flat
+		g := totals[:prevP]
+		for d := 0; d < prevP; d++ {
+			s := 0
+			for _, c := range joint[d*p : (d+1)*p] {
+				s += c
+			}
+			g[d] = s
+		}
+		groupRangesInto(groupOf[:prevP], g, n, threads)
+		hists := w.Matrix(threads, p)
+		for t := range hists {
+			clear(hists[t])
+		}
+		bounds[0] = 0
+		pos, cur := 0, 0
+		for d := 0; d < prevP; d++ {
+			for cur < groupOf[d] {
+				cur++
+				bounds[cur] = pos
+			}
+			hrow := hists[groupOf[d]]
+			for x, c := range joint[d*p : (d+1)*p] {
+				hrow[x] += c
+			}
+			pos += g[d]
+		}
+		for cur < threads {
+			cur++
+			bounds[cur] = pos
+		}
+		runPass(k, hists, bounds)
+		w.PutMatrix(hists)
+		prevP = p
+	}
+	lsbPassCopyback(keys, vals, srcK, srcV, st, ph)
+	w.PutMatrix(h0)
+	w.PutMatrix(joints)
+	w.PutInts(bounds0)
+	w.PutInts(totals)
+	w.PutInts(groupOf)
+	w.PutInts(bounds)
 }
 
 // threadsPerRegion splits opt.Threads across the topology's regions

@@ -2,7 +2,7 @@ package sortalgo
 
 import (
 	"math/bits"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/kv"
 	"repro/internal/numa"
@@ -11,6 +11,7 @@ import (
 	"repro/internal/pfunc"
 	"repro/internal/rangeidx"
 	"repro/internal/splitter"
+	"repro/internal/ws"
 )
 
 // msbInsertionCutoff is the segment size below which MSB recursion falls
@@ -36,7 +37,8 @@ const msbInsertionCutoff = 24
 // it wins on sparse key domains, and it needs no linear auxiliary array.
 func MSB[K kv.Key](keys, vals []K, opt Options) {
 	opt = opt.withDefaults()
-	instrument(opt.Stats, "msb", func() {
+	primePool(opt)
+	instrumentWS(opt.Stats, opt.Workspace, "msb", func() {
 		msbRun(keys, vals, opt)
 	})
 }
@@ -50,15 +52,14 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 	st := opt.Stats
 	width := kv.Width[K]()
 
-	var domainBits int
-	timed(st, phHistogram, func() {
-		domainBits = kv.DomainBits(keys)
+	domainBits := timedInt(st, phHistogram, func() int {
+		return kv.DomainBits(keys)
 	})
 
 	t := opt.Threads
 	if t == 1 && opt.regions() == 1 {
 		timed(st, phLocal, func() {
-			msbRecurse(keys, vals, domainBits, cacheTuples(opt, width))
+			msbRecurse(opt.Workspace, keys, vals, domainBits, cacheTuples(opt, width))
 		})
 		return
 	}
@@ -120,34 +121,50 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 	hiBit := min(width-topBits, domainBits)
 	ct := cacheTuples(opt, width)
 	timed(st, phLocal, func() {
-		work := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < t; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				sp := obs.Begin("msb-recurse", "worker", w)
-				var done int64
-				for q := range work {
-					seg := starts[q+1] - starts[q]
-					if seg <= 1 {
-						continue
-					}
-					if q < len(ref.SingleKey) && ref.SingleKey[q] {
-						continue // single-key partition: already sorted
-					}
-					msbRecurse(keys[starts[q]:starts[q+1]], vals[starts[q]:starts[q+1]], hiBit, ct)
-					done += int64(seg)
-				}
-				sp.EndN(done)
-			}(w)
-		}
-		for q := 0; q < fn.Fanout(); q++ {
-			work <- q
-		}
-		close(work)
-		wg.Wait()
+		w := opt.Workspace
+		r := ws.Scratch[msbWorker[K]](w, ws.SlotMsbWork)
+		r.w, r.keys, r.vals = w, keys, vals
+		r.starts, r.singleKey = starts, ref.SingleKey
+		r.hiBit, r.ct, r.nq = hiBit, ct, fn.Fanout()
+		r.next.Store(0)
+		ws.RunWorkers(w, t, r)
+		r.w, r.keys, r.vals, r.starts, r.singleKey = nil, nil, nil, nil, nil
+		ws.PutScratch(w, ws.SlotMsbWork, r)
 	})
+}
+
+// msbWorker is the worker-pool driver of MSB's shared-nothing recursion:
+// workers claim ranges off an atomic cursor (dynamic balancing without a
+// work channel) and recurse independently.
+type msbWorker[K kv.Key] struct {
+	w          *ws.Workspace
+	keys, vals []K
+	starts     []int
+	singleKey  []bool
+	hiBit, ct  int
+	nq         int
+	next       atomic.Int64
+}
+
+func (r *msbWorker[K]) RunTask(wi int) {
+	sp := obs.Begin("msb-recurse", "worker", wi)
+	var done int64
+	for {
+		q := int(r.next.Add(1) - 1)
+		if q >= r.nq {
+			break
+		}
+		seg := r.starts[q+1] - r.starts[q]
+		if seg <= 1 {
+			continue
+		}
+		if q < len(r.singleKey) && r.singleKey[q] {
+			continue // single-key partition: already sorted
+		}
+		msbRecurse(r.w, r.keys[r.starts[q]:r.starts[q+1]], r.vals[r.starts[q]:r.starts[q+1]], r.hiBit, r.ct)
+		done += int64(seg)
+	}
+	sp.EndN(done)
 }
 
 // msbBlockTuples is the block size of the first MSB pass: a multiple of
@@ -167,8 +184,9 @@ func cacheTuples(opt Options, width int) int {
 }
 
 // msbRecurse sorts one segment in place by MSB radix partitioning over the
-// bit range [0, hiBit).
-func msbRecurse[K kv.Key](keys, vals []K, hiBit, cacheT int) {
+// bit range [0, hiBit), drawing per-level histograms (and the out-of-cache
+// variant's line buffers) from the workspace.
+func msbRecurse[K kv.Key](w *ws.Workspace, keys, vals []K, hiBit, cacheT int) {
 	n := len(keys)
 	if n <= msbInsertionCutoff {
 		InsertionSort(keys, vals)
@@ -185,17 +203,18 @@ func msbRecurse[K kv.Key](keys, vals []K, hiBit, cacheT int) {
 		b = min(hiBit, max(1, bits.Len(uint(n))-3))
 	}
 	fn := pfunc.NewRadix[K](uint(hiBit-b), uint(hiBit))
-	hist := part.Histogram(keys, fn)
+	hist := part.HistogramInto(w.Ints(fn.Fanout()), keys, fn)
 	if n > cacheT {
-		part.InPlaceOutOfCache(keys, vals, fn, hist)
+		part.InPlaceOutOfCacheWS(w, keys, vals, fn, hist)
 	} else {
-		part.InPlaceInCache(keys, vals, fn, hist)
+		part.InPlaceInCacheWS(w, keys, vals, fn, hist)
 	}
 	lo := 0
 	for _, h := range hist {
 		if h > 1 {
-			msbRecurse(keys[lo:lo+h], vals[lo:lo+h], hiBit-b, cacheT)
+			msbRecurse(w, keys[lo:lo+h], vals[lo:lo+h], hiBit-b, cacheT)
 		}
 		lo += h
 	}
+	w.PutInts(hist)
 }

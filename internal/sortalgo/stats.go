@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/numa"
 	"repro/internal/obs"
+	"repro/internal/ws"
 )
 
 // Stats records the per-phase wall clock of a sort run (the breakdown of
@@ -19,6 +20,15 @@ type Stats struct {
 
 	Passes      int
 	RemoteBytes uint64
+
+	// WorkspaceHits / WorkspaceMisses count pooled-buffer acquisitions the
+	// run's workspace served from its free lists (hits) versus fell through
+	// to the allocator (misses). Both zero when no workspace was supplied; a
+	// warm workspace reports zero misses — the zero-steady-state-allocation
+	// witness — up to the rare transient miss when concurrent workers race
+	// for the same free-list slot (the loser allocates and the arena grows).
+	WorkspaceHits   uint64
+	WorkspaceMisses uint64
 
 	// RegionBounds are the output segment boundaries per NUMA region after
 	// the shuffle (len regions+1); the witness for the load-balancing
@@ -110,6 +120,27 @@ func timed(s *Stats, p phase, fn func()) {
 	s.add(p, d)
 }
 
+// timedInt is timed for computations that produce a value: returning it
+// instead of writing through a captured variable keeps the result out of
+// the heap (a capture written inside a non-inlined callee is moved there,
+// costing one allocation per sort on otherwise allocation-free paths).
+func timedInt(s *Stats, p phase, fn func() int) int {
+	o := obs.Cur()
+	if s == nil && o == nil {
+		return fn()
+	}
+	var sp obs.SpanHandle
+	if o != nil {
+		sp = o.Begin(p.name(), "phase", -1)
+	}
+	start := time.Now()
+	v := fn()
+	d := time.Since(start)
+	sp.End()
+	s.add(p, d)
+	return v
+}
+
 // instrument wraps one whole sort run: opens a top-level span and stores
 // the run's counter delta into st.Counters (nil-safe; a plain call when
 // observability is disabled).
@@ -126,6 +157,30 @@ func instrument(st *Stats, algo string, fn func()) {
 		st.Counters = o.Counters.Snapshot().Sub(before)
 	}
 	sp.End()
+}
+
+// instrumentWS is instrument plus workspace accounting: the run's
+// buffer-reuse hit/miss delta lands in st.WorkspaceHits/Misses.
+func instrumentWS(st *Stats, w *ws.Workspace, algo string, fn func()) {
+	if st == nil || w == nil {
+		instrument(st, algo, fn)
+		return
+	}
+	h0, m0 := w.Counters()
+	instrument(st, algo, fn)
+	h1, m1 := w.Counters()
+	st.WorkspaceHits += h1 - h0
+	st.WorkspaceMisses += m1 - m0
+}
+
+// primePool grows the workspace's worker pool to the run's full width up
+// front. Leaf kernels running on C concurrent NUMA regions each request
+// only their own share of workers; growing lazily would leave the pool
+// under-provisioned for the concurrency actually in flight.
+func primePool(o Options) {
+	if o.Workspace != nil && o.Threads > 1 {
+		o.Workspace.Pool(o.Threads)
+	}
 }
 
 // addRemoteBytes publishes NUMA interconnect traffic to the obs counters
@@ -158,6 +213,12 @@ type Options struct {
 	Stats *Stats
 	// Seed makes sampling deterministic.
 	Seed uint64
+	// Workspace, when non-nil, supplies pooled scratch (line buffers,
+	// histogram matrices, offset tables, partition codes) and the persistent
+	// worker pool, so repeated sorts of same-shaped inputs make zero
+	// steady-state heap allocations. Safe for concurrent sorts; nil means
+	// allocate per call (the pre-workspace behavior).
+	Workspace *ws.Workspace
 }
 
 func (o Options) withDefaults() Options {
@@ -189,7 +250,12 @@ func (o Options) regions() int {
 // range joins the group its center of mass falls in. Monotone by
 // construction, so group boundaries preserve range order.
 func groupRanges(totals []int, n, c int) []int {
-	groupOf := make([]int, len(totals))
+	return groupRangesInto(make([]int, len(totals)), totals, n, c)
+}
+
+// groupRangesInto is groupRanges into a caller-provided (pooled) array of
+// len(totals).
+func groupRangesInto(groupOf, totals []int, n, c int) []int {
 	acc := 0
 	for rg, tot := range totals {
 		g := 0

@@ -1,0 +1,194 @@
+package ws
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Runner is the unit of work the pool executes: RunTask(i) is called once
+// for each i in [0, n) of a Run. It is an interface rather than a func so
+// hot callers can reuse one driver object (via Scratch) and pay zero
+// allocations per Run — a closure would be re-boxed on every call.
+type Runner interface {
+	RunTask(i int)
+}
+
+// Pool is a fixed set of worker goroutines that park on a task channel
+// between passes. One Pool serves every parallel kernel of a sort: passes
+// reuse the same parked workers instead of spawning and retiring goroutines
+// per pass (per kernel call, previously).
+//
+// Tasks must be independent: RunTask must not call Run on the same Pool,
+// or concurrent Runs could exhaust the workers and deadlock. The sorts keep
+// region-level fan-out on plain goroutines and run only leaf kernels
+// (histogram, scatter, recursion workers) on the pool, so concurrent Runs
+// from C regions demand at most the pool's full width.
+type Pool struct {
+	tasks chan task
+
+	mu      sync.Mutex
+	workers int
+	closed  bool
+	comps   []*completion
+}
+
+type task struct {
+	r Runner
+	i int
+	c *completion
+}
+
+// completion tracks one Run: a countdown plus a wake-up channel. Pooled on
+// the Pool so steady-state Runs allocate nothing.
+type completion struct {
+	pending atomic.Int64
+	done    chan struct{}
+
+	pmu      sync.Mutex
+	panicked bool
+	panicVal any
+}
+
+// NewPool starts a pool of n parked workers (minimum 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{tasks: make(chan task, 4*n)}
+	p.Grow(n)
+	return p
+}
+
+// Grow ensures the pool has at least n workers.
+func (p *Pool) Grow(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		panic("ws: Grow on closed Pool")
+	}
+	for p.workers < n {
+		go p.work()
+		p.workers++
+	}
+}
+
+// Workers returns the current worker count.
+func (p *Pool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers
+}
+
+// Close parks no more: the workers drain queued tasks and exit. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+}
+
+func (p *Pool) work() {
+	for t := range p.tasks {
+		t.run()
+	}
+}
+
+// run executes one task and signals its completion last, re-routing a task
+// panic to the Run caller (as an unguarded goroutine panic would kill the
+// process with no attribution).
+func (t task) run() {
+	defer func() {
+		if e := recover(); e != nil {
+			t.c.pmu.Lock()
+			if !t.c.panicked {
+				t.c.panicked = true
+				t.c.panicVal = e
+			}
+			t.c.pmu.Unlock()
+		}
+		if t.c.pending.Add(-1) == 0 {
+			t.c.done <- struct{}{}
+		}
+	}()
+	t.r.RunTask(t.i)
+}
+
+// Run executes r.RunTask(i) for every i in [0, n) on the pool's workers and
+// blocks until all complete. If any task panicked, Run re-panics with the
+// first panic value. A nil Pool runs the tasks serially on the calling
+// goroutine (the no-workspace, single-threaded fallback).
+func (p *Pool) Run(n int, r Runner) {
+	if n <= 0 {
+		return
+	}
+	if p == nil {
+		for i := 0; i < n; i++ {
+			r.RunTask(i)
+		}
+		return
+	}
+	c := p.getComp()
+	c.pending.Store(int64(n))
+	for i := 0; i < n; i++ {
+		p.tasks <- task{r: r, i: i, c: c}
+	}
+	<-c.done
+	panicked, val := c.panicked, c.panicVal
+	c.panicked, c.panicVal = false, nil
+	p.putComp(c)
+	if panicked {
+		panic(val)
+	}
+}
+
+// GoRun is Run when no pool is available: it spawns n plain goroutines, the
+// pre-workspace behavior. Callers use ws.RunWorkers to pick.
+func GoRun(n int, r Runner) {
+	if n <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.RunTask(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// RunWorkers runs r over [0, n) with n-way parallelism: on w's persistent
+// pool when a workspace is present, otherwise on n fresh goroutines. With
+// n == 1 the task runs inline on the caller — no handoff, no allocation.
+func RunWorkers(w *Workspace, n int, r Runner) {
+	switch {
+	case n <= 1:
+		r.RunTask(0)
+	case w != nil:
+		w.Pool(n).Run(n, r)
+	default:
+		GoRun(n, r)
+	}
+}
+
+// getComp pops a pooled completion (its wake-up channel already made).
+func (p *Pool) getComp() *completion {
+	p.mu.Lock()
+	if l := p.comps; len(l) > 0 {
+		c := l[len(l)-1]
+		p.comps = l[:len(l)-1]
+		p.mu.Unlock()
+		return c
+	}
+	p.mu.Unlock()
+	return &completion{done: make(chan struct{}, 1)}
+}
+
+func (p *Pool) putComp(c *completion) {
+	p.mu.Lock()
+	p.comps = append(p.comps, c)
+	p.mu.Unlock()
+}

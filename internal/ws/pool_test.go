@@ -1,0 +1,161 @@
+package ws
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// markRunner records which task indices ran and on how many distinct
+// invocations.
+type markRunner struct {
+	marks []atomic.Int32
+}
+
+func (r *markRunner) RunTask(i int) {
+	r.marks[i].Add(1)
+}
+
+func TestPoolRunCoversAllTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	r := &markRunner{marks: make([]atomic.Int32, 100)}
+	p.Run(100, r)
+	for i := range r.marks {
+		if got := r.marks[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestPoolSequentialRunsReuseWorkers(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	if p.Workers() != 2 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+	r := &markRunner{marks: make([]atomic.Int32, 8)}
+	for pass := 0; pass < 50; pass++ {
+		p.Run(8, r)
+	}
+	for i := range r.marks {
+		if got := r.marks[i].Load(); got != 50 {
+			t.Fatalf("task %d ran %d times, want 50", i, got)
+		}
+	}
+	p.Grow(5)
+	if p.Workers() != 5 {
+		t.Fatalf("workers after Grow = %d", p.Workers())
+	}
+}
+
+func TestPoolConcurrentRuns(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &markRunner{marks: make([]atomic.Int32, 32)}
+			for pass := 0; pass < 20; pass++ {
+				p.Run(32, r)
+			}
+			for i := range r.marks {
+				if got := r.marks[i].Load(); got != 20 {
+					t.Errorf("task %d ran %d times, want 20", i, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+type panicRunner struct{}
+
+func (panicRunner) RunTask(i int) {
+	if i == 3 {
+		panic("task 3 exploded")
+	}
+}
+
+func TestPoolPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	defer func() {
+		if e := recover(); e != "task 3 exploded" {
+			t.Fatalf("recovered %v", e)
+		}
+		// The pool must still work after a panicked Run.
+		r := &markRunner{marks: make([]atomic.Int32, 4)}
+		p.Run(4, r)
+		for i := range r.marks {
+			if r.marks[i].Load() != 1 {
+				t.Fatal("pool broken after panic")
+			}
+		}
+	}()
+	p.Run(8, panicRunner{})
+}
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	r := &markRunner{marks: make([]atomic.Int32, 10)}
+	p.Run(10, r)
+	for i := range r.marks {
+		if r.marks[i].Load() != 1 {
+			t.Fatal("nil pool must run serially")
+		}
+	}
+}
+
+func TestGoRun(t *testing.T) {
+	r := &markRunner{marks: make([]atomic.Int32, 16)}
+	GoRun(16, r)
+	for i := range r.marks {
+		if r.marks[i].Load() != 1 {
+			t.Fatal("GoRun missed a task")
+		}
+	}
+}
+
+func TestRunWorkers(t *testing.T) {
+	r := &markRunner{marks: make([]atomic.Int32, 1)}
+	RunWorkers(nil, 1, r) // inline
+	if r.marks[0].Load() != 1 {
+		t.Fatal("inline run")
+	}
+	w := New()
+	defer w.Close()
+	r2 := &markRunner{marks: make([]atomic.Int32, 6)}
+	RunWorkers(w, 6, r2) // lazily creates the workspace pool
+	for i := range r2.marks {
+		if r2.marks[i].Load() != 1 {
+			t.Fatal("pooled run missed a task")
+		}
+	}
+	if w.Pool(1).Workers() < 6 {
+		t.Fatal("workspace pool not grown to run width")
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close()
+	w := New()
+	w.Pool(2)
+	w.Close()
+	w.Close()
+}
+
+func TestPoolRunZeroAlloc(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	r := &markRunner{marks: make([]atomic.Int32, 16)}
+	p.Run(16, r) // warm the completion pool
+	if n := testing.AllocsPerRun(100, func() { p.Run(16, r) }); n != 0 {
+		t.Fatalf("steady-state Run allocates %v times", n)
+	}
+}

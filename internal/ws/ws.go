@@ -1,0 +1,417 @@
+// Package ws implements the reusable workspace behind the repository's
+// zero-allocation hot paths: a size-class-bucketed arena of the scratch a
+// partition or sort run needs — cache-line buffers, histograms and offset
+// matrices, partition-code arrays, ping-pong key/payload scratch — plus a
+// persistent worker pool (pool.go) that parks between passes instead of
+// spawning goroutines per kernel call.
+//
+// The paper's cost model (Section 3.2) prices cache, TLB, and bandwidth
+// events only; allocator and scheduler time are overheads the model never
+// pays. Repeated sorts of same-shaped inputs through one Workspace make
+// zero steady-state heap allocations, so the measured kernels converge to
+// the modeled costs (see BenchmarkLSBReuse).
+//
+// Buffers are bucketed by power-of-two size class and kept on per-class
+// free lists guarded by one mutex: kernels acquire a handful of buffers per
+// call (never per tuple), so the lock is not a hot point, and unlike
+// sync.Pool the lists survive garbage collections — the zero-alloc
+// guarantee is deterministic, not probabilistic. A Workspace is safe for
+// concurrent use by the workers of one sort and by concurrent sorts; for
+// the latter, buffer demand is the sum of both runs' demands.
+//
+// All scalar buffers ([]uint32, []uint64, []int32, and the generic []K of
+// kv.Key kinds) are backed by two untyped arenas (32- and 64-bit) and
+// re-typed with unsafe.Slice; the element types involved are pointer-free
+// and layout-identical per width, so the casts do not hide pointers from
+// the garbage collector.
+package ws
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/kv"
+	"repro/internal/obs"
+)
+
+const (
+	// minClassShift is the smallest pooled buffer size (2^6 = 64 elements);
+	// smaller requests round up to it.
+	minClassShift = 6
+	// maxClassShift bounds pooled buffer sizes at 2^28 elements; larger
+	// requests are allocated exactly and not retained.
+	maxClassShift = 28
+	numClasses    = maxClassShift - minClassShift + 1
+)
+
+// classFor returns the size class of a request of n elements, or -1 when
+// the request is too large to pool.
+func classFor(n int) int {
+	if n <= 1<<minClassShift {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClassShift
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// classSize returns the capacity of class c buffers.
+func classSize(c int) int {
+	return 1 << (c + minClassShift)
+}
+
+// Workspace is a reusable arena of partitioning/sorting scratch. The zero
+// value is not usable; call New. A nil *Workspace is valid everywhere and
+// means "no reuse": getters fall back to plain allocation and putters are
+// no-ops, so kernels thread a Workspace unconditionally.
+type Workspace struct {
+	mu   sync.Mutex
+	u32  [numClasses][][]uint32
+	u64  [numClasses][][]uint64
+	ints [numClasses][][]int
+	mats [][][]int // histogram-matrix spines, any capacity
+
+	// scratch holds reusable per-kernel driver objects (worker-pool task
+	// runners, cached sorters) keyed by a small fixed slot id; see Scratch.
+	scratch [numSlots][]any
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
+	poolMu sync.Mutex
+	pool   *Pool
+}
+
+// New returns an empty Workspace. It grows to the high-water demand of the
+// runs threaded through it and holds that memory until released; Close (or
+// garbage collection of the Workspace) stops its worker pool.
+func New() *Workspace {
+	return &Workspace{}
+}
+
+// Close stops the workspace's worker pool, if one was started. The arena
+// itself needs no teardown. Close is idempotent; the Workspace must not be
+// used concurrently with Close.
+func (w *Workspace) Close() {
+	if w == nil {
+		return
+	}
+	w.poolMu.Lock()
+	p := w.pool
+	w.pool = nil
+	w.poolMu.Unlock()
+	if p != nil {
+		p.Close()
+	}
+}
+
+// Pool returns the workspace's persistent worker pool, grown to at least n
+// workers. Returns nil when w is nil (callers then spawn goroutines as the
+// pre-workspace code did).
+func (w *Workspace) Pool(n int) *Pool {
+	if w == nil {
+		return nil
+	}
+	w.poolMu.Lock()
+	defer w.poolMu.Unlock()
+	if w.pool == nil {
+		w.pool = NewPool(n)
+	} else {
+		w.pool.Grow(n)
+	}
+	return w.pool
+}
+
+// Counters returns the cumulative buffer-reuse hit and miss counts: one
+// event per buffer acquisition, a hit when the arena already held a
+// suitable buffer.
+func (w *Workspace) Counters() (hits, misses uint64) {
+	if w == nil {
+		return 0, 0
+	}
+	return w.hits.Load(), w.misses.Load()
+}
+
+// hit/miss record one acquisition and mirror it to the obs counters when a
+// session is live (a nil check otherwise).
+func (w *Workspace) hit() {
+	w.hits.Add(1)
+	if o := obs.Cur(); o != nil {
+		o.Counters.WorkspaceHits.Add(1)
+	}
+}
+
+func (w *Workspace) miss() {
+	w.misses.Add(1)
+	if o := obs.Cur(); o != nil {
+		o.Counters.WorkspaceMisses.Add(1)
+	}
+}
+
+// getU32 pops (or allocates) a 32-bit block of capacity >= n, length n.
+func (w *Workspace) getU32(n int) []uint32 {
+	c := classFor(n)
+	if c >= 0 {
+		w.mu.Lock()
+		if l := w.u32[c]; len(l) > 0 {
+			b := l[len(l)-1]
+			w.u32[c] = l[:len(l)-1]
+			w.mu.Unlock()
+			w.hit()
+			return b[:n]
+		}
+		w.mu.Unlock()
+		w.miss()
+		return make([]uint32, n, classSize(c))
+	}
+	w.miss()
+	return make([]uint32, n)
+}
+
+func (w *Workspace) putU32(s []uint32) {
+	c := classFor(cap(s))
+	if c < 0 || classSize(c) != cap(s) {
+		return // oversize or foreign buffer: let the GC have it
+	}
+	w.mu.Lock()
+	w.u32[c] = append(w.u32[c], s[:cap(s)])
+	w.mu.Unlock()
+}
+
+func (w *Workspace) getU64(n int) []uint64 {
+	c := classFor(n)
+	if c >= 0 {
+		w.mu.Lock()
+		if l := w.u64[c]; len(l) > 0 {
+			b := l[len(l)-1]
+			w.u64[c] = l[:len(l)-1]
+			w.mu.Unlock()
+			w.hit()
+			return b[:n]
+		}
+		w.mu.Unlock()
+		w.miss()
+		return make([]uint64, n, classSize(c))
+	}
+	w.miss()
+	return make([]uint64, n)
+}
+
+func (w *Workspace) putU64(s []uint64) {
+	c := classFor(cap(s))
+	if c < 0 || classSize(c) != cap(s) {
+		return
+	}
+	w.mu.Lock()
+	w.u64[c] = append(w.u64[c], s[:cap(s)])
+	w.mu.Unlock()
+}
+
+// Ints returns an []int of length n (contents undefined; callers that need
+// zeros clear it). Allocates plainly when w is nil.
+func (w *Workspace) Ints(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	if w == nil {
+		return make([]int, n)
+	}
+	c := classFor(n)
+	if c >= 0 {
+		w.mu.Lock()
+		if l := w.ints[c]; len(l) > 0 {
+			b := l[len(l)-1]
+			w.ints[c] = l[:len(l)-1]
+			w.mu.Unlock()
+			w.hit()
+			return b[:n]
+		}
+		w.mu.Unlock()
+		w.miss()
+		return make([]int, n, classSize(c))
+	}
+	w.miss()
+	return make([]int, n)
+}
+
+// PutInts returns a buffer obtained from Ints to the arena. No-op on a nil
+// workspace or a nil slice.
+func (w *Workspace) PutInts(s []int) {
+	if w == nil || cap(s) == 0 {
+		return
+	}
+	c := classFor(cap(s))
+	if c < 0 || classSize(c) != cap(s) {
+		return
+	}
+	w.mu.Lock()
+	w.ints[c] = append(w.ints[c], s[:cap(s)])
+	w.mu.Unlock()
+}
+
+// Int32s returns an []int32 of length n (contents undefined), backed by the
+// 32-bit arena.
+func (w *Workspace) Int32s(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	if w == nil {
+		return make([]int32, n)
+	}
+	b := w.getU32(n)
+	return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), cap(b))[:n]
+}
+
+// PutInt32s returns a buffer obtained from Int32s to the arena.
+func (w *Workspace) PutInt32s(s []int32) {
+	if w == nil || cap(s) == 0 {
+		return
+	}
+	w.putU32(unsafe.Slice((*uint32)(unsafe.Pointer(unsafe.SliceData(s))), cap(s)))
+}
+
+// Keys returns a []K of length n (contents undefined) from the arena of
+// K's width. Allocates plainly when w is nil.
+func Keys[K kv.Key](w *Workspace, n int) []K {
+	if n == 0 {
+		return nil
+	}
+	if w == nil {
+		return make([]K, n)
+	}
+	if kv.Width[K]() == 32 {
+		b := w.getU32(n)
+		return unsafe.Slice((*K)(unsafe.Pointer(unsafe.SliceData(b))), cap(b))[:n]
+	}
+	b := w.getU64(n)
+	return unsafe.Slice((*K)(unsafe.Pointer(unsafe.SliceData(b))), cap(b))[:n]
+}
+
+// PutKeys returns a buffer obtained from Keys to the arena.
+func PutKeys[K kv.Key](w *Workspace, s []K) {
+	if w == nil || cap(s) == 0 {
+		return
+	}
+	if kv.Width[K]() == 32 {
+		w.putU32(unsafe.Slice((*uint32)(unsafe.Pointer(unsafe.SliceData(s))), cap(s)))
+		return
+	}
+	w.putU64(unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(s))), cap(s)))
+}
+
+// ResizeInts grows (or shrinks) a row to length n, reusing its backing
+// array when the capacity suffices and swapping it through the arena
+// otherwise. Accepts nil rows; contents are undefined after a swap.
+func (w *Workspace) ResizeInts(row []int, n int) []int {
+	if cap(row) >= n {
+		return row[:n]
+	}
+	w.PutInts(row)
+	return w.Ints(n)
+}
+
+// Matrix returns a rows x cols [][]int (contents undefined): the shape of
+// per-worker histogram and offset tables. The spine and the rows are both
+// pooled; return the whole matrix with PutMatrix.
+func (w *Workspace) Matrix(rows, cols int) [][]int {
+	if rows == 0 {
+		return nil
+	}
+	var m [][]int
+	if w == nil {
+		m = make([][]int, rows)
+	} else {
+		w.mu.Lock()
+		for i := len(w.mats) - 1; i >= 0; i-- {
+			if cap(w.mats[i]) >= rows {
+				m = w.mats[i][:rows]
+				w.mats[i] = w.mats[len(w.mats)-1]
+				w.mats = w.mats[:len(w.mats)-1]
+				break
+			}
+		}
+		w.mu.Unlock()
+		if m == nil {
+			w.miss()
+			m = make([][]int, rows)
+		} else {
+			w.hit()
+		}
+	}
+	for i := range m {
+		if cap(m[i]) >= cols {
+			m[i] = m[i][:cols]
+		} else {
+			m[i] = w.Ints(cols)
+		}
+	}
+	return m
+}
+
+// PutMatrix returns a matrix obtained from Matrix to the arena. The rows
+// stay attached to the spine so a same-or-smaller reacquisition needs no
+// arena traffic.
+func (w *Workspace) PutMatrix(m [][]int) {
+	if w == nil || m == nil {
+		return
+	}
+	w.mu.Lock()
+	w.mats = append(w.mats, m)
+	w.mu.Unlock()
+}
+
+// Scratch slot ids: one per reusable kernel-driver type. Two concurrent
+// users of one slot simply miss (each gets its own object); a slot reused
+// with a different concrete type also misses and the stale object is
+// dropped — both are correctness-neutral.
+const (
+	SlotParHist = iota
+	SlotParHistCodes
+	SlotScatter
+	SlotScatterCodes
+	SlotInPlaceChunk
+	SlotFusedRead
+	SlotCmpWork
+	SlotMsbWork
+	SlotCombSorter
+	numSlots
+)
+
+// Scratch pops a reusable driver object of type *T from slot, or hands the
+// zero value to a fresh one. Returns newly allocated objects when w is nil
+// or the slot holds a different type.
+func Scratch[T any](w *Workspace, slot int) *T {
+	if w == nil {
+		return new(T)
+	}
+	w.mu.Lock()
+	l := w.scratch[slot]
+	for i := len(l) - 1; i >= 0; i-- {
+		if t, ok := l[i].(*T); ok {
+			l[i] = l[len(l)-1]
+			l[len(l)-1] = nil
+			w.scratch[slot] = l[:len(l)-1]
+			w.mu.Unlock()
+			w.hit()
+			return t
+		}
+	}
+	w.mu.Unlock()
+	w.miss()
+	return new(T)
+}
+
+// PutScratch returns a driver object to its slot. The caller must drop its
+// own references: the object will be handed to a later Scratch call as-is.
+func PutScratch[T any](w *Workspace, slot int, t *T) {
+	if w == nil || t == nil {
+		return
+	}
+	w.mu.Lock()
+	w.scratch[slot] = append(w.scratch[slot], t)
+	w.mu.Unlock()
+}

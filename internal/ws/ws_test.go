@@ -1,0 +1,198 @@
+package ws
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, c int }{
+		{1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 28, numClasses - 1},
+	}
+	for _, tc := range cases {
+		if got := classFor(tc.n); got != tc.c {
+			t.Errorf("classFor(%d) = %d, want %d", tc.n, got, tc.c)
+		}
+		if c := classFor(tc.n); c >= 0 && classSize(c) < tc.n {
+			t.Errorf("classSize(classFor(%d)) = %d < request", tc.n, classSize(c))
+		}
+	}
+	if got := classFor(1<<28 + 1); got != -1 {
+		t.Errorf("oversize request got class %d, want -1", got)
+	}
+}
+
+func TestIntsReuse(t *testing.T) {
+	w := New()
+	a := w.Ints(100)
+	if len(a) != 100 || cap(a) != 128 {
+		t.Fatalf("Ints(100): len %d cap %d, want 100/128", len(a), cap(a))
+	}
+	p0 := unsafe.SliceData(a)
+	w.PutInts(a)
+	b := w.Ints(120) // same class: must reuse the same block
+	if unsafe.SliceData(b) != p0 {
+		t.Fatal("same-class reacquisition did not reuse the buffer")
+	}
+	hits, misses := w.Counters()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("counters = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestPutRejectsForeignBuffers(t *testing.T) {
+	w := New()
+	w.PutInts(make([]int, 100)) // cap 100 is not a class size: dropped
+	a := w.Ints(100)
+	if _, misses := w.Counters(); misses != 1 {
+		t.Fatal("foreign buffer was pooled")
+	}
+	w.PutInts(a)
+}
+
+func TestNilWorkspace(t *testing.T) {
+	var w *Workspace
+	if got := w.Ints(10); len(got) != 10 {
+		t.Fatal("nil workspace Ints")
+	}
+	if got := Keys[uint64](w, 10); len(got) != 10 {
+		t.Fatal("nil workspace Keys")
+	}
+	if got := w.Matrix(3, 4); len(got) != 3 || len(got[0]) != 4 {
+		t.Fatal("nil workspace Matrix")
+	}
+	if got := Scratch[int](w, SlotScatter); got == nil {
+		t.Fatal("nil workspace Scratch")
+	}
+	w.PutInts(nil)
+	PutKeys[uint32](w, nil)
+	w.PutMatrix(nil)
+	PutScratch[int](w, SlotScatter, nil)
+	w.Close()
+	if w.Pool(4) != nil {
+		t.Fatal("nil workspace must have a nil pool")
+	}
+	if h, m := w.Counters(); h != 0 || m != 0 {
+		t.Fatal("nil workspace counters")
+	}
+}
+
+func TestKeysTyping(t *testing.T) {
+	w := New()
+	k32 := Keys[uint32](w, 50)
+	k32[49] = 7
+	PutKeys(w, k32)
+	i32 := w.Int32s(50) // same 32-bit arena: block is shared across types
+	i32[0] = -1
+	w.PutInt32s(i32)
+	k64 := Keys[uint64](w, 50)
+	k64[49] = 1 << 40
+	PutKeys(w, k64)
+	hits, _ := w.Counters()
+	if hits != 1 {
+		t.Fatalf("32-bit arena reuse across element types: hits = %d, want 1", hits)
+	}
+}
+
+func TestMatrixReuse(t *testing.T) {
+	w := New()
+	m := w.Matrix(4, 256)
+	for i := range m {
+		if len(m[i]) != 256 {
+			t.Fatalf("row %d has len %d", i, len(m[i]))
+		}
+		m[i][255] = i
+	}
+	w.PutMatrix(m)
+	h0, _ := w.Counters()
+	m2 := w.Matrix(4, 128) // smaller shape: spine and rows reused in place
+	h1, m1 := w.Counters()
+	if h1-h0 != 1 {
+		t.Fatalf("matrix reacquisition hits = %d, want 1", h1-h0)
+	}
+	if len(m2) != 4 || len(m2[0]) != 128 {
+		t.Fatalf("matrix shape %dx%d", len(m2), len(m2[0]))
+	}
+	w.PutMatrix(m2)
+	_ = m1
+}
+
+func TestResizeInts(t *testing.T) {
+	w := New()
+	row := w.ResizeInts(nil, 10)
+	if len(row) != 10 {
+		t.Fatal("grow from nil")
+	}
+	same := w.ResizeInts(row, 5)
+	if unsafe.SliceData(same) != unsafe.SliceData(row) {
+		t.Fatal("shrink must reuse backing array")
+	}
+	grown := w.ResizeInts(same, 1000)
+	if len(grown) != 1000 {
+		t.Fatal("grow")
+	}
+	w.PutInts(grown)
+}
+
+func TestScratchSlots(t *testing.T) {
+	type driver struct{ x int }
+	w := New()
+	d := Scratch[driver](w, SlotCmpWork)
+	d.x = 42
+	PutScratch(w, SlotCmpWork, d)
+	d2 := Scratch[driver](w, SlotCmpWork)
+	if d2 != d || d2.x != 42 {
+		t.Fatal("scratch slot did not return the pooled object")
+	}
+	// A different type in the same slot must not be handed out.
+	type other struct{ y float64 }
+	PutScratch(w, SlotCmpWork, d2)
+	o := Scratch[other](w, SlotCmpWork)
+	if o == nil {
+		t.Fatal("mismatched type must allocate fresh")
+	}
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	w := New()
+	// Warm up.
+	warm := func() {
+		a := w.Ints(500)
+		b := Keys[uint64](w, 4096)
+		m := w.Matrix(8, 256)
+		w.PutMatrix(m)
+		PutKeys(w, b)
+		w.PutInts(a)
+	}
+	warm()
+	if n := testing.AllocsPerRun(100, warm); n != 0 {
+		t.Fatalf("steady-state arena traffic allocates %v times per run", n)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	w := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := w.Ints(64 + g*100)
+				for j := range a {
+					a[j] = g
+				}
+				for _, v := range a {
+					if v != g {
+						t.Error("buffer shared across goroutines")
+						return
+					}
+				}
+				w.PutInts(a)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/numa"
 	"repro/internal/sortalgo"
+	"repro/internal/ws"
 )
 
 // SortStats is the per-phase wall-clock breakdown of a sort run, matching
@@ -32,6 +33,10 @@ type SortOptions struct {
 	Stats *SortStats
 	// Seed makes splitter sampling deterministic (default fixed).
 	Seed uint64
+	// Workspace, when non-nil, supplies pooled scratch buffers, internal
+	// auxiliary arrays, and a persistent worker pool so repeated sorts make
+	// zero steady-state heap allocations. See NewWorkspace.
+	Workspace *Workspace
 }
 
 func (o *SortOptions) toInternal() (sortalgo.Options, *numa.Topology) {
@@ -51,7 +56,18 @@ func (o *SortOptions) toInternal() (sortalgo.Options, *numa.Topology) {
 		CacheTuples: o.CacheTuples,
 		Stats:       o.Stats,
 		Seed:        o.Seed,
+		Workspace:   o.Workspace.internal(),
 	}, topo
+}
+
+// scratchPair takes the two auxiliary arrays from the workspace (pooled)
+// or the allocator (nil workspace).
+func scratchPair[K Key](opt *SortOptions, n int) ([]K, []K, *ws.Workspace) {
+	var w *ws.Workspace
+	if opt != nil {
+		w = opt.Workspace.internal()
+	}
+	return ws.Keys[K](w, n), ws.Keys[K](w, n), w
 }
 
 // SortLSB sorts (keys, vals) by key with the stable NUMA-aware LSB
@@ -60,9 +76,10 @@ func (o *SortOptions) toInternal() (sortalgo.Options, *numa.Topology) {
 // Payloads of equal keys keep their input order.
 func SortLSB[K Key](keys, vals []K, opt *SortOptions) {
 	checkPairs(keys, vals)
-	tmpK := make([]K, len(keys))
-	tmpV := make([]K, len(vals))
+	tmpK, tmpV, w := scratchPair[K](opt, len(keys))
 	SortLSBWithScratch(keys, vals, tmpK, tmpV, opt)
+	ws.PutKeys(w, tmpK)
+	ws.PutKeys(w, tmpV)
 }
 
 // SortLSBWithScratch is SortLSB with caller-provided auxiliary arrays
@@ -93,9 +110,10 @@ func SortMSB[K Key](keys, vals []K, opt *SortOptions) {
 // auxiliary array allocated internally. Not stable.
 func SortCMP[K Key](keys, vals []K, opt *SortOptions) {
 	checkPairs(keys, vals)
-	tmpK := make([]K, len(keys))
-	tmpV := make([]K, len(vals))
+	tmpK, tmpV, w := scratchPair[K](opt, len(keys))
 	SortCMPWithScratch(keys, vals, tmpK, tmpV, opt)
+	ws.PutKeys(w, tmpK)
+	ws.PutKeys(w, tmpV)
 }
 
 // SortCMPWithScratch is SortCMP with caller-provided auxiliary arrays.

@@ -7,11 +7,19 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/part/ ./internal/sortalgo/ .
+go test -race -short ./internal/ws/
 go run ./cmd/figures -quick > /dev/null
 go run ./cmd/sortcli -n 100000 -algo lsb > /dev/null
 go run ./cmd/partcli -n 100000 -variant sync -threads 4 > /dev/null
 go run ./cmd/tracecli -n 65536 -fanout 512 > /dev/null
 go test -run xxx -bench 'Fig03|Fig09' -benchtime 0.2s . > /dev/null
+
+# Zero-allocation benchmarks: the workspace-backed kernels must report
+# 0 allocs/op (BENCH_PR2.json in the repo records the full-length run).
+benchout=$(mktemp)
+go run ./cmd/benchjson -benchtime 2x -out "$benchout"
+grep -q '"allocs_op": 0' "$benchout"
+rm -f "$benchout"
 
 # Observability smoke: spans + counters must produce a valid Chrome trace
 # whose LSB counters reconcile (tuples_partitioned == passes * n), with at

@@ -1,0 +1,53 @@
+package partsort
+
+import (
+	"repro/internal/ws"
+)
+
+// Workspace is a reusable arena of sorting scratch — cache-line buffers,
+// histogram and offset tables, partition codes, the persistent worker pool
+// — for server-style workloads that sort repeatedly. Pass it via
+// SortOptions.Workspace (and use the WithScratch entry points or keep the
+// auxiliary arrays alive yourself) and repeated sorts of same-shaped inputs
+// make zero steady-state heap allocations; SortStats.WorkspaceHits/Misses
+// witness the reuse.
+//
+// A Workspace is safe for concurrent use; a nil *Workspace is valid and
+// means "allocate per call". It grows to the high-water scratch demand of
+// the sorts run through it and holds that memory until it is garbage
+// collected; call Close when done to stop its worker pool promptly.
+type Workspace struct {
+	ws *ws.Workspace
+}
+
+// NewWorkspace returns an empty Workspace; it warms up on first use.
+func NewWorkspace() *Workspace {
+	return &Workspace{ws: ws.New()}
+}
+
+// Close stops the workspace's persistent worker pool. The arena itself
+// needs no teardown. Idempotent; do not use the Workspace concurrently
+// with Close.
+func (w *Workspace) Close() {
+	if w == nil {
+		return
+	}
+	w.ws.Close()
+}
+
+// Counters returns the cumulative pooled-buffer reuse counts: one event
+// per buffer acquisition, a hit when the arena already held a suitable
+// buffer. A warm workspace reports no new misses.
+func (w *Workspace) Counters() (hits, misses uint64) {
+	if w == nil {
+		return 0, 0
+	}
+	return w.ws.Counters()
+}
+
+func (w *Workspace) internal() *ws.Workspace {
+	if w == nil {
+		return nil
+	}
+	return w.ws
+}
