@@ -1,0 +1,155 @@
+// Command faultcheck drives the fault-injection harness end to end and is
+// the CI gate behind verify.sh's hardened-execution smoke, mirroring
+// tracecheck for observability: exit 0 means every registered injection
+// site, armed against every sort that reaches it, surfaced as a typed
+// *InternalError (never a crash), left the input a permutation, and leaked
+// no goroutines — and that a short context deadline cancels a large sort
+// promptly.
+//
+// Examples:
+//
+//	faultcheck                    # full matrix at the default size
+//	faultcheck -n 100000 -v       # larger input, per-cell progress
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	partsort "repro"
+	"repro/internal/fault"
+	"repro/internal/gen"
+)
+
+type cell struct {
+	algo    string
+	site    fault.Site
+	regions int
+	cache   int // CacheTuples override (CMP must exceed the cache-resident cutoff)
+}
+
+// matrix pairs every registered injection site with a sort configuration
+// that reaches it; faultcheck fails if a site never fires, so the matrix
+// cannot silently go stale when sites move.
+var matrix = []cell{
+	{"lsb", fault.SiteLSBPass, 1, 0},
+	{"lsb", fault.SiteWorkerStart, 1, 0},
+	{"lsb", fault.SiteShuffleStart, 2, 0},
+	{"msb", fault.SiteMSBRecurse, 1, 0},
+	{"msb", fault.SiteWorkerStart, 1, 0},
+	{"msb", fault.SiteBlockRefill, 1, 0},
+	{"msb", fault.SiteShuffleStart, 1, 0},
+	{"cmp", fault.SiteCMPPass, 1, 1 << 12},
+	{"cmp", fault.SiteWorkerStart, 1, 1 << 12},
+	{"cmp", fault.SiteShuffleStart, 2, 1 << 12},
+}
+
+func runSort(algo string, ctx context.Context, keys, vals []uint32, opt *partsort.SortOptions) error {
+	switch algo {
+	case "lsb":
+		return partsort.TrySortLSBCtx(ctx, keys, vals, opt)
+	case "msb":
+		return partsort.TrySortMSBCtx(ctx, keys, vals, opt)
+	case "cmp":
+		return partsort.TrySortCmpCtx(ctx, keys, vals, opt)
+	}
+	panic("unknown algo " + algo)
+}
+
+func main() {
+	n := flag.Int("n", 1<<16, "tuples per injection run")
+	threads := flag.Int("threads", 4, "worker threads")
+	verbose := flag.Bool("v", false, "print one line per matrix cell")
+	flag.Parse()
+	defer fault.Disable()
+
+	keys := gen.Uniform[uint32](*n, 0, 42)
+	vals := partsort.RIDs[uint32](*n)
+	work := make([]uint32, *n)
+	workV := make([]uint32, *n)
+
+	covered := map[fault.Site]bool{}
+	for _, c := range matrix {
+		copy(work, keys)
+		copy(workV, vals)
+		base := runtime.NumGoroutine()
+		fault.Enable(c.site, 0)
+		err := runSort(c.algo, context.Background(), work, workV,
+			&partsort.SortOptions{Threads: *threads, Regions: c.regions, CacheTuples: c.cache})
+		fired := fault.Fired()
+		fault.Disable()
+
+		name := fmt.Sprintf("%s @ %s (regions=%d)", c.algo, c.site, c.regions)
+		if !fired {
+			fail("%s: site never reached — the matrix is stale", name)
+		}
+		var ie *partsort.InternalError
+		if !errors.As(err, &ie) {
+			fail("%s: err = %v (%T), want *partsort.InternalError", name, err, err)
+		}
+		if !errors.Is(err, fault.Injected{Site: c.site}) {
+			fail("%s: InternalError does not wrap the injected fault: %v", name, ie.Value)
+		}
+		if len(ie.Stack) == 0 {
+			fail("%s: no worker stack captured", name)
+		}
+		if !partsort.SameMultiset(keys, vals, work, workV) {
+			fail("%s: keys/vals are not a permutation of the input after containment", name)
+		}
+		waitGoroutines(name, base)
+		covered[c.site] = true
+		if *verbose {
+			fmt.Printf("faultcheck: %-40s contained, permutation intact\n", name)
+		}
+	}
+	for _, s := range fault.Sites() {
+		if !covered[s] {
+			fail("site %s has no matrix cell", s)
+		}
+	}
+
+	// Cancellation smoke: a deadline that expires mid-sort must surface as
+	// the context error, promptly, with the input still a permutation.
+	big := gen.Uniform[uint32](1<<22, 0, 7)
+	bigV := partsort.RIDs[uint32](len(big))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := partsort.TrySortLSBCtx(ctx, big, bigV, &partsort.SortOptions{Threads: *threads})
+	elapsed := time.Since(start)
+	if err == nil {
+		fmt.Println("faultcheck: sort outran the 2ms deadline; cancellation latency not measured")
+	} else {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			fail("cancellation: err = %v, want context.DeadlineExceeded", err)
+		}
+		if elapsed > 5*time.Second {
+			fail("cancellation took %v: checkpoints are not being polled", elapsed)
+		}
+		fmt.Printf("faultcheck: cancellation surfaced in %v\n", elapsed.Round(time.Millisecond))
+	}
+
+	fmt.Printf("faultcheck: %d matrix cells ok, all %d sites covered\n", len(matrix), len(fault.Sites()))
+}
+
+// waitGoroutines waits briefly for exited workers to be reaped before
+// declaring a leak.
+func waitGoroutines(name string, base int) {
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			fail("%s: goroutine leak: %d live, baseline %d", name, runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "faultcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+package partsort
+
+import "fmt"
+
+// ArgError reports an invalid argument to an entry point: a malformed
+// option value or mismatched column lengths. The Try entry points return
+// it; the legacy panicking entry points panic with it, so both surfaces
+// share one validator and one error taxonomy.
+type ArgError struct {
+	Func   string // entry point, e.g. "TrySortLSB"
+	Field  string // offending parameter or option field, e.g. "RadixBits"
+	Reason string // the violated constraint
+}
+
+func (e *ArgError) Error() string {
+	return "partsort: " + e.Func + ": invalid " + e.Field + ": " + e.Reason
+}
+
+// InternalError reports a worker panic that the hardened execution layer
+// contained: instead of crashing the process, the panic was recovered, its
+// sibling workers were cancelled and drained, the input arrays were
+// restored to a permutation of the input where the interruption point
+// guarantees it, and the failure surfaced here as an error.
+type InternalError struct {
+	Op    string // the Try operation that contained the panic
+	Value any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack, captured at the site
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("partsort: %s: contained worker panic: %v", e.Op, e.Value)
+}
+
+// Unwrap exposes the panic value for errors.Is/As when it was an error.
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Package fault is a build-tag-free fault-injection harness for the
+// hardened-execution tests: kernels declare named injection sites at the
+// safe points where a crash must be survivable (pass boundaries, worker
+// start, block-store refill), and tests arm one site at a time to prove
+// that the panic surfaces as an *InternalError with all goroutines reaped
+// and the input left a valid permutation.
+//
+// Like internal/obs, the disabled path is paid for with a single atomic
+// pointer load and a nil check — no build tags, so the injection sites are
+// compiled into production binaries but cost nothing until a test arms
+// them. Sites sit only where every enclosing layer can restore its
+// invariants; adding one inside an unrestorable window (the in-place block
+// shuffle, a comb-sort leaf) would make the permutation guarantee a lie.
+package fault
+
+import "sync/atomic"
+
+// Site names one injection point. The catalogue below is the complete set;
+// Sites() returns it for harnesses that iterate.
+type Site string
+
+const (
+	// SiteLSBPass fires at the top of each LSB radix pass (per region on
+	// the NUMA path), before any tuple of that pass has moved.
+	SiteLSBPass Site = "lsb/pass"
+	// SiteMSBRecurse fires at the entry of each MSB recursion step, where
+	// the segment is in place and untouched by the step.
+	SiteMSBRecurse Site = "msb/recurse"
+	// SiteCMPPass fires at the entry of each comparison-sort range
+	// partitioning recursion, before the level's scatter begins.
+	SiteCMPPass Site = "cmp/pass"
+	// SiteWorkerStart fires when a fan-out worker begins: pool tasks,
+	// contained plain-goroutine workers, and block-partitioning chunk
+	// workers.
+	SiteWorkerStart Site = "worker/start"
+	// SiteBlockRefill fires inside block-list partitioning when a writer
+	// asks the block store for a fresh block — mid-chunk, with tuples in
+	// flight in line buffers and partially filled blocks, exercising the
+	// chunk-level rollback.
+	SiteBlockRefill Site = "blocks/refill"
+	// SiteShuffleStart fires on the coordinator immediately before the
+	// cross-region shuffle, the last point where the pre-shuffle layout is
+	// trivially restorable.
+	SiteShuffleStart Site = "shuffle/start"
+)
+
+// Sites returns the full catalogue of injection sites.
+func Sites() []Site {
+	return []Site{
+		SiteLSBPass,
+		SiteMSBRecurse,
+		SiteCMPPass,
+		SiteWorkerStart,
+		SiteBlockRefill,
+		SiteShuffleStart,
+	}
+}
+
+// Injected is the panic value raised by an armed site. Tests assert the
+// resulting *InternalError wraps it.
+type Injected struct {
+	Site Site
+}
+
+func (e Injected) Error() string {
+	return "fault: injected panic at site " + string(e.Site)
+}
+
+// plan is one armed injection: a site, a countdown of hits to skip, and a
+// fired-once latch.
+type plan struct {
+	site  Site
+	after atomic.Int64 // remaining hits to skip before firing
+	fired atomic.Bool
+}
+
+// cur is the armed plan; nil (the steady state) disables all sites.
+var cur atomic.Pointer[plan]
+
+// Enable arms one site: the (after+1)-th Inject call on it panics with
+// Injected{site}; every other call, and every other site, is untouched.
+// The plan fires at most once. Not meant for concurrent arming — tests
+// enable, run, then Disable.
+func Enable(site Site, after int) {
+	p := &plan{site: site}
+	p.after.Store(int64(after))
+	cur.Store(p)
+}
+
+// Disable disarms injection (the steady state).
+func Disable() {
+	cur.Store(nil)
+}
+
+// Fired reports whether the currently armed plan has fired. False when
+// nothing is armed.
+func Fired() bool {
+	p := cur.Load()
+	return p != nil && p.fired.Load()
+}
+
+// Inject is the site hook kernels call at their named safe points. With no
+// plan armed (one atomic load, one nil check) it is free. An armed plan
+// counts down matching hits and panics exactly once when the countdown
+// crosses zero; concurrent hits race on the atomic countdown, so exactly
+// one goroutine fires even under a parallel fan-out.
+func Inject(s Site) {
+	p := cur.Load()
+	if p == nil || p.site != s {
+		return
+	}
+	if p.after.Add(-1) == -1 {
+		p.fired.Store(true)
+		panic(Injected{Site: s})
+	}
+}

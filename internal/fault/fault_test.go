@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDisabledIsInert(t *testing.T) {
+	Disable()
+	for _, s := range Sites() {
+		Inject(s) // must not panic
+	}
+	if Fired() {
+		t.Error("Fired true with nothing armed")
+	}
+}
+
+func TestEnableFiresOnMatchingSiteOnly(t *testing.T) {
+	defer Disable()
+	Enable(SiteLSBPass, 0)
+	Inject(SiteMSBRecurse) // wrong site: no-op
+	if Fired() {
+		t.Fatal("fired on the wrong site")
+	}
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		Inject(SiteLSBPass)
+	}()
+	inj, ok := got.(Injected)
+	if !ok || inj.Site != SiteLSBPass {
+		t.Fatalf("got %v, want Injected{lsb/pass}", got)
+	}
+	if !Fired() {
+		t.Error("Fired false after firing")
+	}
+	Inject(SiteLSBPass) // fires at most once
+}
+
+func TestAfterCountdown(t *testing.T) {
+	defer Disable()
+	Enable(SiteCMPPass, 2)
+	for i := 0; i < 2; i++ {
+		Inject(SiteCMPPass)
+		if Fired() {
+			t.Fatalf("fired after %d hits, want after 3", i+1)
+		}
+	}
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		Inject(SiteCMPPass)
+	}()
+	if _, ok := got.(Injected); !ok {
+		t.Fatalf("third hit did not fire: %v", got)
+	}
+}
+
+func TestConcurrentHitsFireExactlyOnce(t *testing.T) {
+	defer Disable()
+	Enable(SiteWorkerStart, 7)
+	var fired atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				func() {
+					defer func() {
+						if _, ok := recover().(Injected); ok {
+							fired.Add(1)
+						}
+					}()
+					Inject(SiteWorkerStart)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if fired.Load() != 1 {
+		t.Fatalf("fired %d times, want exactly 1", fired.Load())
+	}
+}
+
+func TestSitesCatalogueComplete(t *testing.T) {
+	want := map[Site]bool{
+		SiteLSBPass: true, SiteMSBRecurse: true, SiteCMPPass: true,
+		SiteWorkerStart: true, SiteBlockRefill: true, SiteShuffleStart: true,
+	}
+	got := Sites()
+	if len(got) != len(want) {
+		t.Fatalf("Sites() has %d entries, want %d", len(got), len(want))
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Errorf("unexpected site %q", s)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package hard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewPanicCapturesStackOnce(t *testing.T) {
+	var wrapped any
+	func() {
+		defer func() { wrapped = NewPanic(recover()) }()
+		panic("boom")
+	}()
+	pe, ok := wrapped.(*PanicError)
+	if !ok {
+		t.Fatalf("NewPanic returned %T, want *PanicError", wrapped)
+	}
+	if pe.Val != "boom" {
+		t.Errorf("Val = %v, want boom", pe.Val)
+	}
+	if !strings.Contains(string(pe.Stack), "TestNewPanicCapturesStackOnce") {
+		t.Errorf("stack does not mention the panic site:\n%s", pe.Stack)
+	}
+	if again := NewPanic(pe); again != pe {
+		t.Errorf("NewPanic re-wrapped an already-wrapped value")
+	}
+}
+
+func TestNewPanicPassesBailsThrough(t *testing.T) {
+	var got any
+	func() {
+		defer func() { got = NewPanic(recover()) }()
+		Bail(context.Canceled)
+	}()
+	err, ok := BailCause(got)
+	if !ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("bail not passed through: %v (ok=%v)", got, ok)
+	}
+}
+
+func TestPanicErrorUnwrap(t *testing.T) {
+	inner := errors.New("inner")
+	var pe error = &PanicError{Val: inner}
+	if !errors.Is(pe, inner) {
+		t.Error("PanicError does not unwrap an error panic value")
+	}
+	if errors.Unwrap(&PanicError{Val: "str"}) != nil {
+		t.Error("non-error panic value unwrapped to non-nil")
+	}
+}
+
+func TestNilCtlIsInert(t *testing.T) {
+	var c *Ctl
+	c.Checkpoint()
+	c.CheckpointNow()
+	c.Stop()
+	if c.Stopped() {
+		t.Error("nil Ctl reports stopped")
+	}
+}
+
+func TestCtlStopMakesCheckpointBail(t *testing.T) {
+	c := NewCtl(nil)
+	c.Checkpoint() // no-op while running
+	c.Stop()
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		c.Checkpoint()
+	}()
+	err, ok := BailCause(got)
+	if !ok || !errors.Is(err, ErrSiblingStop) {
+		t.Fatalf("checkpoint after Stop: got %v (bail=%v), want ErrSiblingStop bail", got, ok)
+	}
+}
+
+func TestCtlObservesContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewCtl(ctx)
+	cancel()
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		// CheckpointNow is not stride-gated, so one call must observe it.
+		c.CheckpointNow()
+	}()
+	err, ok := BailCause(got)
+	if !ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v (bail=%v), want context.Canceled bail", got, ok)
+	}
+	// After one observation the stop flag is latched: the strided Checkpoint
+	// bails on its very next call with the context's error as cause.
+	got = nil
+	func() {
+		defer func() { got = recover() }()
+		c.Checkpoint()
+	}()
+	if err, ok := BailCause(got); !ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("latched checkpoint: got %v, want context.Canceled bail", got)
+	}
+}
+
+func TestCtlStridedCheckpointEventuallyObserves(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewCtl(ctx)
+	cancel()
+	bailed := false
+	func() {
+		defer func() {
+			if _, ok := BailCause(recover()); ok {
+				bailed = true
+			}
+		}()
+		for i := 0; i < 4*ckptStride; i++ {
+			c.Checkpoint()
+		}
+	}()
+	if !bailed {
+		t.Fatalf("strided checkpoint never observed cancellation in %d calls", 4*ckptStride)
+	}
+}
+
+func TestCtlReset(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewCtl(ctx)
+	cancel()
+	func() { defer func() { recover() }(); c.CheckpointNow() }()
+	if !c.Stopped() {
+		t.Fatal("ctl not stopped after observed cancellation")
+	}
+	c.Reset(context.Background())
+	if c.Stopped() {
+		t.Error("Reset did not clear the stop flag")
+	}
+	c.CheckpointNow() // must not bail
+}
+
+func TestGroupContainsPanicAndStopsSiblings(t *testing.T) {
+	c := NewCtl(nil)
+	g := NewGroup(c)
+	var bailedSiblings atomic.Int32
+	g.Go(func() { panic("worker boom") })
+	for i := 0; i < 3; i++ {
+		g.Go(func() {
+			defer func() {
+				if _, ok := BailCause(recover()); ok {
+					bailedSiblings.Add(1)
+					Bail(nil) // propagate like a real kernel restore defer would
+				}
+			}()
+			for !c.Stopped() {
+			}
+			c.Checkpoint()
+		})
+	}
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		g.Wait()
+	}()
+	pe, ok := got.(*PanicError)
+	if !ok {
+		t.Fatalf("Wait re-raised %T (%v), want *PanicError", got, got)
+	}
+	if pe.Val != "worker boom" {
+		t.Errorf("Val = %v, want worker boom", pe.Val)
+	}
+	if !strings.Contains(string(pe.Stack), "TestGroupContainsPanicAndStopsSiblings") {
+		t.Errorf("worker stack lost:\n%s", pe.Stack)
+	}
+	if bailedSiblings.Load() != 3 {
+		t.Errorf("%d siblings bailed, want 3", bailedSiblings.Load())
+	}
+}
+
+func TestGroupPrefersPanicOverBail(t *testing.T) {
+	g := NewGroup(nil)
+	g.Go(func() { Bail(context.Canceled) })
+	g.Go(func() { panic("real") })
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		g.Wait()
+	}()
+	pe, ok := got.(*PanicError)
+	if !ok || pe.Val != "real" {
+		t.Fatalf("got %v, want the real panic", got)
+	}
+}
+
+func TestGroupPropagatesBailAlone(t *testing.T) {
+	g := NewGroup(nil)
+	g.Go(func() { Bail(context.DeadlineExceeded) })
+	g.Go(func() {})
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		g.Wait()
+	}()
+	err, ok := BailCause(got)
+	if !ok || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded bail", got)
+	}
+}
+
+func TestGroupCleanWait(t *testing.T) {
+	g := NewGroup(NewCtl(context.Background()))
+	var ran atomic.Int32
+	for i := 0; i < 4; i++ {
+		g.Go(func() { ran.Add(1) })
+	}
+	g.Wait() // must not panic
+	if ran.Load() != 4 {
+		t.Errorf("ran %d workers, want 4", ran.Load())
+	}
+}

@@ -17,9 +17,9 @@ package numa
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/hard"
 	"repro/internal/kv"
 )
 
@@ -246,34 +246,30 @@ type Worker struct {
 
 // RunPerRegion runs threadsPerRegion workers for each region concurrently
 // and waits for all of them. fn must be safe for concurrent invocation.
+// Worker panics are contained: the first is re-raised on the caller with the
+// worker's stack after every sibling finishes, instead of killing the
+// process as a bare goroutine panic would.
 func RunPerRegion(t *Topology, threadsPerRegion int, fn func(w Worker)) {
-	var wg sync.WaitGroup
+	g := hard.NewGroup(nil)
 	id := 0
 	for r := 0; r < t.c; r++ {
 		for k := 0; k < threadsPerRegion; k++ {
-			wg.Add(1)
 			w := Worker{Region: Region(r), Index: k, ID: id}
 			id++
-			go func() {
-				defer wg.Done()
-				fn(w)
-			}()
+			g.Go(func() { fn(w) })
 		}
 	}
-	wg.Wait()
+	g.Wait()
 }
 
 // RunWorkers runs n workers with sequential global ids (region assignment
-// round-robin) and waits for all of them.
+// round-robin) and waits for all of them, containing worker panics like
+// RunPerRegion.
 func RunWorkers(t *Topology, n int, fn func(w Worker)) {
-	var wg sync.WaitGroup
+	g := hard.NewGroup(nil)
 	for i := 0; i < n; i++ {
-		wg.Add(1)
 		w := Worker{Region: Region(i % t.c), Index: i / t.c, ID: i}
-		go func() {
-			defer wg.Done()
-			fn(w)
-		}()
+		g.Go(func() { fn(w) })
 	}
-	wg.Wait()
+	g.Wait()
 }

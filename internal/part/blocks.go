@@ -2,8 +2,9 @@ package part
 
 import (
 	"fmt"
-	"sync"
 
+	"repro/internal/fault"
+	"repro/internal/hard"
 	"repro/internal/kv"
 	"repro/internal/obs"
 	"repro/internal/pfunc"
@@ -143,12 +144,16 @@ func (w *blockWriter[K]) add(p int, k, v K) {
 	w.bufK[p*w.l+int(n)] = k
 	w.bufV[p*w.l+int(n)] = v
 	n++
-	if int(n) == w.l {
-		w.flushLine(p, w.l)
-		n = 0
-	}
+	// Record the buffered count (and the add) before the flush: flushLine
+	// can panic at block allocation (store exhausted, injected fault), and
+	// the in-place rollback reconstructs in-flight tuples from bufN — a
+	// stale count would silently drop the tuple written above.
 	w.bufN[p] = n
 	w.cnt[p]++
+	if int(n) == w.l {
+		w.flushLine(p, w.l)
+		w.bufN[p] = 0
+	}
 }
 
 // flushLine moves m buffered tuples of partition p into its current block,
@@ -188,6 +193,11 @@ func (w *blockWriter[K]) drain() ([][]BlockRef, []int) {
 				copy(w.bufK[p*w.l:], w.bufK[p*w.l+room:p*w.l+m])
 				copy(w.bufV[p*w.l:], w.bufV[p*w.l+room:p*w.l+m])
 				m -= room
+				// Keep bufN truthful between the two flushes: the second
+				// can panic at allocation, and the rollback must neither
+				// double-count the already-flushed room tuples nor read
+				// stale buffer slots.
+				w.bufN[p] = int32(m)
 			}
 			if m > 0 {
 				w.flushLine(p, m)
@@ -237,7 +247,7 @@ func NextSlotAllocator(limit int) func() int32 {
 func ToBlocksInPlace[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, blockTuples int) *Blocks[K] {
 	p := fn.Fanout()
 	store := NewBlockStore(keys, vals, blockTuples, 2*p+4)
-	lists, cnt := toBlocksChunk(store, keys, vals, 0, len(keys), fn, store.nPrimary, store.nPrimary, store.Slots())
+	lists, cnt := toBlocksChunk(store, keys, vals, 0, len(keys), fn, store.nPrimary, store.nPrimary, store.Slots(), nil)
 	return &Blocks[K]{Store: store, Lists: lists, Counts: cnt}
 }
 
@@ -246,7 +256,19 @@ func ToBlocksInPlace[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, blockTuple
 // [lo/b, primEnd) belong to this chunk (lo must be b-aligned); scratch
 // slots [scrLo, scrHi) are this chunk's private overflow. Returns the
 // chunk's lists and counts.
-func toBlocksChunk[K kv.Key, F pfunc.Func[K]](store *BlockStore[K], keys, vals []K, lo, hi int, fn F, primEnd, scrLo, scrHi int) ([][]BlockRef, []int) {
+//
+// Failure contract: on any panic (block-store exhaustion, an injected
+// fault, a cancellation bail from ctl) the chunk's input segment [lo, hi)
+// is restored to a permutation of its original content before the panic
+// propagates. The in-place scheme consumes the segment as it goes —
+// primary block slots below the read cursor are overwritten — so the
+// rollback re-collects every consumed tuple from where it actually lives:
+// the unconsumed tail of the saved prefix, the chunk's finished blocks,
+// and the writer's line buffers (whose bufN counts are kept truthful at
+// every potential panic point; see blockWriter.add).
+func toBlocksChunk[K kv.Key, F pfunc.Func[K]](store *BlockStore[K], keys, vals []K, lo, hi int, fn F, primEnd, scrLo, scrHi int, ctl *hard.Ctl) (lists [][]BlockRef, cnt []int) {
+	fault.Inject(fault.SiteWorkerStart)
+	ctl.Checkpoint()
 	p := fn.Fanout()
 	b := store.B
 
@@ -258,9 +280,11 @@ func toBlocksChunk[K kv.Key, F pfunc.Func[K]](store *BlockStore[K], keys, vals [
 	savedV := append([]K(nil), vals[lo:lo+savedLen]...)
 
 	readPos := lo + savedLen
+	savedIdx := 0
 	nextPrimary := int32(lo / b)
 	nextScratch := int32(scrLo)
 	alloc := func() int32 {
+		fault.Inject(fault.SiteBlockRefill)
 		// Primary slots are safe once the read cursor has passed them.
 		if int(nextPrimary) < primEnd && (int(nextPrimary)+1)*b <= readPos {
 			s := nextPrimary
@@ -277,16 +301,59 @@ func toBlocksChunk[K kv.Key, F pfunc.Func[K]](store *BlockStore[K], keys, vals [
 	}
 
 	w := newBlockWriter(store, p, alloc)
+	defer func() {
+		e := recover()
+		if e == nil {
+			return
+		}
+		// Rebuild the consumed region [lo, readPos): every consumed tuple
+		// is in exactly one of the writer's blocks, its line buffers, or
+		// the saved prefix's unconsumed tail. Collect into a temporary
+		// first — the blocks live inside [lo, readPos) itself.
+		want := readPos - lo
+		tmpK := make([]K, 0, want)
+		tmpV := make([]K, 0, want)
+		for q := 0; q < p; q++ {
+			for _, ref := range w.lists[q] {
+				ks, vs := store.Block(ref.ID)
+				tmpK = append(tmpK, ks[:ref.Len]...)
+				tmpV = append(tmpV, vs[:ref.Len]...)
+			}
+			n := int(w.bufN[q])
+			tmpK = append(tmpK, w.bufK[q*w.l:q*w.l+n]...)
+			tmpV = append(tmpV, w.bufV[q*w.l:q*w.l+n]...)
+		}
+		tmpK = append(tmpK, savedK[savedIdx:]...)
+		tmpV = append(tmpV, savedV[savedIdx:]...)
+		if len(tmpK) == want {
+			copy(keys[lo:readPos], tmpK)
+			copy(vals[lo:readPos], tmpV)
+		}
+		// Wrap here, on the panicking goroutine while its frames are still
+		// live, so the captured stack shows the true panic site even when
+		// this chunk runs on a plain contained goroutine.
+		panic(hard.NewPanic(e))
+	}()
 	for readPos < hi {
-		k := keys[readPos]
-		v := vals[readPos]
-		readPos++
-		w.add(fn.Partition(k), k, v)
+		ctl.Checkpoint()
+		chunkEnd := min(readPos+hard.CkptTuples, hi)
+		for readPos < chunkEnd {
+			k := keys[readPos]
+			v := vals[readPos]
+			readPos++
+			w.add(fn.Partition(k), k, v)
+		}
 	}
-	for i := range savedK {
-		w.add(fn.Partition(savedK[i]), savedK[i], savedV[i])
+	for savedIdx < len(savedK) {
+		ctl.Checkpoint()
+		chunkEnd := min(savedIdx+hard.CkptTuples, len(savedK))
+		for savedIdx < chunkEnd {
+			k, v := savedK[savedIdx], savedV[savedIdx]
+			savedIdx++
+			w.add(fn.Partition(k), k, v)
+		}
 	}
-	lists, cnt := w.drain()
+	lists, cnt = w.drain()
 	publishScatter(hi-lo, w.flushes)
 	return lists, cnt
 }
@@ -296,6 +363,17 @@ func toBlocksChunk[K kv.Key, F pfunc.Func[K]](store *BlockStore[K], keys, vals [
 // its own block-aligned chunk of the input (shared-nothing), and the
 // per-partition block lists are concatenated in worker order.
 func ToBlocksInPlaceParallel[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, blockTuples, workers int) *Blocks[K] {
+	return ToBlocksInPlaceParallelCtl(keys, vals, fn, blockTuples, workers, nil)
+}
+
+// ToBlocksInPlaceParallelCtl is ToBlocksInPlaceParallel under panic
+// containment and a (possibly nil) cancellation control. A failed chunk
+// restores its own segment (see toBlocksChunk); this driver additionally
+// rolls back the chunks that COMPLETED before a sibling failed — their
+// segments have been consumed into blocks, some of which live in scratch
+// space outside the input — so the whole input is a permutation again
+// before the one failure re-raises on the caller.
+func ToBlocksInPlaceParallelCtl[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, blockTuples, workers int, ctl *hard.Ctl) *Blocks[K] {
 	if workers < 1 {
 		workers = 1
 	}
@@ -313,29 +391,42 @@ func ToBlocksInPlaceParallel[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, bl
 	store := NewBlockStore(keys, vals, b, workers*scratchPer)
 
 	blockBounds := ChunkBounds(nBlocks, workers)
+	chunkLo := func(t int) int { return blockBounds[t] * b }
+	chunkHi := func(t int) int {
+		if t == workers-1 {
+			return n // the last chunk takes the unaligned tail
+		}
+		return blockBounds[t+1] * b
+	}
 	type result struct {
 		lists  [][]BlockRef
 		counts []int
 	}
 	results := make([]result, workers)
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			lo := blockBounds[t] * b
-			hi := blockBounds[t+1] * b
-			if t == workers-1 {
-				hi = n // the last chunk takes the unaligned tail
+	defer func() {
+		e := recover()
+		if e == nil {
+			return
+		}
+		for t := range results {
+			if results[t].lists != nil {
+				restoreChunkFromLists(store, keys, vals, chunkLo(t), chunkHi(t), results[t].lists)
 			}
+		}
+		panic(e)
+	}()
+	g := hard.NewGroup(ctl)
+	for t := 0; t < workers; t++ {
+		g.Go(func() {
+			lo, hi := chunkLo(t), chunkHi(t)
 			scrLo := store.nPrimary + t*scratchPer
 			sp := obs.Begin("to-blocks", "worker", t)
-			lists, counts := toBlocksChunk(store, keys, vals, lo, hi, fn, blockBounds[t+1], scrLo, scrLo+scratchPer)
+			lists, counts := toBlocksChunk(store, keys, vals, lo, hi, fn, blockBounds[t+1], scrLo, scrLo+scratchPer, ctl)
 			sp.EndN(int64(hi - lo))
 			results[t] = result{lists, counts}
-		}(t)
+		})
 	}
-	wg.Wait()
+	g.Wait()
 
 	lists := make([][]BlockRef, p)
 	counts := make([]int, p)
@@ -346,4 +437,37 @@ func ToBlocksInPlaceParallel[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, bl
 		}
 	}
 	return &Blocks[K]{Store: store, Lists: lists, Counts: counts}
+}
+
+// RestoreFromBlocks copies every tuple held in b's block lists back into
+// keys/vals, in any order: the whole-array form of the per-chunk rollback.
+// Sort drivers use it to make the input a permutation again when a failure
+// strikes while tuples still live partly in scratch blocks (between block
+// partitioning and the block shuffle). Best effort: it only writes when the
+// lists account for exactly len(keys) tuples, so a caller with stale lists
+// (e.g. mid-shuffle, after blocks started moving between slots) at worst
+// restores nothing rather than corrupting the arrays further.
+func RestoreFromBlocks[K kv.Key](b *Blocks[K], keys, vals []K) {
+	restoreChunkFromLists(b.Store, keys, vals, 0, len(keys), b.Lists)
+}
+
+// restoreChunkFromLists copies a completed chunk's tuples — scattered
+// across its finished blocks, partly in scratch space — back into the
+// chunk's input segment [lo, hi), in any order. Best effort: it only
+// writes when the lists account for exactly the segment's tuples.
+func restoreChunkFromLists[K kv.Key](store *BlockStore[K], keys, vals []K, lo, hi int, lists [][]BlockRef) {
+	want := hi - lo
+	tmpK := make([]K, 0, want)
+	tmpV := make([]K, 0, want)
+	for _, list := range lists {
+		for _, ref := range list {
+			ks, vs := store.Block(ref.ID)
+			tmpK = append(tmpK, ks[:ref.Len]...)
+			tmpV = append(tmpV, vs[:ref.Len]...)
+		}
+	}
+	if len(tmpK) == want {
+		copy(keys[lo:hi], tmpK)
+		copy(vals[lo:hi], tmpV)
+	}
 }

@@ -3,6 +3,7 @@ package part
 import (
 	"sync"
 
+	"repro/internal/hard"
 	"repro/internal/kv"
 	"repro/internal/numa"
 	"repro/internal/obs"
@@ -14,18 +15,18 @@ import (
 // thread; repacking slides tuples forward inside the list's own blocks
 // (only tail tuples move) and frees the emptied tail blocks.
 func RepackLists[K kv.Key](b *Blocks[K], workers int) {
-	var wg sync.WaitGroup
+	// Contained fan-out (no cancellation inside: a half-repacked list is
+	// not restorable, so workers run to completion even on sibling failure).
+	g := hard.NewGroup(nil)
 	bounds := ChunkBounds(len(b.Lists), workers)
 	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
+		g.Go(func() {
 			for p := bounds[t]; p < bounds[t+1]; p++ {
 				repackList(b, p)
 			}
-		}(t)
+		})
 	}
-	wg.Wait()
+	g.Wait()
 }
 
 func repackList[K kv.Key](b *Blocks[K], p int) {

@@ -3,6 +3,7 @@ package part
 import (
 	"fmt"
 
+	"repro/internal/hard"
 	"repro/internal/kv"
 	"repro/internal/obs"
 	"repro/internal/ws"
@@ -21,6 +22,7 @@ type fusedRunner[K kv.Key] struct {
 	sizes  [MaxRadixPasses]int
 	h0     [][]int // per-worker pass-0 histograms
 	loc    [][]int // workers*(m-1) private joint rows, worker-major
+	ctl    *hard.Ctl
 }
 
 func (r *fusedRunner[K]) RunTask(t int) {
@@ -29,10 +31,19 @@ func (r *fusedRunner[K]) RunTask(t int) {
 	m := r.m
 	h0 := r.h0[t]
 	clear(h0)
+	// The scan is read-only, so checkpointed sub-chunks (every
+	// hard.CkptTuples tuples under a live ctl) are interruption-safe.
+	step := hi - lo
+	if r.ctl != nil {
+		step = hard.CkptTuples
+	}
 	if m == 1 {
 		s0, m0 := r.shifts[0], r.masks[0]
-		for _, k := range r.keys[lo:hi] {
-			h0[(k>>s0)&m0]++
+		for c := lo; c < hi; c += step {
+			r.ctl.Checkpoint()
+			for _, k := range r.keys[c:min(c+step, hi)] {
+				h0[(k>>s0)&m0]++
+			}
 		}
 		sp.EndN(int64(hi - lo))
 		return
@@ -41,13 +52,16 @@ func (r *fusedRunner[K]) RunTask(t int) {
 	for _, row := range loc {
 		clear(row)
 	}
-	for _, k := range r.keys[lo:hi] {
-		prev := int((k >> r.shifts[0]) & r.masks[0])
-		h0[prev]++
-		for i := 1; i < m; i++ {
-			d := int((k >> r.shifts[i]) & r.masks[i])
-			loc[i-1][prev*r.sizes[i]+d]++
-			prev = d
+	for c := lo; c < hi; c += step {
+		r.ctl.Checkpoint()
+		for _, k := range r.keys[c:min(c+step, hi)] {
+			prev := int((k >> r.shifts[0]) & r.masks[0])
+			h0[prev]++
+			for i := 1; i < m; i++ {
+				d := int((k >> r.shifts[i]) & r.masks[i])
+				loc[i-1][prev*r.sizes[i]+d]++
+				prev = d
+			}
 		}
 	}
 	sp.EndN(int64(hi - lo))
@@ -72,13 +86,19 @@ func (r *fusedRunner[K]) RunTask(t int) {
 // Both returned tables are pooled: release with PutMatrix (joints may be
 // nil when only one pass exists).
 func FusedHistograms[K kv.Key](w *ws.Workspace, keys []K, ranges [][2]uint, bounds []int) (h0, joints [][]int) {
+	return FusedHistogramsCtl(w, keys, ranges, bounds, nil)
+}
+
+// FusedHistogramsCtl is FusedHistograms under a cancellation control:
+// workers checkpoint every hard.CkptTuples scanned tuples.
+func FusedHistogramsCtl[K kv.Key](w *ws.Workspace, keys []K, ranges [][2]uint, bounds []int, ctl *hard.Ctl) (h0, joints [][]int) {
 	m := len(ranges)
 	if m == 0 || m > MaxRadixPasses {
 		panic(fmt.Sprintf("part: %d radix ranges (max %d)", m, MaxRadixPasses))
 	}
 	workers := len(bounds) - 1
 	r := ws.Scratch[fusedRunner[K]](w, ws.SlotFusedRead)
-	*r = fusedRunner[K]{keys: keys, bounds: bounds, m: m}
+	*r = fusedRunner[K]{keys: keys, bounds: bounds, m: m, ctl: ctl}
 	for i, rg := range ranges {
 		if rg[1] <= rg[0] || rg[1]-rg[0] >= 64 {
 			panic(fmt.Sprintf("part: invalid radix bit range [%d,%d)", rg[0], rg[1]))
@@ -98,7 +118,7 @@ func FusedHistograms[K kv.Key](w *ws.Workspace, keys []K, ranges [][2]uint, boun
 			}
 		}
 	}
-	ws.RunWorkers(w, workers, r)
+	ws.RunWorkersCtl(w, workers, r, ctl)
 	if m > 1 {
 		joints = w.Matrix(m-1, 0)
 		for i := 0; i < m-1; i++ {

@@ -1,6 +1,7 @@
 package part
 
 import (
+	"repro/internal/hard"
 	"repro/internal/kv"
 	"repro/internal/obs"
 	"repro/internal/pfunc"
@@ -69,11 +70,31 @@ func NonInPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K,
 // and write cursors from the workspace: zero heap allocations in steady
 // state. A nil workspace allocates per call.
 func NonInPlaceOutOfCacheWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK, srcV, dstK, dstV []K, fn F, starts []int) {
+	NonInPlaceOutOfCacheCtlWS(w, srcK, srcV, dstK, dstV, fn, starts, nil)
+}
+
+// NonInPlaceOutOfCacheCtlWS is NonInPlaceOutOfCacheWS under a cancellation
+// control: with a live ctl the scatter runs in hard.CkptTuples sub-chunks
+// with a checkpoint between them (the write cursors and line buffers
+// persist across sub-chunks, so the output is identical), bounding
+// cancellation latency to one sub-chunk. ctl == nil is exactly the old
+// single-call path. Interruption leaves the source intact — only the
+// disjoint destination shares are partially written — so the driver's
+// restore defer can recover the permutation from src.
+func NonInPlaceOutOfCacheCtlWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK, srcV, dstK, dstV []K, fn F, starts []int, ctl *hard.Ctl) {
 	p := fn.Fanout()
 	buf := newLineBuffers[K](w, p)
 	off := w.Ints(p)
 	copy(off, starts[:p])
-	scatterLines(srcK, srcV, dstK, dstV, fn, &buf, off, starts)
+	if ctl == nil {
+		scatterLines(srcK, srcV, dstK, dstV, fn, &buf, off, starts)
+	} else {
+		for c := 0; c < len(srcK); c += hard.CkptTuples {
+			ctl.Checkpoint()
+			e := min(c+hard.CkptTuples, len(srcK))
+			scatterLines(srcK[c:e], srcV[c:e], dstK, dstV, fn, &buf, off, starts)
+		}
+	}
 	drainBuffers(&buf, dstK, dstV, off, starts)
 	buf.release(w)
 	w.PutInts(off)
@@ -144,10 +165,24 @@ func NonInPlaceOutOfCacheCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int
 // NonInPlaceOutOfCacheCodesWS is NonInPlaceOutOfCacheCodes with
 // workspace-pooled line buffers and write cursors.
 func NonInPlaceOutOfCacheCodesWS[K kv.Key](w *ws.Workspace, srcK, srcV, dstK, dstV []K, codes []int32, p int, starts []int) {
+	NonInPlaceOutOfCacheCodesCtlWS(w, srcK, srcV, dstK, dstV, codes, p, starts, nil)
+}
+
+// NonInPlaceOutOfCacheCodesCtlWS is NonInPlaceOutOfCacheCodesWS under a
+// cancellation control (see NonInPlaceOutOfCacheCtlWS).
+func NonInPlaceOutOfCacheCodesCtlWS[K kv.Key](w *ws.Workspace, srcK, srcV, dstK, dstV []K, codes []int32, p int, starts []int, ctl *hard.Ctl) {
 	buf := newLineBuffers[K](w, p)
 	off := w.Ints(p)
 	copy(off, starts[:p])
-	scatterLinesCodes(srcK, srcV, dstK, dstV, codes, &buf, off, starts)
+	if ctl == nil {
+		scatterLinesCodes(srcK, srcV, dstK, dstV, codes, &buf, off, starts)
+	} else {
+		for c := 0; c < len(srcK); c += hard.CkptTuples {
+			ctl.Checkpoint()
+			e := min(c+hard.CkptTuples, len(srcK))
+			scatterLinesCodes(srcK[c:e], srcV[c:e], dstK, dstV, codes[c:e], &buf, off, starts)
+		}
+	}
 	drainBuffers(&buf, dstK, dstV, off, starts)
 	buf.release(w)
 	w.PutInts(off)

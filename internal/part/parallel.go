@@ -1,6 +1,7 @@
 package part
 
 import (
+	"repro/internal/hard"
 	"repro/internal/kv"
 	"repro/internal/obs"
 	"repro/internal/pfunc"
@@ -33,12 +34,21 @@ type histRunner[K kv.Key, F pfunc.Func[K]] struct {
 	fn     F
 	bounds []int
 	hists  [][]int
+	ctl    *hard.Ctl
 }
 
 func (r *histRunner[K, F]) RunTask(t int) {
 	lo, hi := r.bounds[t], r.bounds[t+1]
 	sp := obs.Begin("histogram", "worker", t)
-	HistogramInto(r.hists[t], r.keys[lo:hi], r.fn)
+	if r.ctl == nil {
+		HistogramInto(r.hists[t], r.keys[lo:hi], r.fn)
+	} else {
+		clear(r.hists[t])
+		for c := lo; c < hi; c += hard.CkptTuples {
+			r.ctl.Checkpoint()
+			histogramAccum(r.hists[t], r.keys[c:min(c+hard.CkptTuples, hi)], r.fn)
+		}
+	}
 	sp.EndN(int64(hi - lo))
 }
 
@@ -50,7 +60,7 @@ func ParallelHistograms[K kv.Key, F pfunc.Func[K]](keys []K, fn F, workers int) 
 	for t := range hists {
 		hists[t] = make([]int, fn.Fanout())
 	}
-	parallelHistogramsInto(nil, hists, ChunkBounds(len(keys), workers), keys, fn)
+	parallelHistogramsInto(nil, hists, ChunkBounds(len(keys), workers), keys, fn, nil)
 	return hists
 }
 
@@ -58,16 +68,23 @@ func ParallelHistograms[K kv.Key, F pfunc.Func[K]](keys []K, fn F, workers int) 
 // with a pooled histogram matrix and chunk-bound array. The caller returns
 // them with PutMatrix and PutInts.
 func ParallelHistogramsWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, keys []K, fn F, workers int) (hists [][]int, bounds []int) {
+	return ParallelHistogramsCtlWS(w, keys, fn, workers, nil)
+}
+
+// ParallelHistogramsCtlWS is ParallelHistogramsWS under a cancellation
+// control: workers checkpoint every hard.CkptTuples tuples. ctl == nil is
+// exactly the plain path.
+func ParallelHistogramsCtlWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, keys []K, fn F, workers int, ctl *hard.Ctl) (hists [][]int, bounds []int) {
 	hists = w.Matrix(workers, fn.Fanout())
 	bounds = ChunkBoundsInto(w.Ints(workers+1), len(keys))
-	parallelHistogramsInto(w, hists, bounds, keys, fn)
+	parallelHistogramsInto(w, hists, bounds, keys, fn, ctl)
 	return hists, bounds
 }
 
-func parallelHistogramsInto[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, hists [][]int, bounds []int, keys []K, fn F) {
+func parallelHistogramsInto[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, hists [][]int, bounds []int, keys []K, fn F, ctl *hard.Ctl) {
 	r := ws.Scratch[histRunner[K, F]](w, ws.SlotParHist)
-	*r = histRunner[K, F]{keys: keys, fn: fn, bounds: bounds, hists: hists}
-	ws.RunWorkers(w, len(hists), r)
+	*r = histRunner[K, F]{keys: keys, fn: fn, bounds: bounds, hists: hists, ctl: ctl}
+	ws.RunWorkersCtl(w, len(hists), r, ctl)
 	*r = histRunner[K, F]{}
 	ws.PutScratch(w, ws.SlotParHist, r)
 }
@@ -79,19 +96,32 @@ type histCodesRunner[K kv.Key, F pfunc.Func[K]] struct {
 	codes  []int32
 	bounds []int
 	hists  [][]int
+	ctl    *hard.Ctl
 }
 
 func (r *histCodesRunner[K, F]) RunTask(t int) {
 	lo, hi := r.bounds[t], r.bounds[t+1]
 	sp := obs.Begin("histogram-codes", "worker", t)
-	if bl, ok := any(r.fn).(BatchLookuper[K]); ok {
-		HistogramCodesBatchInto(r.hists[t], r.keys[lo:hi], bl, r.codes[lo:hi])
-	} else {
-		clear(r.hists[t])
-		for i, k := range r.keys[lo:hi] {
-			p := r.fn.Partition(k)
-			r.codes[lo+i] = int32(p)
-			r.hists[t][p]++
+	clear(r.hists[t])
+	// With no ctl the whole chunk is one sub-chunk; otherwise checkpoint
+	// every hard.CkptTuples tuples (histogramming is read-only on the keys,
+	// so interruption anywhere is safe).
+	step := hi - lo
+	if r.ctl != nil {
+		step = hard.CkptTuples
+	}
+	bl, batch := any(r.fn).(BatchLookuper[K])
+	for c := lo; c < hi; c += step {
+		r.ctl.Checkpoint()
+		e := min(c+step, hi)
+		if batch {
+			histogramCodesBatchAccum(r.hists[t], r.keys[c:e], bl, r.codes[c:e])
+		} else {
+			for i, k := range r.keys[c:e] {
+				p := r.fn.Partition(k)
+				r.codes[c+i] = int32(p)
+				r.hists[t][p]++
+			}
 		}
 	}
 	sp.EndN(int64(hi - lo))
@@ -104,23 +134,29 @@ func ParallelHistogramsCodes[K kv.Key, F pfunc.Func[K]](keys []K, fn F, codes []
 	for t := range hists {
 		hists[t] = make([]int, fn.Fanout())
 	}
-	parallelHistogramsCodesInto(nil, hists, ChunkBounds(len(keys), workers), keys, fn, codes)
+	parallelHistogramsCodesInto(nil, hists, ChunkBounds(len(keys), workers), keys, fn, codes, nil)
 	return hists
 }
 
 // ParallelHistogramsCodesWS is ParallelHistogramsCodes on the workspace's
 // worker pool with pooled outputs (PutMatrix/PutInts to release).
 func ParallelHistogramsCodesWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, keys []K, fn F, codes []int32, workers int) (hists [][]int, bounds []int) {
+	return ParallelHistogramsCodesCtlWS(w, keys, fn, codes, workers, nil)
+}
+
+// ParallelHistogramsCodesCtlWS is ParallelHistogramsCodesWS under a
+// cancellation control (see ParallelHistogramsCtlWS).
+func ParallelHistogramsCodesCtlWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, keys []K, fn F, codes []int32, workers int, ctl *hard.Ctl) (hists [][]int, bounds []int) {
 	hists = w.Matrix(workers, fn.Fanout())
 	bounds = ChunkBoundsInto(w.Ints(workers+1), len(keys))
-	parallelHistogramsCodesInto(w, hists, bounds, keys, fn, codes)
+	parallelHistogramsCodesInto(w, hists, bounds, keys, fn, codes, ctl)
 	return hists, bounds
 }
 
-func parallelHistogramsCodesInto[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, hists [][]int, bounds []int, keys []K, fn F, codes []int32) {
+func parallelHistogramsCodesInto[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, hists [][]int, bounds []int, keys []K, fn F, codes []int32, ctl *hard.Ctl) {
 	r := ws.Scratch[histCodesRunner[K, F]](w, ws.SlotParHistCodes)
-	*r = histCodesRunner[K, F]{keys: keys, fn: fn, codes: codes, bounds: bounds, hists: hists}
-	ws.RunWorkers(w, len(hists), r)
+	*r = histCodesRunner[K, F]{keys: keys, fn: fn, codes: codes, bounds: bounds, hists: hists, ctl: ctl}
+	ws.RunWorkersCtl(w, len(hists), r, ctl)
 	*r = histCodesRunner[K, F]{}
 	ws.PutScratch(w, ws.SlotParHistCodes, r)
 }
@@ -181,12 +217,13 @@ type scatterRunner[K kv.Key, F pfunc.Func[K]] struct {
 	fn                     F
 	bounds                 []int
 	starts                 [][]int
+	ctl                    *hard.Ctl
 }
 
 func (r *scatterRunner[K, F]) RunTask(t int) {
 	lo, hi := r.bounds[t], r.bounds[t+1]
 	sp := obs.Begin("scatter", "worker", t)
-	NonInPlaceOutOfCacheWS(r.w, r.srcK[lo:hi], r.srcV[lo:hi], r.dstK, r.dstV, r.fn, r.starts[t])
+	NonInPlaceOutOfCacheCtlWS(r.w, r.srcK[lo:hi], r.srcV[lo:hi], r.dstK, r.dstV, r.fn, r.starts[t], r.ctl)
 	sp.EndN(int64(hi - lo))
 }
 
@@ -199,6 +236,20 @@ func ParallelNonInPlace[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, f
 	hists := ParallelHistograms(srcK, fn, workers)
 	ParallelScatter(srcK, srcV, dstK, dstV, fn, hists, 0)
 	return MergeHistograms(hists)
+}
+
+// ParallelNonInPlaceCtl is ParallelNonInPlace under a (possibly nil)
+// workspace and cancellation control: the error-returning TryPartition
+// path. Interruption or failure never touches src, so the caller's input
+// stays intact by construction.
+func ParallelNonInPlaceCtl[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK, srcV, dstK, dstV []K, fn F, workers int, ctl *hard.Ctl) []int {
+	hists, bounds := ParallelHistogramsCtlWS(w, srcK, fn, workers, ctl)
+	ctl.Checkpoint()
+	ParallelScatterBoundsCtlWS(w, srcK, srcV, dstK, dstV, fn, hists, 0, bounds, ctl)
+	total := MergeHistograms(hists)
+	w.PutMatrix(hists)
+	w.PutInts(bounds)
+	return total
 }
 
 // ParallelScatter is the data-movement half of ParallelNonInPlace: given
@@ -223,14 +274,23 @@ func ParallelScatterWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK, srcV, d
 // srcK[bounds[t]:bounds[t+1]]. The fused-histogram LSB path uses it to
 // align worker chunks to digit-group boundaries of the previous pass.
 func ParallelScatterBoundsWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK, srcV, dstK, dstV []K, fn F, hists [][]int, base int, bounds []int) {
+	ParallelScatterBoundsCtlWS(w, srcK, srcV, dstK, dstV, fn, hists, base, bounds, nil)
+}
+
+// ParallelScatterBoundsCtlWS is ParallelScatterBoundsWS under a
+// cancellation control: scatter workers checkpoint every hard.CkptTuples
+// tuples. Interruption leaves src intact (only disjoint dst shares are
+// partially written), so the sort drivers' restore defers recover the
+// permutation from src.
+func ParallelScatterBoundsCtlWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK, srcV, dstK, dstV []K, fn F, hists [][]int, base int, bounds []int, ctl *hard.Ctl) {
 	workers := len(hists)
 	np := len(hists[0])
 	starts := w.Matrix(workers, np)
 	global := w.Ints(np)
 	ThreadStartsInto(starts, global, hists, base)
 	r := ws.Scratch[scatterRunner[K, F]](w, ws.SlotScatter)
-	*r = scatterRunner[K, F]{w: w, srcK: srcK, srcV: srcV, dstK: dstK, dstV: dstV, fn: fn, bounds: bounds, starts: starts}
-	ws.RunWorkers(w, workers, r)
+	*r = scatterRunner[K, F]{w: w, srcK: srcK, srcV: srcV, dstK: dstK, dstV: dstV, fn: fn, bounds: bounds, starts: starts, ctl: ctl}
+	ws.RunWorkersCtl(w, workers, r, ctl)
 	*r = scatterRunner[K, F]{}
 	ws.PutScratch(w, ws.SlotScatter, r)
 	w.PutMatrix(starts)
@@ -245,12 +305,13 @@ type scatterCodesRunner[K kv.Key] struct {
 	np                     int
 	bounds                 []int
 	starts                 [][]int
+	ctl                    *hard.Ctl
 }
 
 func (r *scatterCodesRunner[K]) RunTask(t int) {
 	lo, hi := r.bounds[t], r.bounds[t+1]
 	sp := obs.Begin("scatter-codes", "worker", t)
-	NonInPlaceOutOfCacheCodesWS(r.w, r.srcK[lo:hi], r.srcV[lo:hi], r.dstK, r.dstV, r.codes[lo:hi], r.np, r.starts[t])
+	NonInPlaceOutOfCacheCodesCtlWS(r.w, r.srcK[lo:hi], r.srcV[lo:hi], r.dstK, r.dstV, r.codes[lo:hi], r.np, r.starts[t], r.ctl)
 	sp.EndN(int64(hi - lo))
 }
 
@@ -265,6 +326,12 @@ func ParallelNonInPlaceCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32
 // ParallelNonInPlaceCodesWS is ParallelNonInPlaceCodes on the workspace's
 // pool with pooled offset tables and line buffers.
 func ParallelNonInPlaceCodesWS[K kv.Key](w *ws.Workspace, srcK, srcV, dstK, dstV []K, codes []int32, hists [][]int, base int) {
+	ParallelNonInPlaceCodesCtlWS(w, srcK, srcV, dstK, dstV, codes, hists, base, nil)
+}
+
+// ParallelNonInPlaceCodesCtlWS is ParallelNonInPlaceCodesWS under a
+// cancellation control (see ParallelScatterBoundsCtlWS).
+func ParallelNonInPlaceCodesCtlWS[K kv.Key](w *ws.Workspace, srcK, srcV, dstK, dstV []K, codes []int32, hists [][]int, base int, ctl *hard.Ctl) {
 	workers := len(hists)
 	np := len(hists[0])
 	bounds := ChunkBoundsInto(w.Ints(workers+1), len(srcK))
@@ -272,8 +339,8 @@ func ParallelNonInPlaceCodesWS[K kv.Key](w *ws.Workspace, srcK, srcV, dstK, dstV
 	global := w.Ints(np)
 	ThreadStartsInto(starts, global, hists, base)
 	r := ws.Scratch[scatterCodesRunner[K]](w, ws.SlotScatterCodes)
-	*r = scatterCodesRunner[K]{w: w, srcK: srcK, srcV: srcV, dstK: dstK, dstV: dstV, codes: codes, np: np, bounds: bounds, starts: starts}
-	ws.RunWorkers(w, workers, r)
+	*r = scatterCodesRunner[K]{w: w, srcK: srcK, srcV: srcV, dstK: dstK, dstV: dstV, codes: codes, np: np, bounds: bounds, starts: starts, ctl: ctl}
+	ws.RunWorkersCtl(w, workers, r, ctl)
 	*r = scatterCodesRunner[K]{}
 	ws.PutScratch(w, ws.SlotScatterCodes, r)
 	w.PutMatrix(starts)

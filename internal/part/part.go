@@ -34,10 +34,17 @@ func Histogram[K kv.Key, F pfunc.Func[K]](keys []K, fn F) []int {
 // bucket array of length fn.Fanout(), cleared here.
 func HistogramInto[K kv.Key, F pfunc.Func[K]](hist []int, keys []K, fn F) []int {
 	clear(hist)
+	histogramAccum(hist, keys, fn)
+	return hist
+}
+
+// histogramAccum is the accumulate half of HistogramInto: it adds keys'
+// counts onto hist without clearing, so checkpointed drivers can count one
+// sub-chunk at a time into one bucket array.
+func histogramAccum[K kv.Key, F pfunc.Func[K]](hist []int, keys []K, fn F) {
 	for _, k := range keys {
 		hist[fn.Partition(k)]++
 	}
-	return hist
 }
 
 // HistogramCodes counts tuples per partition and additionally records each
@@ -76,12 +83,18 @@ func HistogramCodesBatchInto[K kv.Key](hist []int, keys []K, fn BatchLookuper[K]
 	if len(codes) < len(keys) {
 		panic("part: codes buffer smaller than input")
 	}
-	fn.LookupBatch(keys, codes)
 	clear(hist)
+	histogramCodesBatchAccum(hist, keys, fn, codes)
+	return hist
+}
+
+// histogramCodesBatchAccum is the accumulate half of
+// HistogramCodesBatchInto (see histogramAccum).
+func histogramCodesBatchAccum[K kv.Key](hist []int, keys []K, fn BatchLookuper[K], codes []int32) {
+	fn.LookupBatch(keys, codes)
 	for _, c := range codes[:len(keys)] {
 		hist[c]++
 	}
-	return hist
 }
 
 // MultiHistogram computes the histograms of several radix bit ranges in

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/hard"
 	"repro/internal/kv"
 	"repro/internal/obs"
 	"repro/internal/pfunc"
@@ -59,11 +60,14 @@ func SyncPermute(hist, starts []int, workers int, m Mover) {
 	var mu sync.Mutex
 	var records []record
 
-	var wg sync.WaitGroup
+	// Contained fan-out: a worker panic (instead of killing the process, as
+	// a bare goroutine panic would) re-raises on the caller with the
+	// worker's stack after every sibling finishes. No cancellation inside —
+	// an interrupted swap cycle cannot be restored, so workers run to
+	// completion even when a sibling fails.
+	g := hard.NewGroup(nil)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		g.Go(func() {
 			var claims uint64
 			sp := obs.Begin("sync-permute", "worker", w)
 			for k := 0; k < np; k++ {
@@ -103,9 +107,9 @@ func SyncPermute(hist, starts []int, workers int, m Mover) {
 			if ob != nil {
 				ob.Counters.SyncClaims.Add(claims)
 			}
-		}(w)
+		})
 	}
-	wg.Wait()
+	g.Wait()
 	if ob != nil {
 		ob.Counters.SyncParks.Add(uint64(len(records)))
 	}

@@ -1,10 +1,11 @@
 package sortalgo
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
+	"repro/internal/hard"
 	"repro/internal/kv"
 	"repro/internal/numa"
 	"repro/internal/obs"
@@ -40,11 +41,32 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 		return
 	}
 	st := opt.Stats
+	ctl := opt.Ctl
 	width := kv.Width[K]()
 	ct := cacheTuples(opt, width)
 
+	// Permutation restore on failure: only the cross-region shuffle
+	// overwrites keys before the recursion takes over, and tmp then still
+	// holds every tuple of the completed first pass, so copying tmp back
+	// makes keys a permutation of the input again. Everywhere else either
+	// keys is untouched (the first-pass scatter reads keys, writes tmp) or
+	// cmpRecurseAll's own handler has already repaired the recursion's
+	// destination ranges.
+	inShuffle := false
+	defer func() {
+		if e := recover(); e != nil {
+			if inShuffle {
+				copy(keys, tmpK)
+				copy(vals, tmpV)
+			}
+			panic(hard.NewPanic(e))
+		}
+	}()
+
 	w := opt.Workspace
 	if n <= ct {
+		ctl.CheckpointNow()
+		fault.Inject(fault.SiteCMPPass)
 		cs := getCombSorter[K](w, n)
 		timed(st, phCache, func() {
 			cs.SortInto(keys, vals, keys, vals)
@@ -74,12 +96,14 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	if c == 1 || opt.Oblivious {
 		var hists [][]int
 		var bounds []int
+		ctl.CheckpointNow()
+		fault.Inject(fault.SiteCMPPass)
 		pass0 := obs.BeginPass(0, -1)
 		timed(st, phHistogram, func() {
-			hists, bounds = part.ParallelHistogramsCodesWS(w, keys, fn, codes, t)
+			hists, bounds = part.ParallelHistogramsCodesCtlWS(w, keys, fn, codes, t, ctl)
 		})
 		timed(st, phPartition, func() {
-			part.ParallelNonInPlaceCodesWS(w, keys, vals, tmpK, tmpV, codes, hists, 0)
+			part.ParallelNonInPlaceCodesCtlWS(w, keys, vals, tmpK, tmpV, codes, hists, 0, ctl)
 		})
 		pass0.EndN(int64(n))
 		merged := part.MergeHistogramsInto(w.Ints(fanout), hists)
@@ -106,30 +130,28 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	tpr := threadsPerRegion(opt)
 	regionHists := make([][][]int, c)
 	regionChunks := make([][]int, c)
+	ctl.CheckpointNow()
+	fault.Inject(fault.SiteCMPPass)
 	pass0 := obs.BeginPass(0, -1)
 	timed(st, phHistogram, func() {
-		var wg sync.WaitGroup
+		g := hard.NewGroup(ctl)
 		for r := 0; r < c; r++ {
-			wg.Add(1)
-			go func(r int) {
-				defer wg.Done()
+			g.Go(func() {
 				lo, hi := inBounds[r], inBounds[r+1]
-				regionHists[r], regionChunks[r] = part.ParallelHistogramsCodesWS(w, keys[lo:hi], fn, codes[lo:hi], tpr)
-			}(r)
+				regionHists[r], regionChunks[r] = part.ParallelHistogramsCodesCtlWS(w, keys[lo:hi], fn, codes[lo:hi], tpr, ctl)
+			})
 		}
-		wg.Wait()
+		g.Wait()
 	})
 	timed(st, phPartition, func() {
-		var wg sync.WaitGroup
+		g := hard.NewGroup(ctl)
 		for r := 0; r < c; r++ {
-			wg.Add(1)
-			go func(r int) {
-				defer wg.Done()
+			g.Go(func() {
 				lo, hi := inBounds[r], inBounds[r+1]
-				part.ParallelNonInPlaceCodesWS(w, keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], codes[lo:hi], regionHists[r], 0)
-			}(r)
+				part.ParallelNonInPlaceCodesCtlWS(w, keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], codes[lo:hi], regionHists[r], 0, ctl)
+			})
 		}
-		wg.Wait()
+		g.Wait()
 	})
 
 	perRegion := w.Matrix(c, fanout)
@@ -169,6 +191,9 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	}
 	outBounds[c] = n
 
+	ctl.CheckpointNow()
+	fault.Inject(fault.SiteShuffleStart)
+	inShuffle = true
 	timed(st, phShuffle, func() {
 		numa.RunPerRegion(topo, tpr, func(w numa.Worker) {
 			meter := topo.NewMeter()
@@ -187,6 +212,10 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 					if cnt == 0 {
 						continue
 					}
+					// Interrupting between partition copies is safe: tmp
+					// stays intact, and the cmpRun restore handler rebuilds
+					// keys from it.
+					ctl.Checkpoint()
 					so := inBounds[src] + srcStarts[q]
 					do := dstOff[src][q]
 					copy(keys[do:do+cnt], tmpK[so:so+cnt])
@@ -198,6 +227,7 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 			meter.Flush()
 		})
 	})
+	inShuffle = false
 	w.PutMatrix(perRegion)
 	w.PutMatrix(dstOff)
 	pass0.EndN(int64(n))
@@ -225,6 +255,11 @@ type cmpWorker[K kv.Key] struct {
 	wantInX        bool
 	opt            Options
 	ct             int
+	// claimed[q] is set the moment a worker claims partition q; a claimed
+	// partition's destination range is always repaired by cmpRecurse's own
+	// unwind handler, so the cmpRecurseAll coordinator only fixes unclaimed
+	// ones. nil on the legacy (no-Ctl) path.
+	claimed        []int32
 	next           atomic.Int64
 	passNs, leafNs atomic.Int64
 }
@@ -239,6 +274,9 @@ func (r *cmpWorker[K]) RunTask(wi int) {
 		q := r.next.Add(1) - 1
 		if q >= nq {
 			break
+		}
+		if r.claimed != nil {
+			r.claimed[q] = 1
 		}
 		lo, hi := r.starts[q], r.starts[q+1]
 		if hi-lo == 0 {
@@ -268,18 +306,47 @@ func (r *cmpWorker[K]) RunTask(wi int) {
 func cmpRecurseAll[K kv.Key](xK, xV, yK, yV []K, starts []int, singleKey []bool, wantInX bool, opt Options, ct int) {
 	st := opt.Stats
 	w := opt.Workspace
+	ctl := opt.Ctl
+	nq := len(starts) - 1
+	// Workers claim top-level partitions in arbitrary order, so on failure
+	// the array state is: claimed partitions' destination ranges repaired by
+	// cmpRecurse's unwind handlers, unclaimed ones still holding their
+	// tuples in x. When the destination is y, copy those across to make the
+	// whole destination a permutation of the input.
+	var claimed []int32
+	if ctl != nil {
+		claimed = make([]int32, nq)
+	}
+	defer func() {
+		e := recover()
+		if e == nil {
+			return
+		}
+		if claimed != nil && !wantInX {
+			for q := 0; q < nq; q++ {
+				if claimed[q] == 0 {
+					lo, hi := starts[q], starts[q+1]
+					copy(yK[lo:hi], xK[lo:hi])
+					copy(yV[lo:hi], xV[lo:hi])
+				}
+			}
+		}
+		panic(hard.NewPanic(e))
+	}()
 	begin := time.Now()
 	r := ws.Scratch[cmpWorker[K]](w, ws.SlotCmpWork)
 	r.xK, r.xV, r.yK, r.yV = xK, xV, yK, yV
 	r.starts, r.singleKey, r.wantInX = starts, singleKey, wantInX
 	r.opt, r.ct = opt, ct
+	r.claimed = claimed
 	r.next.Store(0)
 	r.passNs.Store(0)
 	r.leafNs.Store(0)
-	ws.RunWorkers(w, opt.Threads, r)
+	ws.RunWorkersCtl(w, opt.Threads, r, ctl)
 	p, l := r.passNs.Load(), r.leafNs.Load()
 	r.xK, r.xV, r.yK, r.yV = nil, nil, nil, nil
 	r.starts, r.singleKey = nil, nil
+	r.claimed = nil
 	r.opt = Options{}
 	ws.PutScratch(w, ws.SlotCmpWork, r)
 	if st != nil && p+l > 0 {
@@ -292,9 +359,44 @@ func cmpRecurseAll[K kv.Key](xK, xV, yK, yV []K, starts []int, singleKey []bool,
 // cmpRecurse sorts one segment: data in x, scratch y, result in x when
 // wantInX else in y. Codes, histogram, and offsets come from the
 // workspace; only the adaptive splitter sampling still allocates.
+//
+// Unwind contract: whenever cmpRecurse unwinds from a panic or bail, the
+// segment's DESTINATION side holds a permutation of the segment's tuples.
+// Before the scatter completes, x is untouched, so copying x across (when
+// the destination is y) restores. After the scatter, the processed prefix
+// of the destination is already correct, the in-flight recursive sub-call
+// has repaired its own sub-range (its destination is this level's
+// destination sub-range, by the ping-pong argument), and the unprocessed
+// tail still sits in y — so when the destination is x, the tail is copied
+// back from y. The in-place comb-sort leaf has no interruption points, so
+// it is never left half-merged by a checkpoint or fault site.
 func cmpRecurse[K kv.Key](xK, xV, yK, yV []K, wantInX bool, cs *CombSorter[K], opt Options, ct int, passNs, leafNs *atomic.Int64) {
 	n := len(xK)
 	w := opt.Workspace
+	ctl := opt.Ctl
+	scattered := false
+	safeLo := 0          // destination prefix [0, safeLo) already correct
+	subLo, subHi := 0, 0 // in-flight recursive sub-range (repairs itself)
+	defer func() {
+		e := recover()
+		if e == nil {
+			return
+		}
+		if !scattered {
+			if !wantInX {
+				copy(yK, xK)
+				copy(yV, xV)
+			}
+		} else if wantInX {
+			copy(xK[safeLo:subLo], yK[safeLo:subLo])
+			copy(xV[safeLo:subLo], yV[safeLo:subLo])
+			copy(xK[subHi:], yK[subHi:])
+			copy(xV[subHi:], yV[subHi:])
+		}
+		panic(hard.NewPanic(e))
+	}()
+	ctl.Checkpoint()
+	fault.Inject(fault.SiteCMPPass)
 	if n <= ct {
 		start := time.Now()
 		if wantInX {
@@ -313,7 +415,8 @@ func cmpRecurse[K kv.Key](xK, xV, yK, yV []K, wantInX bool, cs *CombSorter[K], o
 	codes := w.Int32s(n)
 	hist := part.HistogramCodesBatchInto(w.Ints(fanout), xK, tree, codes)
 	starts, _ := part.StartsInto(w.Ints(fanout), hist)
-	part.NonInPlaceOutOfCacheCodesWS(w, xK, xV, yK, yV, codes, fanout, starts)
+	part.NonInPlaceOutOfCacheCodesCtlWS(w, xK, xV, yK, yV, codes, fanout, starts, ctl)
+	scattered = true
 	w.PutInt32s(codes)
 	w.PutInts(starts)
 	passNs.Add(int64(time.Since(start)))
@@ -329,10 +432,12 @@ func cmpRecurse[K kv.Key](xK, xV, yK, yV []K, wantInX bool, cs *CombSorter[K], o
 					passNs.Add(int64(time.Since(start)))
 				}
 			} else {
+				subLo, subHi = lo, lo+h
 				cmpRecurse(yK[lo:lo+h], yV[lo:lo+h], xK[lo:lo+h], xV[lo:lo+h], !wantInX, cs, opt, ct, passNs, leafNs)
 			}
 		}
 		lo += h
+		safeLo, subLo, subHi = lo, lo, lo
 	}
 	w.PutInts(hist)
 }

@@ -1,8 +1,8 @@
 package sortalgo
 
 import (
-	"sync"
-
+	"repro/internal/fault"
+	"repro/internal/hard"
 	"repro/internal/kv"
 	"repro/internal/numa"
 	"repro/internal/obs"
@@ -38,6 +38,25 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 		return
 	}
 	st := opt.Stats
+	ctl := opt.Ctl
+
+	// Permutation restore on failure: during the cross-region shuffle keys
+	// is progressively overwritten from tmp, which still holds every tuple
+	// of the completed first pass, so copying tmp back makes keys a
+	// permutation of the input again. In every other window either keys is
+	// untouched (the first-pass scatter reads keys and writes tmp) or a
+	// narrower handler — the per-region local drivers — has already restored
+	// its own segment before the panic reaches this frame.
+	inShuffle := false
+	defer func() {
+		if e := recover(); e != nil {
+			if inShuffle {
+				copy(keys, tmpK)
+				copy(vals, tmpV)
+			}
+			panic(hard.NewPanic(e))
+		}
+	}()
 
 	domainBits := timedInt(st, phHistogram, func() int {
 		return kv.DomainBits(keys)
@@ -83,30 +102,28 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	tpr := threadsPerRegion(opt)
 	regionHists := make([][][]int, c) // [region][thread][partition], pooled
 	regionChunks := make([][]int, c)  // per-region worker bounds, pooled
+	ctl.CheckpointNow()
+	fault.Inject(fault.SiteLSBPass)
 	timed(st, phHistogram, func() {
-		var wg sync.WaitGroup
+		g := hard.NewGroup(ctl)
 		for r := 0; r < c; r++ {
-			wg.Add(1)
-			go func(r int) {
-				defer wg.Done()
+			g.Go(func() {
 				seg := keys[inBounds[r]:inBounds[r+1]]
-				regionHists[r], regionChunks[r] = part.ParallelHistogramsWS(w, seg, fn1, tpr)
-			}(r)
+				regionHists[r], regionChunks[r] = part.ParallelHistogramsCtlWS(w, seg, fn1, tpr, ctl)
+			})
 		}
-		wg.Wait()
+		g.Wait()
 	})
 	pass0 := obs.BeginPass(0, -1)
 	timed(st, phPartition, func() {
-		var wg sync.WaitGroup
+		g := hard.NewGroup(ctl)
 		for r := 0; r < c; r++ {
-			wg.Add(1)
-			go func(r int) {
-				defer wg.Done()
+			g.Go(func() {
 				lo, hi := inBounds[r], inBounds[r+1]
-				part.ParallelScatterBoundsWS(w, keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], fn1, regionHists[r], 0, regionChunks[r])
-			}(r)
+				part.ParallelScatterBoundsCtlWS(w, keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], fn1, regionHists[r], 0, regionChunks[r], ctl)
+			})
 		}
-		wg.Wait()
+		g.Wait()
 	})
 
 	// Step 3: shuffle the ranges across regions: partition-major global
@@ -149,6 +166,9 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 		outBounds[gg] = n
 	}
 	outBounds[c] = n
+	ctl.CheckpointNow()
+	fault.Inject(fault.SiteShuffleStart)
+	inShuffle = true
 	timed(st, phShuffle, func() {
 		numa.RunPerRegion(topo, tpr, func(w numa.Worker) {
 			meter := topo.NewMeter()
@@ -171,6 +191,10 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 					if cnt == 0 {
 						continue
 					}
+					// Interrupting between partition copies is safe: tmp
+					// stays intact, and the lsbRun restore handler rebuilds
+					// keys from it.
+					ctl.Checkpoint()
 					so := inBounds[src] + srcStarts[pid]
 					do := dstOff[src][pid]
 					copy(keys[do:do+cnt], tmpK[so:so+cnt])
@@ -182,6 +206,7 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 			meter.Flush()
 		})
 	})
+	inShuffle = false
 	w.PutMatrix(perRegion)
 	w.PutMatrix(dstOff)
 	pass0.EndN(int64(n))
@@ -198,16 +223,14 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	regionOpt := opt
 	regionOpt.Stats = nil
 	timed(st, phLocal, func() {
-		var wg sync.WaitGroup
+		g := hard.NewGroup(ctl)
 		for r := 0; r < c; r++ {
-			wg.Add(1)
-			go func(r int) {
-				defer wg.Done()
+			g.Go(func() {
 				lo, hi := outBounds[r], outBounds[r+1]
 				lsbLocal(keys[lo:hi], vals[lo:hi], tmpK[lo:hi], tmpV[lo:hi], b, domainBits, regionOpt, phLocal)
-			}(r)
+			})
 		}
-		wg.Wait()
+		g.Wait()
 	})
 	if st != nil {
 		st.Passes += (domainBits - b + opt.RadixBits - 1) / opt.RadixBits
@@ -274,6 +297,24 @@ func lsbLocalN[K kv.Key](keys, vals, tmpK, tmpV []K, fromBit, domainBits int, op
 	}
 }
 
+// lsbRestore is the shared deferred restore handler of the LSB pass
+// drivers. On panic the in-flight scatter's destination is partial but its
+// source is untouched and still holds every tuple, so when the last
+// completed pass left the data in the auxiliary arrays (*srcK aliases tmp,
+// not keys) copying the source back makes keys a permutation of the input
+// again before the wrapped panic re-raises.
+func lsbRestore[K kv.Key](keys, vals []K, srcK, srcV *[]K) {
+	e := recover()
+	if e == nil {
+		return
+	}
+	if s := *srcK; len(s) > 0 && &s[0] != &keys[0] {
+		copy(keys, s)
+		copy(vals, *srcV)
+	}
+	panic(hard.NewPanic(e))
+}
+
 // lsbPassCopyback moves the result to keys/vals when the final swap left it
 // in the auxiliary arrays.
 func lsbPassCopyback[K kv.Key](keys, vals, srcK, srcV []K, st *Stats, ph phase) {
@@ -292,6 +333,10 @@ func lsbSingle[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Optio
 	n := len(keys)
 	st := opt.Stats
 	w := opt.Workspace
+	ctl := opt.Ctl
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK, tmpV
+	defer lsbRestore(keys, vals, &srcK, &srcV)
 	maxP := 0
 	multi := w.Matrix(len(ranges), 0)
 	for i, rg := range ranges {
@@ -303,9 +348,9 @@ func lsbSingle[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Optio
 		part.MultiHistogramInto(multi, keys, ranges)
 	})
 	starts := w.Ints(maxP)
-	srcK, srcV := keys, vals
-	dstK, dstV := tmpK, tmpV
 	for pass, rg := range ranges {
+		ctl.CheckpointNow()
+		fault.Inject(fault.SiteLSBPass)
 		fn := pfunc.NewRadix[K](rg[0], rg[1])
 		p := 1 << (rg[1] - rg[0])
 		part.StartsInto(starts[:p], multi[pass])
@@ -313,7 +358,7 @@ func lsbSingle[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Optio
 		sp := obs.BeginPass(int(rg[0])/opt.RadixBits, -1)
 		timed(st, ph, func() {
 			wsp := obs.Begin("scatter", "worker", 0)
-			part.NonInPlaceOutOfCacheWS(w, sk, sv, dk, dv, fn, starts[:p])
+			part.NonInPlaceOutOfCacheCtlWS(w, sk, sv, dk, dv, fn, starts[:p], ctl)
 			wsp.EndN(int64(n))
 		})
 		sp.EndN(int64(n))
@@ -337,19 +382,23 @@ func lsbPerPass[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Opti
 	n := len(keys)
 	st := opt.Stats
 	w := opt.Workspace
+	ctl := opt.Ctl
 	srcK, srcV := keys, vals
 	dstK, dstV := tmpK, tmpV
+	defer lsbRestore(keys, vals, &srcK, &srcV)
 	for _, rg := range ranges {
+		ctl.CheckpointNow()
+		fault.Inject(fault.SiteLSBPass)
 		fn := pfunc.NewRadix[K](rg[0], rg[1])
 		var hists [][]int
 		var bounds []int
 		sk, sv, dk, dv := srcK, srcV, dstK, dstV
 		timed(st, phHistogram, func() {
-			hists, bounds = part.ParallelHistogramsWS(w, sk, fn, threads)
+			hists, bounds = part.ParallelHistogramsCtlWS(w, sk, fn, threads, ctl)
 		})
 		sp := obs.BeginPass(int(rg[0])/opt.RadixBits, -1)
 		timed(st, ph, func() {
-			part.ParallelScatterBoundsWS(w, sk, sv, dk, dv, fn, hists, 0, bounds)
+			part.ParallelScatterBoundsCtlWS(w, sk, sv, dk, dv, fn, hists, 0, bounds, ctl)
 		})
 		sp.EndN(int64(n))
 		if st != nil {
@@ -375,27 +424,32 @@ func lsbFused[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Option
 	n := len(keys)
 	st := opt.Stats
 	w := opt.Workspace
+	ctl := opt.Ctl
 	m := len(ranges)
 	maxP := 0
 	for _, rg := range ranges {
 		maxP = max(maxP, 1<<(rg[1]-rg[0]))
 	}
 
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK, tmpV
+	defer lsbRestore(keys, vals, &srcK, &srcV)
+
 	bounds0 := part.ChunkBoundsInto(w.Ints(threads+1), n)
 	var h0, joints [][]int
 	timed(st, phHistogram, func() {
-		h0, joints = part.FusedHistograms(w, keys, ranges, bounds0)
+		h0, joints = part.FusedHistogramsCtl(w, keys, ranges, bounds0, ctl)
 	})
 
-	srcK, srcV := keys, vals
-	dstK, dstV := tmpK, tmpV
 	runPass := func(pass int, hists [][]int, bounds []int) {
+		ctl.CheckpointNow()
+		fault.Inject(fault.SiteLSBPass)
 		rg := ranges[pass]
 		fn := pfunc.NewRadix[K](rg[0], rg[1])
 		sk, sv, dk, dv := srcK, srcV, dstK, dstV
 		sp := obs.BeginPass(int(rg[0])/opt.RadixBits, -1)
 		timed(st, ph, func() {
-			part.ParallelScatterBoundsWS(w, sk, sv, dk, dv, fn, hists, 0, bounds)
+			part.ParallelScatterBoundsCtlWS(w, sk, sv, dk, dv, fn, hists, 0, bounds, ctl)
 		})
 		sp.EndN(int64(n))
 		if st != nil {

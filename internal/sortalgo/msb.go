@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"repro/internal/fault"
+	"repro/internal/hard"
 	"repro/internal/kv"
 	"repro/internal/numa"
 	"repro/internal/obs"
@@ -50,7 +52,30 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 		return
 	}
 	st := opt.Stats
+	ctl := opt.Ctl
 	width := kv.Width[K]()
+
+	// Permutation restore on failure: between completed block partitioning
+	// and the start of the block shuffle, tuples live partly in scratch
+	// blocks outside keys/vals; gathering every block list back into the
+	// arrays makes them a permutation of the input again. Outside that
+	// window either keys is a permutation by construction (in-place
+	// partitioning permutes at every completed step, and interruption
+	// points sit at recursion entries) or a narrower handler — the chunk
+	// rollback inside part.ToBlocksInPlaceParallelCtl — already restored.
+	// The shuffle itself has no interruption points (block moves are not
+	// restorable once lists go stale), so a panic there is only contained
+	// and wrapped, without a permutation guarantee.
+	var blocks *part.Blocks[K]
+	inBlocks := false
+	defer func() {
+		if e := recover(); e != nil {
+			if inBlocks && blocks != nil {
+				part.RestoreFromBlocks(blocks, keys, vals)
+			}
+			panic(hard.NewPanic(e))
+		}
+	}()
 
 	domainBits := timedInt(st, phHistogram, func() int {
 		return kv.DomainBits(keys)
@@ -59,7 +84,7 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 	t := opt.Threads
 	if t == 1 && opt.regions() == 1 {
 		timed(st, phLocal, func() {
-			msbRecurse(opt.Workspace, keys, vals, domainBits, cacheTuples(opt, width))
+			msbRecurse(opt.Workspace, keys, vals, domainBits, cacheTuples(opt, width), ctl)
 		})
 		return
 	}
@@ -81,10 +106,13 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 
 	// Step 2: range partition into blocks, in place, in parallel.
 	pass0 := obs.BeginPass(0, -1)
-	var blocks *part.Blocks[K]
 	timed(st, phPartition, func() {
-		blocks = part.ToBlocksInPlaceParallel(keys, vals, fn, msbBlockTuples[K](), t)
+		blocks = part.ToBlocksInPlaceParallelCtl(keys, vals, fn, msbBlockTuples[K](), t, ctl)
 	})
+	inBlocks = true
+	ctl.CheckpointNow()
+	fault.Inject(fault.SiteShuffleStart)
+	inBlocks = false
 
 	// Step 3: synchronized in-place block shuffle across regions.
 	var starts []int
@@ -126,9 +154,11 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 		r.w, r.keys, r.vals = w, keys, vals
 		r.starts, r.singleKey = starts, ref.SingleKey
 		r.hiBit, r.ct, r.nq = hiBit, ct, fn.Fanout()
+		r.ctl = ctl
 		r.next.Store(0)
-		ws.RunWorkers(w, t, r)
+		ws.RunWorkersCtl(w, t, r, ctl)
 		r.w, r.keys, r.vals, r.starts, r.singleKey = nil, nil, nil, nil, nil
+		r.ctl = nil
 		ws.PutScratch(w, ws.SlotMsbWork, r)
 	})
 }
@@ -143,6 +173,7 @@ type msbWorker[K kv.Key] struct {
 	singleKey  []bool
 	hiBit, ct  int
 	nq         int
+	ctl        *hard.Ctl
 	next       atomic.Int64
 }
 
@@ -161,7 +192,7 @@ func (r *msbWorker[K]) RunTask(wi int) {
 		if q < len(r.singleKey) && r.singleKey[q] {
 			continue // single-key partition: already sorted
 		}
-		msbRecurse(r.w, r.keys[r.starts[q]:r.starts[q+1]], r.vals[r.starts[q]:r.starts[q+1]], r.hiBit, r.ct)
+		msbRecurse(r.w, r.keys[r.starts[q]:r.starts[q+1]], r.vals[r.starts[q]:r.starts[q+1]], r.hiBit, r.ct, r.ctl)
 		done += int64(seg)
 	}
 	sp.EndN(done)
@@ -185,8 +216,14 @@ func cacheTuples(opt Options, width int) int {
 
 // msbRecurse sorts one segment in place by MSB radix partitioning over the
 // bit range [0, hiBit), drawing per-level histograms (and the out-of-cache
-// variant's line buffers) from the workspace.
-func msbRecurse[K kv.Key](w *ws.Workspace, keys, vals []K, hiBit, cacheT int) {
+// variant's line buffers) from the workspace. Interruption points (the
+// cancellation checkpoint and fault site) sit only at recursion entry,
+// where every ancestor's in-place partition has completed and the arrays
+// are a permutation of the input; the in-place kernels themselves are never
+// interrupted mid-operation.
+func msbRecurse[K kv.Key](w *ws.Workspace, keys, vals []K, hiBit, cacheT int, ctl *hard.Ctl) {
+	ctl.Checkpoint()
+	fault.Inject(fault.SiteMSBRecurse)
 	n := len(keys)
 	if n <= msbInsertionCutoff {
 		InsertionSort(keys, vals)
@@ -212,7 +249,7 @@ func msbRecurse[K kv.Key](w *ws.Workspace, keys, vals []K, hiBit, cacheT int) {
 	lo := 0
 	for _, h := range hist {
 		if h > 1 {
-			msbRecurse(w, keys[lo:lo+h], vals[lo:lo+h], hiBit-b, cacheT)
+			msbRecurse(w, keys[lo:lo+h], vals[lo:lo+h], hiBit-b, cacheT, ctl)
 		}
 		lo += h
 	}

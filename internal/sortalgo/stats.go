@@ -3,6 +3,7 @@ package sortalgo
 import (
 	"time"
 
+	"repro/internal/hard"
 	"repro/internal/numa"
 	"repro/internal/obs"
 	"repro/internal/ws"
@@ -219,6 +220,13 @@ type Options struct {
 	// steady-state heap allocations. Safe for concurrent sorts; nil means
 	// allocate per call (the pre-workspace behavior).
 	Workspace *ws.Workspace
+	// Ctl, when non-nil, is the run's cancellation and containment control:
+	// parallel kernels poll it between chunks of hard.CkptTuples tuples and
+	// at pass boundaries, unwinding cooperatively (with the drivers' restore
+	// handlers leaving keys/vals a permutation of the input) once it is
+	// stopped or its context is cancelled. nil — the legacy panicking entry
+	// points — costs one pointer comparison per checkpoint.
+	Ctl *hard.Ctl
 }
 
 func (o Options) withDefaults() Options {

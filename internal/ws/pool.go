@@ -3,6 +3,9 @@ package ws
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/hard"
 )
 
 // Runner is the unit of work the pool executes: RunTask(i) is called once
@@ -38,15 +41,32 @@ type task struct {
 	c *completion
 }
 
-// completion tracks one Run: a countdown plus a wake-up channel. Pooled on
-// the Pool so steady-state Runs allocate nothing.
+// completion tracks one Run: a countdown plus a wake-up channel, the Run's
+// cancellation control, and the Run's failure record. Pooled on the Pool so
+// steady-state Runs allocate nothing.
 type completion struct {
 	pending atomic.Int64
 	done    chan struct{}
+	ctl     *hard.Ctl // the Run's cancellation control; nil for plain Runs
 
 	pmu      sync.Mutex
-	panicked bool
-	panicVal any
+	panicVal *hard.PanicError // first real worker panic, worker stack attached
+	bailErr  error            // first cancellation bail's cause
+}
+
+// record stores one worker failure — the first real panic wins over any
+// number of cancellation bails — and stops the Run's siblings.
+func (c *completion) record(e any) {
+	c.pmu.Lock()
+	if err, ok := hard.BailCause(e); ok {
+		if c.bailErr == nil {
+			c.bailErr = err
+		}
+	} else if c.panicVal == nil {
+		c.panicVal = e.(*hard.PanicError)
+	}
+	c.pmu.Unlock()
+	c.ctl.Stop()
 }
 
 // NewPool starts a pool of n parked workers (minimum 1).
@@ -95,82 +115,112 @@ func (p *Pool) work() {
 	}
 }
 
-// run executes one task and signals its completion last, re-routing a task
-// panic to the Run caller (as an unguarded goroutine panic would kill the
-// process with no attribution).
+// run executes one task and signals its completion last. A task panic is
+// wrapped with this worker's stack while it is still live (an unguarded
+// goroutine panic would kill the process with no attribution; re-panicking
+// on the Run caller without the wrap would lose the stack) and re-routed to
+// the Run caller; siblings of the same Run are stopped so their next
+// checkpoint bails instead of finishing work that no longer matters.
 func (t task) run() {
 	defer func() {
 		if e := recover(); e != nil {
-			t.c.pmu.Lock()
-			if !t.c.panicked {
-				t.c.panicked = true
-				t.c.panicVal = e
-			}
-			t.c.pmu.Unlock()
+			t.c.record(hard.NewPanic(e))
 		}
 		if t.c.pending.Add(-1) == 0 {
 			t.c.done <- struct{}{}
 		}
 	}()
+	fault.Inject(fault.SiteWorkerStart)
+	t.c.ctl.CheckpointNow()
 	t.r.RunTask(t.i)
 }
 
 // Run executes r.RunTask(i) for every i in [0, n) on the pool's workers and
 // blocks until all complete. If any task panicked, Run re-panics with the
-// first panic value. A nil Pool runs the tasks serially on the calling
+// first *hard.PanicError. A nil Pool runs the tasks serially on the calling
 // goroutine (the no-workspace, single-threaded fallback).
 func (p *Pool) Run(n int, r Runner) {
+	p.RunCtl(n, r, nil)
+}
+
+// RunCtl is Run under a cancellation control: workers checkpoint ctl at
+// task start, a worker failure stops the Run's siblings through it, and
+// after all tasks finish the first failure re-raises on the caller — a real
+// panic (as *hard.PanicError) preferred over a cancellation bail. ctl may
+// be nil (plain containment, no cancellation). Always waits for every task
+// of the Run, so no worker is still touching the caller's data when RunCtl
+// returns or re-panics.
+func (p *Pool) RunCtl(n int, r Runner, ctl *hard.Ctl) {
 	if n <= 0 {
 		return
 	}
 	if p == nil {
 		for i := 0; i < n; i++ {
+			ctl.Checkpoint()
 			r.RunTask(i)
 		}
 		return
 	}
 	c := p.getComp()
+	c.ctl = ctl
 	c.pending.Store(int64(n))
 	for i := 0; i < n; i++ {
 		p.tasks <- task{r: r, i: i, c: c}
 	}
 	<-c.done
-	panicked, val := c.panicked, c.panicVal
-	c.panicked, c.panicVal = false, nil
+	pv, bail := c.panicVal, c.bailErr
+	c.panicVal, c.bailErr, c.ctl = nil, nil, nil
 	p.putComp(c)
-	if panicked {
-		panic(val)
+	if pv != nil {
+		panic(pv)
+	}
+	if bail != nil {
+		hard.Bail(bail)
 	}
 }
 
-// GoRun is Run when no pool is available: it spawns n plain goroutines, the
+// GoRun is Run when no pool is available: n fresh goroutines, the
 // pre-workspace behavior. Callers use ws.RunWorkers to pick.
 func GoRun(n int, r Runner) {
+	GoRunCtl(n, r, nil)
+}
+
+// GoRunCtl is GoRun under containment and cancellation: each goroutine runs
+// inside a hard.Group, so a worker panic no longer kills the process (the
+// old GoRun spawned bare goroutines) and re-raises on the caller with the
+// worker's stack after every sibling has finished.
+func GoRunCtl(n int, r Runner, ctl *hard.Ctl) {
 	if n <= 0 {
 		return
 	}
-	var wg sync.WaitGroup
+	g := hard.NewGroup(ctl)
 	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		g.Go(func() {
+			fault.Inject(fault.SiteWorkerStart)
+			ctl.CheckpointNow()
 			r.RunTask(i)
-		}(i)
+		})
 	}
-	wg.Wait()
+	g.Wait()
 }
 
 // RunWorkers runs r over [0, n) with n-way parallelism: on w's persistent
 // pool when a workspace is present, otherwise on n fresh goroutines. With
 // n == 1 the task runs inline on the caller — no handoff, no allocation.
 func RunWorkers(w *Workspace, n int, r Runner) {
+	RunWorkersCtl(w, n, r, nil)
+}
+
+// RunWorkersCtl is RunWorkers under a (possibly nil) cancellation control.
+func RunWorkersCtl(w *Workspace, n int, r Runner, ctl *hard.Ctl) {
 	switch {
 	case n <= 1:
+		ctl.Checkpoint()
 		r.RunTask(0)
 	case w != nil:
-		w.Pool(n).Run(n, r)
+		w.Pool(n).RunCtl(n, r, ctl)
 	default:
-		GoRun(n, r)
+		GoRunCtl(n, r, ctl)
 	}
 }
 

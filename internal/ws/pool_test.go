@@ -1,9 +1,14 @@
 package ws
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/hard"
 )
 
 // markRunner records which task indices ran and on how many distinct
@@ -84,8 +89,14 @@ func TestPoolPanicPropagates(t *testing.T) {
 	p := NewPool(4)
 	defer p.Close()
 	defer func() {
-		if e := recover(); e != "task 3 exploded" {
-			t.Fatalf("recovered %v", e)
+		pe, ok := recover().(*hard.PanicError)
+		if !ok || pe.Val != "task 3 exploded" {
+			t.Fatalf("recovered %v, want *hard.PanicError wrapping the task panic", pe)
+		}
+		// The worker's stack — not the Run caller's — must be attached, so
+		// the panic site (panicRunner.RunTask) is debuggable.
+		if !strings.Contains(string(pe.Stack), "RunTask") {
+			t.Errorf("worker stack lost:\n%s", pe.Stack)
 		}
 		// The pool must still work after a panicked Run.
 		r := &markRunner{marks: make([]atomic.Int32, 4)}
@@ -97,6 +108,58 @@ func TestPoolPanicPropagates(t *testing.T) {
 		}
 	}()
 	p.Run(8, panicRunner{})
+}
+
+// blockRunner parks every task on a gate, then checkpoints: once one task
+// panics, siblings released from the gate must bail instead of running.
+type blockRunner struct {
+	ctl     *hard.Ctl
+	started atomic.Int32
+}
+
+func (r *blockRunner) RunTask(i int) {
+	r.started.Add(1)
+	if i == 0 {
+		panic("first task fails")
+	}
+	for !r.ctl.Stopped() {
+	}
+	r.ctl.Checkpoint() // must bail: sibling failed
+	panic("sibling ran past a post-failure checkpoint")
+}
+
+func TestPoolRunCtlStopsSiblings(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ctl := hard.NewCtl(context.Background())
+	r := &blockRunner{ctl: ctl}
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		p.RunCtl(4, r, ctl)
+	}()
+	pe, ok := got.(*hard.PanicError)
+	if !ok || pe.Val != "first task fails" {
+		t.Fatalf("recovered %v, want the first task's panic", got)
+	}
+}
+
+func TestPoolRunCtlCancellation(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctl := hard.NewCtl(ctx)
+	r := &markRunner{marks: make([]atomic.Int32, 4)}
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		p.RunCtl(4, r, ctl)
+	}()
+	err, ok := hard.BailCause(got)
+	if !ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("recovered %v, want context.Canceled bail", got)
+	}
 }
 
 func TestNilPoolRunsSerially(t *testing.T) {

@@ -378,6 +378,7 @@ const (
 	SlotCmpWork
 	SlotMsbWork
 	SlotCombSorter
+	SlotCtl
 	numSlots
 )
 

@@ -26,6 +26,8 @@
 package partsort
 
 import (
+	"fmt"
+
 	"repro/internal/gen"
 	"repro/internal/kv"
 	"repro/internal/part"
@@ -70,13 +72,16 @@ func RIDs[K Key](n int) []K {
 // prefix-sum barrier, then software write-combining through per-partition
 // cache-line buffers.
 func Partition[K Key, F PartitionFunc[K]](srcKeys, srcVals, dstKeys, dstVals []K, fn F, threads int) []int {
+	const op = "Partition"
+	mustValid(validatePairs(op, "srcKeys", "srcVals", srcKeys, srcVals))
+	mustValid(validatePairs(op, "dstKeys", "dstVals", dstKeys, dstVals))
+	if len(srcKeys) != len(dstKeys) {
+		mustValid(&ArgError{Func: op, Field: "dstKeys",
+			Reason: fmt.Sprintf("length %d does not match srcKeys length %d", len(dstKeys), len(srcKeys))})
+	}
+	mustValid(validateFanout(op, fn.Fanout()))
 	if threads < 1 {
 		threads = 1
-	}
-	checkPairs(srcKeys, srcVals)
-	checkPairs(dstKeys, dstVals)
-	if len(srcKeys) != len(dstKeys) {
-		panic("partsort: src and dst lengths differ")
 	}
 	return part.ParallelNonInPlace(srcKeys, srcVals, dstKeys, dstVals, fn, threads)
 }
@@ -86,7 +91,8 @@ func Partition[K Key, F PartitionFunc[K]](srcKeys, srcVals, dstKeys, dstVals []K
 // inputs, Algorithm 4's buffered swap cycles above cacheTuples (pass 0 to
 // use the default 256 KiB threshold).
 func PartitionInPlace[K Key, F PartitionFunc[K]](keys, vals []K, fn F, cacheTuples int) []int {
-	checkPairs(keys, vals)
+	mustValid(validatePairs("PartitionInPlace", "keys", "vals", keys, vals))
+	mustValid(validateFanout("PartitionInPlace", fn.Fanout()))
 	if cacheTuples <= 0 {
 		cacheTuples = (256 << 10) / (2 * kv.Width[K]() / 8)
 	}
@@ -103,7 +109,8 @@ func PartitionInPlace[K Key, F PartitionFunc[K]](keys, vals []K, fn F, cacheTupl
 // segment with multiple workers synchronized by atomic fetch-and-add
 // (Algorithm 5), and returns the histogram.
 func PartitionInPlaceShared[K Key, F PartitionFunc[K]](keys, vals []K, fn F, workers int) []int {
-	checkPairs(keys, vals)
+	mustValid(validatePairs("PartitionInPlaceShared", "keys", "vals", keys, vals))
+	mustValid(validateFanout("PartitionInPlaceShared", fn.Fanout()))
 	if workers < 1 {
 		workers = 1
 	}
@@ -147,7 +154,8 @@ func (bl *BlockLists[K]) Compact(workers int) []int {
 // values are rounded up to a multiple of the cache-line tuple count.
 // Workers below 1 run single-threaded.
 func PartitionBlocks[K Key, F PartitionFunc[K]](keys, vals []K, fn F, blockTuples, workers int) *BlockLists[K] {
-	checkPairs(keys, vals)
+	mustValid(validatePairs("PartitionBlocks", "keys", "vals", keys, vals))
+	mustValid(validateFanout("PartitionBlocks", fn.Fanout()))
 	if blockTuples <= 0 {
 		blockTuples = part.DefaultBlockTuples
 	}
@@ -166,6 +174,26 @@ func PartitionBlocks[K Key, F PartitionFunc[K]](keys, vals []K, fn F, blockTuple
 // partition). Returns the histogram. Single-threaded; combine with
 // Histogram/starts plumbing in package users needing parallelism.
 func PartitionColumns[K Key, F PartitionFunc[K]](srcKey []K, srcCols [][]K, dstKey []K, dstCols [][]K, fn F) []int {
+	const op = "PartitionColumns"
+	if len(dstKey) != len(srcKey) {
+		mustValid(&ArgError{Func: op, Field: "dstKey",
+			Reason: fmt.Sprintf("length %d does not match srcKey length %d", len(dstKey), len(srcKey))})
+	}
+	if len(dstCols) != len(srcCols) {
+		mustValid(&ArgError{Func: op, Field: "dstCols",
+			Reason: fmt.Sprintf("%d columns do not match srcCols count %d", len(dstCols), len(srcCols))})
+	}
+	for i := range srcCols {
+		if len(srcCols[i]) != len(srcKey) {
+			mustValid(&ArgError{Func: op, Field: "srcCols",
+				Reason: fmt.Sprintf("column %d length %d does not match srcKey length %d", i, len(srcCols[i]), len(srcKey))})
+		}
+		if len(dstCols[i]) != len(srcKey) {
+			mustValid(&ArgError{Func: op, Field: "dstCols",
+				Reason: fmt.Sprintf("column %d length %d does not match srcKey length %d", i, len(dstCols[i]), len(srcKey))})
+		}
+	}
+	mustValid(validateFanout(op, fn.Fanout()))
 	hist := part.Histogram(srcKey, fn)
 	starts, _ := part.Starts(hist)
 	part.NonInPlaceOutOfCacheCols(srcKey, srcCols, dstKey, dstCols, fn, starts)
@@ -221,10 +249,4 @@ type Dictionary[K Key] = gen.Dictionary[K]
 // distinct values of keys.
 func BuildDictionary[K Key](keys []K) *Dictionary[K] {
 	return gen.BuildDictionary(keys)
-}
-
-func checkPairs[K Key](keys, vals []K) {
-	if len(keys) != len(vals) {
-		panic("partsort: key and payload columns must have equal length")
-	}
 }

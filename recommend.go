@@ -83,7 +83,8 @@ func Recommend(w Workload) Algorithm {
 // Sort runs the recommended algorithm for the workload it derives from the
 // input (domain detected by scanning) and the given requirements.
 func Sort[K Key](keys, vals []K, needStable, spaceTight bool, opt *SortOptions) Algorithm {
-	checkPairs(keys, vals)
+	mustValid(validatePairs("Sort", "keys", "vals", keys, vals))
+	mustValid(validateOptions("Sort", opt))
 	w := Workload{
 		N:          len(keys),
 		DomainBits: kv.DomainBits(keys),

@@ -75,7 +75,8 @@ func scratchPair[K Key](opt *SortOptions, n int) ([]K, []K, *ws.Workspace) {
 // key domains, using one linear auxiliary array allocated internally.
 // Payloads of equal keys keep their input order.
 func SortLSB[K Key](keys, vals []K, opt *SortOptions) {
-	checkPairs(keys, vals)
+	mustValid(validatePairs("SortLSB", "keys", "vals", keys, vals))
+	mustValid(validateOptions("SortLSB", opt))
 	tmpK, tmpV, w := scratchPair[K](opt, len(keys))
 	SortLSBWithScratch(keys, vals, tmpK, tmpV, opt)
 	ws.PutKeys(w, tmpK)
@@ -85,10 +86,9 @@ func SortLSB[K Key](keys, vals []K, opt *SortOptions) {
 // SortLSBWithScratch is SortLSB with caller-provided auxiliary arrays
 // (same length as keys), for pre-allocated pipelines.
 func SortLSBWithScratch[K Key](keys, vals, tmpKeys, tmpVals []K, opt *SortOptions) {
-	checkPairs(keys, vals)
-	if len(tmpKeys) != len(keys) || len(tmpVals) != len(keys) {
-		panic("partsort: scratch arrays must match the input length")
-	}
+	mustValid(validatePairs("SortLSBWithScratch", "keys", "vals", keys, vals))
+	mustValid(validateScratch("SortLSBWithScratch", keys, tmpKeys, tmpVals))
+	mustValid(validateOptions("SortLSBWithScratch", opt))
 	io, _ := opt.toInternal()
 	sortalgo.LSB(keys, vals, tmpKeys, tmpVals, io)
 }
@@ -98,7 +98,8 @@ func SortLSBWithScratch[K Key](keys, vals, tmpKeys, tmpVals []K, opt *SortOption
 // log n rather than the key domain width — the best choice for sparse
 // domains or when memory is tight. Not stable.
 func SortMSB[K Key](keys, vals []K, opt *SortOptions) {
-	checkPairs(keys, vals)
+	mustValid(validatePairs("SortMSB", "keys", "vals", keys, vals))
+	mustValid(validateOptions("SortMSB", opt))
 	io, _ := opt.toInternal()
 	sortalgo.MSB(keys, vals, io)
 }
@@ -109,7 +110,8 @@ func SortMSB[K Key](keys, vals []K, opt *SortOptions) {
 // single-key partitions that skip sorting entirely. Uses one linear
 // auxiliary array allocated internally. Not stable.
 func SortCMP[K Key](keys, vals []K, opt *SortOptions) {
-	checkPairs(keys, vals)
+	mustValid(validatePairs("SortCMP", "keys", "vals", keys, vals))
+	mustValid(validateOptions("SortCMP", opt))
 	tmpK, tmpV, w := scratchPair[K](opt, len(keys))
 	SortCMPWithScratch(keys, vals, tmpK, tmpV, opt)
 	ws.PutKeys(w, tmpK)
@@ -118,10 +120,9 @@ func SortCMP[K Key](keys, vals []K, opt *SortOptions) {
 
 // SortCMPWithScratch is SortCMP with caller-provided auxiliary arrays.
 func SortCMPWithScratch[K Key](keys, vals, tmpKeys, tmpVals []K, opt *SortOptions) {
-	checkPairs(keys, vals)
-	if len(tmpKeys) != len(keys) || len(tmpVals) != len(keys) {
-		panic("partsort: scratch arrays must match the input length")
-	}
+	mustValid(validatePairs("SortCMPWithScratch", "keys", "vals", keys, vals))
+	mustValid(validateScratch("SortCMPWithScratch", keys, tmpKeys, tmpVals))
+	mustValid(validateOptions("SortCMPWithScratch", opt))
 	io, _ := opt.toInternal()
 	sortalgo.CMP(keys, vals, tmpKeys, tmpVals, io)
 }

@@ -1,0 +1,439 @@
+package partsort
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+)
+
+// waitGoroutines waits (with a deadline) for the goroutine count to settle
+// back to the baseline: contained failures reap workers synchronously, but
+// the runtime may take a moment to retire exited goroutines.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d live, baseline %d", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+type tryAlgo struct {
+	name string
+	run  func(ctx context.Context, keys, vals []uint32, opt *SortOptions) error
+}
+
+var tryAlgos = []tryAlgo{
+	{"lsb", TrySortLSBCtx[uint32]},
+	{"msb", TrySortMSBCtx[uint32]},
+	{"cmp", TrySortCmpCtx[uint32]},
+}
+
+func TestTrySortSucceeds(t *testing.T) {
+	n := 1 << 15
+	keys := gen.Uniform[uint32](n, 0, 1)
+	vals := RIDs[uint32](n)
+	for _, a := range tryAlgos {
+		for _, threads := range []int{1, 4} {
+			k := append([]uint32(nil), keys...)
+			v := append([]uint32(nil), vals...)
+			if err := a.run(context.Background(), k, v, &SortOptions{Threads: threads}); err != nil {
+				t.Fatalf("%s threads=%d: %v", a.name, threads, err)
+			}
+			if !IsSorted(k) {
+				t.Fatalf("%s threads=%d: not sorted", a.name, threads)
+			}
+			if !SameMultiset(keys, vals, k, v) {
+				t.Fatalf("%s threads=%d: multiset changed", a.name, threads)
+			}
+		}
+	}
+}
+
+func TestTryArgErrors(t *testing.T) {
+	keys := make([]uint32, 8)
+	vals := make([]uint32, 8)
+	short := make([]uint32, 7)
+	cases := []struct {
+		name  string
+		field string
+		err   error
+	}{
+		{"pair", "vals", TrySortLSB(keys, short, nil)},
+		{"threads", "Threads", TrySortMSB(keys, vals, &SortOptions{Threads: -1})},
+		{"regions", "Regions", TrySortCmp(keys, vals, &SortOptions{Regions: -2})},
+		{"radix-high", "RadixBits", TrySortLSB(keys, vals, &SortOptions{RadixBits: 17})},
+		{"radix-neg", "RadixBits", TrySortLSB(keys, vals, &SortOptions{RadixBits: -3})},
+		{"fanout", "RangeFanout", TrySortCmp(keys, vals, &SortOptions{RangeFanout: -1})},
+		{"cache", "CacheTuples", TrySortMSB(keys, vals, &SortOptions{CacheTuples: -1})},
+	}
+	for _, c := range cases {
+		var ae *ArgError
+		if !errors.As(c.err, &ae) {
+			t.Fatalf("%s: got %v, want *ArgError", c.name, c.err)
+		}
+		if ae.Field != c.field {
+			t.Fatalf("%s: field %q, want %q", c.name, ae.Field, c.field)
+		}
+	}
+	// Valid options (including the RadixBits extremes) must not error.
+	for _, opt := range []*SortOptions{nil, {}, {RadixBits: 1}, {RadixBits: 16}} {
+		k := gen.Uniform[uint32](1<<10, 0, 2)
+		v := RIDs[uint32](len(k))
+		if err := TrySortLSB(k, v, opt); err != nil {
+			t.Fatalf("valid options %+v: %v", opt, err)
+		}
+		if !IsSorted(k) {
+			t.Fatalf("valid options %+v: not sorted", opt)
+		}
+	}
+}
+
+// TestLegacyPanicsTyped pins the legacy entry points to the shared
+// validator: they still panic, and the value is the same typed *ArgError
+// the Try API returns.
+func TestLegacyPanicsTyped(t *testing.T) {
+	defer func() {
+		e := recover()
+		ae, ok := e.(*ArgError)
+		if !ok {
+			t.Fatalf("legacy panic value %v (%T), want *ArgError", e, e)
+		}
+		if ae.Field != "RadixBits" {
+			t.Fatalf("field %q, want RadixBits", ae.Field)
+		}
+	}()
+	SortLSB(make([]uint32, 4), make([]uint32, 4), &SortOptions{RadixBits: 99})
+	t.Fatal("no panic")
+}
+
+// faultCase is one (algorithm, site, options) cell of the injection
+// matrix: every registered site of every sort, on the configuration that
+// reaches it.
+type faultCase struct {
+	algo    string
+	site    fault.Site
+	threads int
+	regions int
+	cache   int // CacheTuples override; CMP needs it so 1<<15 tuples exceed the cache-resident path
+}
+
+var faultMatrix = []faultCase{
+	{"lsb", fault.SiteLSBPass, 4, 1, 0},
+	{"lsb", fault.SiteWorkerStart, 4, 1, 0},
+	{"lsb", fault.SiteLSBPass, 4, 2, 0},
+	{"lsb", fault.SiteShuffleStart, 4, 2, 0},
+	{"msb", fault.SiteMSBRecurse, 4, 1, 0},
+	{"msb", fault.SiteWorkerStart, 4, 1, 0},
+	{"msb", fault.SiteBlockRefill, 4, 1, 0},
+	{"msb", fault.SiteShuffleStart, 4, 1, 0},
+	{"cmp", fault.SiteCMPPass, 4, 1, 1 << 12},
+	{"cmp", fault.SiteWorkerStart, 4, 1, 1 << 12},
+	{"cmp", fault.SiteCMPPass, 4, 2, 1 << 12},
+	{"cmp", fault.SiteShuffleStart, 4, 2, 1 << 12},
+}
+
+func algoByName(name string) tryAlgo {
+	for _, a := range tryAlgos {
+		if a.name == name {
+			return a
+		}
+	}
+	panic("unknown algo " + name)
+}
+
+// TestTryFaultMatrix arms every registered injection site against every
+// sort that declares it and proves the hardened-execution contract: the
+// panic comes back as *InternalError wrapping the injected value (never a
+// crash), no goroutine leaks, and keys/vals are left a permutation of the
+// input.
+func TestTryFaultMatrix(t *testing.T) {
+	defer fault.Disable()
+	n := 1 << 15
+	keys := gen.Uniform[uint32](n, 0, 3)
+	vals := RIDs[uint32](n)
+
+	for _, withWS := range []bool{false, true} {
+		var w *Workspace
+		if withWS {
+			w = NewWorkspace()
+			defer w.Close()
+			// Prime the persistent pool so its parked workers are part of
+			// the goroutine baseline, not mistaken for a leak.
+			k := append([]uint32(nil), keys...)
+			v := append([]uint32(nil), vals...)
+			if err := TrySortLSB(k, v, &SortOptions{Threads: 4, Workspace: w}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, c := range faultMatrix {
+			for _, after := range []int{0, 3} {
+				name := c.algo + "/" + string(c.site)
+				k := append([]uint32(nil), keys...)
+				v := append([]uint32(nil), vals...)
+				base := runtime.NumGoroutine()
+				fault.Enable(c.site, after)
+				err := algoByName(c.algo).run(context.Background(), k, v,
+					&SortOptions{Threads: c.threads, Regions: c.regions, CacheTuples: c.cache, Workspace: w})
+				fired := fault.Fired()
+				fault.Disable()
+				if fired {
+					var ie *InternalError
+					if !errors.As(err, &ie) {
+						t.Fatalf("%s ws=%v after=%d: fault fired but err = %v (%T), want *InternalError",
+							name, withWS, after, err, err)
+					}
+					if !errors.Is(err, fault.Injected{Site: c.site}) {
+						t.Fatalf("%s ws=%v after=%d: InternalError does not wrap the injected fault: %v",
+							name, withWS, after, ie.Value)
+					}
+					if len(ie.Stack) == 0 {
+						t.Fatalf("%s ws=%v after=%d: no stack captured", name, withWS, after)
+					}
+				} else if after == 0 {
+					t.Fatalf("%s ws=%v: site never reached at after=0 (matrix is stale)", name, withWS)
+				} else if err != nil {
+					t.Fatalf("%s ws=%v after=%d: fault did not fire but err = %v", name, withWS, after, err)
+				} else if !IsSorted(k) {
+					t.Fatalf("%s ws=%v after=%d: clean run not sorted", name, withWS, after)
+				}
+				if !SameMultiset(keys, vals, k, v) {
+					t.Fatalf("%s ws=%v after=%d fired=%v: keys/vals are not a permutation of the input",
+						name, withWS, after, fired)
+				}
+				waitGoroutines(t, base)
+			}
+		}
+	}
+}
+
+// TestTryPartitionFault covers the standalone partition entry point: an
+// injected worker panic surfaces as *InternalError and src is untouched.
+func TestTryPartitionFault(t *testing.T) {
+	defer fault.Disable()
+	n := 1 << 14
+	src := gen.Uniform[uint32](n, 0, 9)
+	srcV := RIDs[uint32](n)
+	origK := append([]uint32(nil), src...)
+	origV := append([]uint32(nil), srcV...)
+	dst := make([]uint32, n)
+	dstV := make([]uint32, n)
+	fn := Radix[uint32](0, 8)
+
+	hist, err := TryPartition(src, srcV, dst, dstV, fn, 4)
+	if err != nil || len(hist) != 256 {
+		t.Fatalf("clean run: hist %d err %v", len(hist), err)
+	}
+	if !SameMultiset(origK, origV, dst, dstV) {
+		t.Fatal("clean run: multiset changed")
+	}
+
+	base := runtime.NumGoroutine()
+	fault.Enable(fault.SiteWorkerStart, 0)
+	hist, err = TryPartition(src, srcV, dst, dstV, fn, 4)
+	fired := fault.Fired()
+	fault.Disable()
+	if !fired {
+		t.Fatal("worker/start never reached")
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v (%T), want *InternalError", err, err)
+	}
+	if hist != nil {
+		t.Fatal("histogram returned alongside an error")
+	}
+	for i := range src {
+		if src[i] != origK[i] || srcV[i] != origV[i] {
+			t.Fatal("src mutated by a failed partition")
+		}
+	}
+	waitGoroutines(t, base)
+
+	if _, err := TryPartition(src, srcV, dst[:n-1], dstV[:n-1], fn, 4); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	if _, err := TryPartition(src, srcV, dst, dstV, fn, -1); err == nil {
+		t.Fatal("negative threads accepted")
+	}
+}
+
+// TestTryCancelRace cancels 4-thread sorts mid-flight, many times, with
+// scattered timing: the sort must return promptly with ctx.Err() (or
+// finish clean), leave keys/vals a permutation, and leak no goroutines.
+func TestTryCancelRace(t *testing.T) {
+	iters := 1000
+	if testing.Short() {
+		iters = 100
+	}
+	w := NewWorkspace()
+	defer w.Close()
+	n := 1 << 15
+	keys := gen.Uniform[uint32](n, 0, 7)
+	vals := RIDs[uint32](n)
+	work := make([]uint32, n)
+	workV := make([]uint32, n)
+
+	// Prime the pool for a stable goroutine baseline.
+	copy(work, keys)
+	copy(workV, vals)
+	if err := TrySortLSB(work, workV, &SortOptions{Threads: 4, Workspace: w}); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	for i := 0; i < iters; i++ {
+		a := tryAlgos[i%len(tryAlgos)]
+		copy(work, keys)
+		copy(workV, vals)
+		ctx, cancel := context.WithCancel(context.Background())
+		// Spread the cancellation across the run: sometimes before the
+		// first checkpoint, sometimes mid-pass, sometimes after the sort
+		// already finished.
+		delay := time.Duration(i%40) * 20 * time.Microsecond
+		go func() {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			cancel()
+		}()
+		err := a.run(ctx, work, workV, &SortOptions{Threads: 4, Workspace: w})
+		cancel()
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("iter %d %s: err = %v, want nil or context.Canceled", i, a.name, err)
+		}
+		if err == nil && !IsSorted(work) {
+			t.Fatalf("iter %d %s: clean return but not sorted", i, a.name)
+		}
+		if !SameMultiset(keys, vals, work, workV) {
+			t.Fatalf("iter %d %s (err=%v): keys/vals are not a permutation of the input", i, a.name, err)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestTryCancelPrompt bounds the cancellation latency: a deadline that
+// expires mid-sort must surface well before the sort would finish.
+func TestTryCancelPrompt(t *testing.T) {
+	n := 1 << 21
+	keys := gen.Uniform[uint32](n, 0, 11)
+	vals := RIDs[uint32](n)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := TrySortLSBCtx(ctx, keys, vals, &SortOptions{Threads: 4})
+	elapsed := time.Since(start)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want nil or context.DeadlineExceeded", err)
+	}
+	if err == nil {
+		t.Skip("sort finished before the deadline; nothing to measure")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v: checkpoints are not being polled", elapsed)
+	}
+}
+
+// TestTryPreCancelled pins the fast path: an already-cancelled context
+// returns before touching the input.
+func TestTryPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	keys := gen.Uniform[uint32](1<<12, 0, 5)
+	orig := append([]uint32(nil), keys...)
+	vals := RIDs[uint32](len(keys))
+	for _, a := range tryAlgos {
+		if err := a.run(ctx, keys, vals, &SortOptions{Threads: 4}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", a.name, err)
+		}
+	}
+	for i := range keys {
+		if keys[i] != orig[i] {
+			t.Fatal("pre-cancelled sort touched the input")
+		}
+	}
+}
+
+// FuzzTryOptions is the satellite no-panic fuzzer: whatever the option
+// fields, lengths and context state, the Try entry points must return an
+// error or succeed — never panic — and a nil error means a sorted
+// permutation.
+func FuzzTryOptions(f *testing.F) {
+	f.Add(64, 64, 4, 2, 8, 360, 0, uint8(0), false)
+	f.Add(100, 99, 1, 1, 0, 0, 0, uint8(1), false)
+	f.Add(0, 0, 0, 0, -1, 0, 0, uint8(2), true)
+	f.Add(4096, 4096, 16, 4, 16, 7, 33, uint8(3), false)
+	f.Add(17, 17, -5, -5, 99, -1, -1, uint8(0), true)
+	f.Fuzz(func(t *testing.T, nKeys, nVals, threads, regions, radixBits, rangeFanout, cacheTuples int, algo uint8, cancelled bool) {
+		if nKeys < 0 {
+			nKeys = -nKeys
+		}
+		if nVals < 0 {
+			nVals = -nVals
+		}
+		nKeys %= 4097
+		nVals %= 4097
+		if threads > 16 {
+			threads %= 17
+		}
+		if regions > 8 {
+			regions %= 9
+		}
+		keys := gen.Uniform[uint32](nKeys, 0, uint64(nKeys)+1)
+		vals := make([]uint32, nVals)
+		origK := append([]uint32(nil), keys...)
+		origV := append([]uint32(nil), vals...)
+		opt := &SortOptions{
+			Threads:     threads,
+			Regions:     regions,
+			RadixBits:   radixBits,
+			RangeFanout: rangeFanout,
+			CacheTuples: cacheTuples,
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		if cancelled {
+			cancel()
+		} else {
+			defer cancel()
+		}
+		var err error
+		switch algo % 4 {
+		case 0:
+			err = TrySortLSBCtx(ctx, keys, vals, opt)
+		case 1:
+			err = TrySortMSBCtx(ctx, keys, vals, opt)
+		case 2:
+			err = TrySortCmpCtx(ctx, keys, vals, opt)
+		case 3:
+			dstK := make([]uint32, nKeys)
+			dstV := make([]uint32, nVals)
+			_, err = TryPartitionCtx(ctx, keys, vals, dstK, dstV, Radix[uint32](0, 6), threads)
+		}
+		if nKeys != nVals {
+			var ae *ArgError
+			if !errors.As(err, &ae) {
+				t.Fatalf("mismatched lengths %d/%d accepted: err = %v", nKeys, nVals, err)
+			}
+			return
+		}
+		if err == nil && algo%4 != 3 {
+			if !IsSorted(keys) {
+				t.Fatal("nil error but not sorted")
+			}
+			if !SameMultiset(origK, origV, keys, vals) {
+				t.Fatal("nil error but multiset changed")
+			}
+		}
+	})
+}

@@ -34,4 +34,11 @@ go run ./cmd/tracecheck "$obsdir/empty.json"
 go run ./cmd/partcli -n 100000 -variant sync -threads 4 -stats > /dev/null
 go test -run xxx -bench ObsOverhead -benchtime 0.2s ./internal/part/ > /dev/null
 
+# Hardened execution: the fault-injection matrix (every site x every sort)
+# must contain worker panics as *InternalError with the input left a
+# permutation and no goroutine leaks, under the race detector too, and a
+# short context deadline must cancel a large sort promptly.
+go test -race -short -count=1 -run 'TestTryFaultMatrix|TestTryCancelRace|TestTryPartitionFault' .
+go run ./cmd/faultcheck
+
 echo "verify: OK"
