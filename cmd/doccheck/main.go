@@ -1,0 +1,235 @@
+// Command doccheck is the repository's documentation lint: it walks every
+// package of the module and fails when an exported symbol — function,
+// method, type, constant, or variable — lacks a doc comment, or when a
+// package has no package-level doc comment at all. verify.sh runs it over
+// the whole module so the godoc coverage of the public and internal
+// surfaces cannot regress silently.
+//
+// The rules follow the godoc conventions:
+//
+//   - every exported func/method needs a doc comment (methods on
+//     unexported receiver types are exempt: godoc does not render them);
+//   - every exported type needs a doc comment on its spec or its decl;
+//   - exported consts/vars need a doc comment on the spec or on the
+//     enclosing grouped declaration (one comment may document a block);
+//   - every package needs a package comment in at least one file.
+//
+// Test files are skipped: their helpers are not part of any documented
+// surface.
+//
+// Usage:
+//
+//	doccheck [dir ...]   # default: the current directory tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: doccheck [dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+
+	var dirs []string
+	for _, root := range roots {
+		found, err := goDirs(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		dirs = append(dirs, found...)
+	}
+
+	var violations []string
+	for _, dir := range dirs {
+		v, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbol(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: OK")
+}
+
+// goDirs returns every directory under root that contains non-test Go
+// files, skipping hidden directories, testdata, and vendored trees.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// checkDir parses every non-test Go file of one directory and returns its
+// violations as "path:line: message" strings.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		hasPkgDoc := false
+		var firstFile string
+		var firstPos token.Position
+		// Deterministic file order for stable output.
+		files := make([]string, 0, len(pkg.Files))
+		for fname := range pkg.Files {
+			files = append(files, fname)
+		}
+		sort.Strings(files)
+		for _, fname := range files {
+			f := pkg.Files[fname]
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			if firstFile == "" {
+				firstFile = fname
+				firstPos = fset.Position(f.Package)
+			}
+			out = append(out, checkFile(fset, f)...)
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s:%d: package %s lacks a package doc comment",
+				firstFile, firstPos.Line, name))
+		}
+	}
+	return out, nil
+}
+
+// checkFile reports the undocumented exported declarations of one file.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if recv, ok := receiverName(d); ok {
+				if !ast.IsExported(recv) {
+					continue // method on an unexported type: not in godoc
+				}
+				report(d.Pos(), "exported method %s.%s lacks a doc comment", recv, d.Name.Name)
+			} else {
+				report(d.Pos(), "exported function %s lacks a doc comment", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if !ts.Name.IsExported() {
+						continue
+					}
+					if ts.Doc == nil && d.Doc == nil {
+						report(ts.Pos(), "exported type %s lacks a doc comment", ts.Name.Name)
+					}
+				}
+			case token.CONST, token.VAR:
+				kind := "const"
+				if d.Tok == token.VAR {
+					kind = "var"
+				}
+				// A doc comment on the grouped declaration documents the
+				// whole block (the godoc convention for const blocks).
+				if d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if vs.Doc != nil || vs.Comment != nil {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.IsExported() {
+							report(n.Pos(), "exported %s %s lacks a doc comment", kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverName returns the base type name of a method receiver, or
+// ok=false for a plain function.
+func receiverName(d *ast.FuncDecl) (string, bool) {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "", false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[K]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name, true
+		default:
+			return "", false
+		}
+	}
+}

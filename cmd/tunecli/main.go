@@ -1,0 +1,92 @@
+// Command tunecli is the calibrate-once half of the auto-tuning workflow
+// (README, "Auto-tuning"): it runs the calibration probes of
+// internal/tune against this machine — or loads a previously saved
+// profile — and prints the machine profile as JSON. With -out the
+// profile is also written to a file for later reuse via
+// partsort.LoadMachineProfile or SortOptions.Profile. With -plan-n it
+// additionally prints the adaptive planner's decision for a described
+// workload, so the cost model can be inspected without running a sort.
+//
+// Usage:
+//
+//	tunecli [-quick] [-out profile.json]
+//	tunecli -load profile.json -plan-n 100000000 -plan-keybits 64
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tune"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced probe budget: ~10x faster, noisier measurements")
+	load := flag.String("load", "", "load a saved profile instead of calibrating")
+	out := flag.String("out", "", "also write the profile JSON to this path")
+	mem := flag.Bool("mem", false, "also print the memmodel projection of the profile")
+	planN := flag.Int("plan-n", 0, "when > 0, also print the plan for a workload of this many tuples")
+	planKeyBits := flag.Int("plan-keybits", 64, "key width for -plan-n (32 or 64)")
+	planDomain := flag.Int("plan-domain", 0, "domain bits for -plan-n (0: full key width)")
+	planHead := flag.Float64("plan-headmass", 0, "head mass in [0,1] for -plan-n (>= 0.4 means heavy skew)")
+	planStable := flag.Bool("plan-stable", false, "require a stable sort for -plan-n")
+	planTight := flag.Bool("plan-tight", false, "forbid the linear auxiliary array for -plan-n")
+	flag.Parse()
+
+	var p *tune.MachineProfile
+	if *load != "" {
+		var err error
+		if p, err = tune.Load(*load); err != nil {
+			fatal(err)
+		}
+	} else {
+		p = tune.Calibrate(tune.Config{Quick: *quick})
+	}
+	if *out != "" {
+		if err := p.Save(*out); err != nil {
+			fatal(err)
+		}
+	}
+	emit("profile", p)
+	if *mem {
+		emit("memmodel", p.Mem())
+	}
+
+	if *planN > 0 {
+		domain := *planDomain
+		if domain <= 0 {
+			domain = *planKeyBits
+		}
+		w := tune.WorkloadStats{
+			N:            *planN,
+			SampleSize:   tune.DefaultSampleSize,
+			DomainBits:   domain,
+			DistinctFrac: 1 - *planHead,
+			HeadMass:     *planHead,
+			HeavySkew:    *planHead >= 0.4,
+		}
+		plan := tune.Choose(p, w, tune.Requirements{
+			KeyBits:    *planKeyBits,
+			NeedStable: *planStable,
+			SpaceTight: *planTight,
+		})
+		emit("plan", plan)
+	}
+}
+
+// emit prints one labeled JSON document to stdout.
+func emit(label string, v any) {
+	data, err := json.MarshalIndent(map[string]any{label: v}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+// fatal prints err and exits non-zero.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tunecli:", err)
+	os.Exit(1)
+}

@@ -12,6 +12,8 @@ type ArgError struct {
 	Reason string // the violated constraint
 }
 
+// Error implements error in the "partsort: Func: invalid Field: Reason"
+// form.
 func (e *ArgError) Error() string {
 	return "partsort: " + e.Func + ": invalid " + e.Field + ": " + e.Reason
 }
@@ -27,6 +29,8 @@ type InternalError struct {
 	Stack []byte // the panicking goroutine's stack, captured at the site
 }
 
+// Error implements error, naming the containing operation and the panic
+// value.
 func (e *InternalError) Error() string {
 	return fmt.Sprintf("partsort: %s: contained worker panic: %v", e.Op, e.Value)
 }

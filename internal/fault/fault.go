@@ -62,6 +62,7 @@ type Injected struct {
 	Site Site
 }
 
+// Error implements error, naming the site that fired.
 func (e Injected) Error() string {
 	return "fault: injected panic at site " + string(e.Site)
 }

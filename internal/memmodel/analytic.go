@@ -6,6 +6,9 @@ import "math"
 // analytic model prices.
 type Variant int
 
+// The four cells of the paper's partitioning taxonomy (Figure 1): in-place
+// versus non-in-place crossed with cache-resident versus software-buffered
+// data movement.
 const (
 	NonInPlaceInCache Variant = iota
 	InPlaceInCache
@@ -181,6 +184,8 @@ func OptimalBits(p Profile, v Variant, keyBytes, threads int) int {
 // HistMethod enumerates the histogram-generation methods of Figures 5/8.
 type HistMethod int
 
+// The histogram methods: radix shift+mask, multiplicative hash, and the
+// two range lookups (scalar binary search vs the SIMD-style index walk).
 const (
 	HistRadix HistMethod = iota
 	HistHash

@@ -5,6 +5,8 @@ import "math"
 // SortAlgo enumerates the paper's three sorting algorithms.
 type SortAlgo int
 
+// The three algorithms of Section 4: stable LSB radix-sort, in-place MSB
+// radix-sort, and the range-partitioning comparison sort.
 const (
 	SortLSB SortAlgo = iota
 	SortMSB

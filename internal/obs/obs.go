@@ -187,6 +187,24 @@ func Cur() *Session {
 	return cur.Load()
 }
 
+// Meta emits a point event of category "meta" carrying args to the current
+// session's sink — the hook auto-tuning uses to record which plan ran in
+// the trace. A no-op (one atomic load) when no session or no sink is
+// installed.
+func Meta(name string, args map[string]uint64) {
+	s := cur.Load()
+	if s == nil || s.sink == nil {
+		return
+	}
+	s.sink.Emit(Event{
+		Name:   name,
+		Cat:    "meta",
+		Worker: -1,
+		Start:  time.Since(s.epoch),
+		Args:   args,
+	})
+}
+
 // SpanHandle is an open span. The zero value (returned when disabled) is
 // inert: End on it does nothing and costs nothing.
 type SpanHandle struct {

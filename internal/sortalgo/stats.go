@@ -6,6 +6,7 @@ import (
 	"repro/internal/hard"
 	"repro/internal/numa"
 	"repro/internal/obs"
+	"repro/internal/tune"
 	"repro/internal/ws"
 )
 
@@ -42,6 +43,11 @@ type Stats struct {
 	// disabled. Concurrent sorts under one obs session fold each other's
 	// events into their deltas; attribute with care.
 	Counters obs.CounterSnapshot
+
+	// Plan records the adaptive planner's decision — algorithm, radix
+	// bits, fanout, worker count, and the modeled costs behind them —
+	// when the run was auto-tuned (SortOptions.AutoTune); nil otherwise.
+	Plan *tune.Plan
 }
 
 // Total returns the summed wall clock.

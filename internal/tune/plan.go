@@ -1,0 +1,268 @@
+// The adaptive planner: minimize the calibrated cost model over candidate
+// plans. This is the runtime replacement for the static decision table of
+// Recommend (Section 6) and for the hard-coded "optimal" fanout constants:
+// instead of assuming the paper's 2014 platform, the planner prices each
+// candidate with the probe measurements of this machine (Section 3.2's
+// substitution: probe timing ~= measured cost factor) and the sampled
+// workload descriptors.
+
+package tune
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Algo names a sorting algorithm in a Plan ("LSB", "MSB", or "CMP" — the
+// three algorithms of Section 4).
+type Algo string
+
+// The algorithm names a Plan can carry.
+const (
+	AlgoLSB Algo = "LSB"
+	AlgoMSB Algo = "MSB"
+	AlgoCMP Algo = "CMP"
+)
+
+// Requirements are the hard constraints of one planning request — the
+// parts of the problem sampling cannot discover.
+type Requirements struct {
+	// KeyBits is the key type width, 32 or 64.
+	KeyBits int
+	// NeedStable forces LSB, the only stable algorithm of the three.
+	NeedStable bool
+	// SpaceTight forces MSB: no linear auxiliary array can be afforded.
+	SpaceTight bool
+	// Force locks the algorithm choice (the algorithm-specific entry
+	// points tune knobs only); empty lets the planner choose.
+	Force Algo
+	// MaxThreads caps the planned worker count (0: the profile's NumCPU).
+	MaxThreads int
+}
+
+// Plan is one tuned sort configuration: the planner's output and the
+// record (SortStats.Plan) of what an auto-tuned run actually did.
+type Plan struct {
+	// Algo is the chosen algorithm.
+	Algo Algo `json:"algo"`
+	// RadixBits is the per-pass radix fanout in bits.
+	RadixBits int `json:"radix_bits"`
+	// RangeFanout is the comparison sort's per-pass fanout.
+	RangeFanout int `json:"range_fanout"`
+	// Threads is the planned worker count.
+	Threads int `json:"threads"`
+	// Passes is the predicted partitioning pass count.
+	Passes int `json:"passes"`
+	// PredictedNs is the modeled wall-clock of this plan in nanoseconds.
+	PredictedNs float64 `json:"predicted_ns"`
+	// BaselineNs is the modeled wall-clock of the static default knobs
+	// (8-bit passes, single worker) for the same algorithm — the margin
+	// the tuner predicts over the untuned path.
+	BaselineNs float64 `json:"baseline_ns"`
+}
+
+// Static default knobs (the zero-value SortOptions behavior the baseline
+// is priced against).
+const (
+	defaultRadixBits   = 8
+	defaultRangeFanout = 360
+	// stickyMargin keeps the default radix width unless a candidate beats
+	// it by more than this factor: within measurement noise of the probes,
+	// matching the static path exactly is worth more than a modeled sliver.
+	stickyMargin = 0.95
+	// minBits/maxBits bound the searched radix widths; 16 matches the
+	// public maxRadixBits bound.
+	minBits = 2
+	maxBits = 14
+	// parallelMinN is the input size below which a second worker costs
+	// more in coordination than it recovers.
+	parallelMinN = 1 << 16
+	// cacheResidentTuples approximates the per-core cache-resident segment
+	// size in tuples (256 KiB of 16-byte tuples), the in-cache/out-of-cache
+	// boundary the cost functions switch at.
+	cacheResidentTuples = 1 << 14
+)
+
+// Choose returns the plan minimizing the calibrated cost model for the
+// sampled workload under the given requirements. It is a pure function of
+// its inputs: the same profile, stats, and requirements always produce the
+// same plan.
+func Choose(p *MachineProfile, w WorkloadStats, req Requirements) Plan {
+	kb := req.KeyBits
+	if kb != 32 {
+		kb = 64
+	}
+	threads := p.NumCPU
+	if req.MaxThreads > 0 && req.MaxThreads < threads {
+		threads = req.MaxThreads
+	}
+	if w.N < parallelMinN || threads < 1 {
+		threads = 1
+	}
+
+	algo := req.Force
+	if algo == "" {
+		switch {
+		case req.NeedStable:
+			algo = AlgoLSB
+		case req.SpaceTight:
+			algo = AlgoMSB
+		case w.HeavySkew:
+			algo = AlgoCMP
+		default:
+			// Free choice: the cost model decides (the adaptive version of
+			// Recommend's dense-vs-sparse rule — on machines where
+			// out-of-cache passes are cheap, LSB's wider applicability
+			// shows up as lower modeled cost).
+			lsb, _ := bestBits(p, w, kb, threads, lsbCost)
+			msb, _ := bestBits(p, w, kb, threads, msbCost)
+			if lsb <= msb {
+				algo = AlgoLSB
+			} else {
+				algo = AlgoMSB
+			}
+		}
+	}
+
+	plan := Plan{Algo: algo, RangeFanout: defaultRangeFanout, Threads: threads}
+	switch algo {
+	case AlgoCMP:
+		plan.RadixBits = defaultRadixBits
+		plan.PredictedNs, plan.Passes = cmpCost(p, w, kb, threads)
+		base, _ := cmpCost(p, w, kb, 1)
+		plan.BaselineNs = base
+	case AlgoMSB:
+		plan.RadixBits, plan.Passes, plan.PredictedNs = pickBits(p, w, kb, threads, msbCost)
+		base, _ := msbCost(p, w, kb, defaultRadixBits, 1)
+		plan.BaselineNs = base
+	default:
+		plan.RadixBits, plan.Passes, plan.PredictedNs = pickBits(p, w, kb, threads, lsbCost)
+		base, _ := lsbCost(p, w, kb, defaultRadixBits, 1)
+		plan.BaselineNs = base
+	}
+	return plan
+}
+
+// costFn models one algorithm's wall-clock in ns at a given radix width.
+type costFn func(p *MachineProfile, w WorkloadStats, keyBits, radixBits, threads int) (ns float64, passes int)
+
+// pickBits searches the radix widths for the cheapest plan, keeping the
+// static default width unless a candidate beats it by more than
+// stickyMargin (probe noise should not move a knob for a modeled sliver).
+func pickBits(p *MachineProfile, w WorkloadStats, keyBits, threads int, cost costFn) (radixBits, passes int, ns float64) {
+	bestNs, bestBits := math.Inf(1), defaultRadixBits
+	for b := minBits; b <= maxBits; b++ {
+		c, _ := cost(p, w, keyBits, b, threads)
+		if c < bestNs {
+			bestNs, bestBits = c, b
+		}
+	}
+	defNs, defPasses := cost(p, w, keyBits, defaultRadixBits, threads)
+	if defNs <= 0 || bestNs >= stickyMargin*defNs {
+		return defaultRadixBits, defPasses, defNs
+	}
+	_, passes = cost(p, w, keyBits, bestBits, threads)
+	return bestBits, passes, bestNs
+}
+
+// bestBits returns the minimum modeled cost over the searched radix widths
+// (for algorithm comparison; the width itself comes from pickBits).
+func bestBits(p *MachineProfile, w WorkloadStats, keyBits, threads int, cost costFn) (ns float64, radixBits int) {
+	bestNs, best := math.Inf(1), defaultRadixBits
+	for b := minBits; b <= maxBits; b++ {
+		if c, _ := cost(p, w, keyBits, b, threads); c < bestNs {
+			bestNs, best = c, b
+		}
+	}
+	return bestNs, best
+}
+
+// ceilDiv is ceil(a/b) for positive b.
+func ceilDiv(a, b int) int {
+	return (a + b - 1) / b
+}
+
+// scatterFor prices one partitioning pass per tuple at the given fanout:
+// the out-of-cache curve when the pass's working set exceeds the
+// cache-resident budget, the in-cache curve otherwise.
+func scatterFor(p *MachineProfile, keyBits, radixBits, segTuples int) float64 {
+	return p.scatterNs(keyBits, radixBits, segTuples <= cacheResidentTuples)
+}
+
+// lsbCost models the LSB radix-sort (Section 4.2.1): one fused histogram
+// scan (radix histograms are value-based, so every pass's histogram comes
+// from one read), then ceil(domainBits/radixBits) full-width buffered
+// scatter passes.
+func lsbCost(p *MachineProfile, w WorkloadStats, keyBits, radixBits, threads int) (float64, int) {
+	domain := w.DomainBits
+	if domain < 1 {
+		domain = 1
+	}
+	passes := ceilDiv(domain, radixBits)
+	n := float64(w.N)
+	ns := n * p.histNs(keyBits) // fused one-scan histogramming
+	ns += n * float64(passes) * scatterFor(p, keyBits, radixBits, w.N)
+	return ns / float64(threads), passes
+}
+
+// msbCost models the MSB radix-sort (Section 4.2.2): passes cover
+// min(domainBits, log2 n) bits, segments shrink by the fanout each pass
+// (so later passes run in cache), and the cache-resident tail is finished
+// by in-cache sorting priced at a few histogram-scan equivalents.
+func msbCost(p *MachineProfile, w WorkloadStats, keyBits, radixBits, threads int) (float64, int) {
+	domain := w.DomainBits
+	if domain < 1 {
+		domain = 1
+	}
+	logN := bits.Len(uint(max(w.N, 2) - 1))
+	effBits := min(domain, logN)
+	passes := ceilDiv(effBits, radixBits)
+	n := float64(w.N)
+	var ns float64
+	seg := w.N
+	for i := 0; i < passes; i++ {
+		// MSB recomputes per-segment histograms each pass (the digit
+		// changes), and the in-place buffered swaps cost ~25% over the
+		// non-in-place scatter the probes measured (extra load per slot).
+		ns += n * p.histNs(keyBits)
+		ns += n * 1.25 * scatterFor(p, keyBits, radixBits, seg)
+		seg >>= radixBits
+		if seg <= cacheResidentTuples {
+			passes = i + 1
+			break
+		}
+	}
+	// In-cache finishing of the remaining bits (comb/insertion leaves).
+	ns += n * 3 * p.histNs(keyBits)
+	return ns / float64(threads), passes
+}
+
+// cmpCost models the range-partitioning comparison sort (Section 4.3):
+// range passes of fanout defaultRangeFanout until segments are
+// cache-resident (range lookups cost ~3x a radix histogram probe), then
+// in-cache comb-sort priced per key-log.
+func cmpCost(p *MachineProfile, w WorkloadStats, keyBits, threads int) (float64, int) {
+	n := float64(w.N)
+	passes := 0
+	for seg := float64(w.N); seg > cacheResidentTuples; seg /= defaultRangeFanout {
+		passes++
+	}
+	if passes < 1 {
+		passes = 1
+	}
+	// Skewed inputs place their heavy keys in single-key partitions after
+	// the first pass; that fraction needs no further passes or sorting.
+	dup := w.HeadMass
+	scatter := p.scatterNs(keyBits, 9, false) // fanout 360 ~ 2^8.5
+	var ns float64
+	for i := 0; i < passes; i++ {
+		frac := 1.0
+		if i > 0 {
+			frac -= dup
+		}
+		ns += frac * n * (3*p.histNs(keyBits) + scatter)
+	}
+	logChunk := math.Log2(cacheResidentTuples)
+	ns += (1 - dup) * n * logChunk * p.histNs(keyBits) / 2
+	return ns / float64(threads), passes
+}

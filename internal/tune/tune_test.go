@@ -1,0 +1,215 @@
+package tune
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// quickProfile calibrates once per test binary (quick budget).
+var quickProfile = Calibrate(Config{Quick: true})
+
+func TestCalibrateProducesSaneProfile(t *testing.T) {
+	p := quickProfile
+	if err := p.Validate(); err != nil {
+		t.Fatalf("calibrated profile invalid: %v", err)
+	}
+	if p.NumCPU < 1 || p.GOARCH == "" || p.CalibratedAt == "" {
+		t.Fatalf("environment fields missing: %+v", p)
+	}
+	if len(p.Scatter32) != len(probeBits) || len(p.Scatter64) != len(probeBits) {
+		t.Fatalf("scatter curves incomplete: %d/%d points", len(p.Scatter32), len(p.Scatter64))
+	}
+	// The probes measure real kernels: out-of-cache cost at the widest
+	// probed fanout must be at least the in-cache cost at the narrowest —
+	// anything else means the probe harness timed the wrong thing.
+	last := p.Scatter64[len(p.Scatter64)-1]
+	if last.OutCacheNs <= 0 || p.Scatter64[0].InCacheNs <= 0 {
+		t.Fatalf("non-positive scatter measurements: %+v", p.Scatter64)
+	}
+}
+
+func TestMachineProfileJSONRoundTrip(t *testing.T) {
+	p := quickProfile
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := p.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	q, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip changed the profile:\nsaved  %+v\nloaded %+v", p, q)
+	}
+}
+
+func TestLoadRejectsMalformedProfiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := *quickProfile
+	bad.Hist64MKeys = 0
+	path := filepath.Join(dir, "bad.json")
+	if err := bad.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("profile with zero histogram throughput accepted")
+	}
+}
+
+func TestMemProjectsCalibratedConstants(t *testing.T) {
+	m := quickProfile.Mem()
+	if m.ReadBW != quickProfile.SeqReadGBps {
+		t.Fatalf("ReadBW %v, want measured %v", m.ReadBW, quickProfile.SeqReadGBps)
+	}
+	if m.WriteBW != quickProfile.ScatterGBps {
+		t.Fatalf("WriteBW %v, want measured %v", m.WriteBW, quickProfile.ScatterGBps)
+	}
+	if m.Sockets != 1 || m.Cores() != quickProfile.NumCPU {
+		t.Fatalf("parallel shape not taken from the profile: %+v", m)
+	}
+	if m.ScalarOpNs <= 0 || m.CopyBW <= 0 {
+		t.Fatalf("derived constants not positive: %+v", m)
+	}
+}
+
+func TestScatterInterpolation(t *testing.T) {
+	p := &MachineProfile{
+		Scatter64: []ScatterPoint{
+			{Bits: 4, InCacheNs: 1, OutCacheNs: 2},
+			{Bits: 8, InCacheNs: 3, OutCacheNs: 6},
+		},
+	}
+	if got := p.scatterNs(64, 4, false); got != 2 {
+		t.Fatalf("at probed point: %v", got)
+	}
+	if got := p.scatterNs(64, 6, false); got != 4 {
+		t.Fatalf("midpoint: %v, want 4", got)
+	}
+	if got := p.scatterNs(64, 2, true); got != 1 {
+		t.Fatalf("below curve: %v, want clamp to 1", got)
+	}
+	// Beyond the curve the last slope extrapolates: 6 + (6-2)/4*4 = 10.
+	if got := p.scatterNs(64, 12, false); got != 10 {
+		t.Fatalf("beyond curve: %v, want 10", got)
+	}
+}
+
+func TestPlannerDeterminism(t *testing.T) {
+	keys := gen.ZipfKeys[uint64](1<<16, 1<<40, 0.8, 42)
+	w1 := SampleKeys(keys, 0, 7)
+	w2 := SampleKeys(keys, 0, 7)
+	if !reflect.DeepEqual(w1, w2) {
+		t.Fatalf("sampling not deterministic:\n%+v\n%+v", w1, w2)
+	}
+	req := Requirements{KeyBits: 64}
+	p1 := Choose(quickProfile, w1, req)
+	p2 := Choose(quickProfile, w2, req)
+	if p1 != p2 {
+		t.Fatalf("plan not deterministic:\n%+v\n%+v", p1, p2)
+	}
+}
+
+func TestPlanKnobsAlwaysValid(t *testing.T) {
+	workloads := []WorkloadStats{
+		{},
+		{N: 1, DomainBits: 1, SampleSize: 1, DistinctFrac: 1},
+		{N: 1 << 20, DomainBits: 64, SampleSize: 1024, DistinctFrac: 1},
+		{N: 1 << 28, DomainBits: 10, SampleSize: 1024, DistinctFrac: 0.01, HeadMass: 0.9, HeavySkew: true},
+	}
+	reqs := []Requirements{
+		{KeyBits: 64},
+		{KeyBits: 32, NeedStable: true},
+		{KeyBits: 64, SpaceTight: true},
+		{KeyBits: 64, Force: AlgoCMP},
+		{KeyBits: 32, Force: AlgoMSB, MaxThreads: 2},
+	}
+	for _, w := range workloads {
+		for _, req := range reqs {
+			plan := Choose(quickProfile, w, req)
+			if plan.RadixBits < 1 || plan.RadixBits > 16 {
+				t.Fatalf("RadixBits %d out of range for %+v / %+v", plan.RadixBits, w, req)
+			}
+			if plan.Threads < 1 || plan.RangeFanout < 2 || plan.Passes < 1 {
+				t.Fatalf("invalid knobs %+v for %+v / %+v", plan, w, req)
+			}
+			if plan.PredictedNs < 0 {
+				t.Fatalf("negative predicted cost %+v", plan)
+			}
+		}
+	}
+}
+
+func TestPlannerHonorsConstraints(t *testing.T) {
+	w := WorkloadStats{N: 1 << 20, DomainBits: 64, SampleSize: 1024, DistinctFrac: 1}
+	if p := Choose(quickProfile, w, Requirements{KeyBits: 64, NeedStable: true}); p.Algo != AlgoLSB {
+		t.Fatalf("stable plan picked %s", p.Algo)
+	}
+	if p := Choose(quickProfile, w, Requirements{KeyBits: 64, SpaceTight: true}); p.Algo != AlgoMSB {
+		t.Fatalf("space-tight plan picked %s", p.Algo)
+	}
+	skewed := w
+	skewed.HeadMass, skewed.HeavySkew = 0.8, true
+	if p := Choose(quickProfile, skewed, Requirements{KeyBits: 64}); p.Algo != AlgoCMP {
+		t.Fatalf("skewed plan picked %s", p.Algo)
+	}
+	if p := Choose(quickProfile, skewed, Requirements{KeyBits: 64, Force: AlgoLSB}); p.Algo != AlgoLSB {
+		t.Fatalf("forced plan picked %s", p.Algo)
+	}
+}
+
+func TestSamplerUniformVsZipf(t *testing.T) {
+	n := 1 << 18
+	uniform := gen.Uniform[uint64](n, 1<<40, 11)
+	zipf := gen.ZipfKeys[uint64](n, 1<<40, 1.5, 11)
+
+	u := SampleKeys(uniform, 0, 3)
+	z := SampleKeys(zipf, 0, 3)
+
+	if u.HeavySkew {
+		t.Fatalf("uniform flagged skewed: head mass %.3f", u.HeadMass)
+	}
+	if !z.HeavySkew {
+		t.Fatalf("zipf theta=1.5 not flagged skewed: head mass %.3f", z.HeadMass)
+	}
+	if u.HeadMass >= 0.2 {
+		t.Fatalf("uniform head mass %.3f, want ~0", u.HeadMass)
+	}
+	if z.HeadMass <= 0.5 {
+		t.Fatalf("zipf head mass %.3f, want > 0.5", z.HeadMass)
+	}
+	if u.DistinctFrac < 0.99 {
+		t.Fatalf("uniform distinct fraction %.3f, want ~1", u.DistinctFrac)
+	}
+	if z.DistinctFrac > 0.6 {
+		t.Fatalf("zipf distinct fraction %.3f, want small", z.DistinctFrac)
+	}
+	// Domain estimated from the sampled maximum: within a few bits of 40.
+	if u.DomainBits < 36 || u.DomainBits > 40 {
+		t.Fatalf("uniform domain estimate %d bits, want ~40", u.DomainBits)
+	}
+
+	// A dense permutation: every key distinct, domain ~log2 n.
+	perm := gen.Permutation[uint64](n, 5)
+	ps := SampleKeys(perm, 0, 3)
+	if ps.DistinctFrac < 0.99 || ps.HeavySkew {
+		t.Fatalf("permutation stats wrong: %+v", ps)
+	}
+	if ps.DomainBits < 16 || ps.DomainBits > 18 {
+		t.Fatalf("permutation domain estimate %d, want ~18", ps.DomainBits)
+	}
+
+	// Degenerate inputs.
+	if s := SampleKeys([]uint64{}, 0, 1); s.SampleSize != 0 || s.DomainBits != 1 {
+		t.Fatalf("empty stats %+v", s)
+	}
+	allEq := gen.AllEqual[uint64](4096, 7)
+	if s := SampleKeys(allEq, 0, 1); !s.HeavySkew || s.HeadMass != 1 {
+		t.Fatalf("all-equal stats %+v", s)
+	}
+}

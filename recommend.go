@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"repro/internal/kv"
+	"repro/internal/tune"
 )
 
 // Algorithm identifies one of the three sorting algorithms.
@@ -29,15 +30,20 @@ func (a Algorithm) String() string {
 	return "unknown"
 }
 
-// Workload describes a sorting problem for Recommend.
+// Workload describes a sorting problem for Recommend. Recommend
+// validates it: out-of-range fields raise an *ArgError (see the
+// accepted range on each field).
 type Workload struct {
-	// N is the tuple count.
+	// N is the tuple count; must be at least 1 (an empty problem has no
+	// recommendation — Sort handles empty inputs itself).
 	N int
 	// DomainBits is the key domain width logD (use kv width for sparse
 	// domains, or the dictionary code width for compressed columns).
-	// 0 means "unknown": the full key width is assumed.
+	// Must be in [0, 64]; 0 means "unknown": the full key width is
+	// assumed.
 	DomainBits int
-	// KeyBits is the key type width: 32 or 64.
+	// KeyBits is the key type width. Must be 32, 64, or 0 ("unknown":
+	// 64 is assumed when DomainBits is also unknown).
 	KeyBits int
 	// SpaceTight: no linear auxiliary array can be afforded.
 	SpaceTight bool
@@ -53,7 +59,14 @@ type Workload struct {
 // radix-sort on sparse domains or when auxiliary space cannot be spared;
 // comparison sort when load balancing under heavy skew matters most.
 // Stability forces LSB, the only stable algorithm of the three.
+//
+// The workload must be well-formed (see the Workload field ranges):
+// N >= 1, KeyBits one of 0/32/64, DomainBits in [0, 64]. Anything else
+// panics with an *ArgError naming the offending field — previously such
+// workloads were silently accepted and produced a recommendation based
+// on garbage.
 func Recommend(w Workload) Algorithm {
+	mustValid(validateWorkload("Recommend", w))
 	if w.NeedStable {
 		return LSB
 	}
@@ -81,10 +94,35 @@ func Recommend(w Workload) Algorithm {
 }
 
 // Sort runs the recommended algorithm for the workload it derives from the
-// input (domain detected by scanning) and the given requirements.
+// input (domain detected by scanning) and the given requirements. An empty
+// input is trivially sorted: Sort returns LSB without consulting
+// Recommend. With opt.AutoTune set, the static decision table is replaced
+// by the machine-calibrated planner: the key column is sampled (no full
+// scan) and the algorithm with the lowest modeled cost on this machine
+// wins, under the same needStable/spaceTight constraints.
 func Sort[K Key](keys, vals []K, needStable, spaceTight bool, opt *SortOptions) Algorithm {
 	mustValid(validatePairs("Sort", "keys", "vals", keys, vals))
 	mustValid(validateOptions("Sort", opt))
+	if len(keys) == 0 {
+		return LSB
+	}
+	if opt != nil && opt.AutoTune {
+		eff, plan := autotune(keys, opt, "", needStable, spaceTight)
+		if plan != nil {
+			switch plan.Algo {
+			case tune.AlgoMSB:
+				SortMSB(keys, vals, eff)
+				return MSB
+			case tune.AlgoCMP:
+				SortCMP(keys, vals, eff)
+				return CMP
+			default:
+				SortLSB(keys, vals, eff)
+				return LSB
+			}
+		}
+		opt = eff // below the planning threshold: static path, no re-plan
+	}
 	w := Workload{
 		N:          len(keys),
 		DomainBits: kv.DomainBits(keys),

@@ -4,6 +4,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/numa"
 	"repro/internal/sortalgo"
+	"repro/internal/tune"
 	"repro/internal/ws"
 )
 
@@ -37,6 +38,20 @@ type SortOptions struct {
 	// auxiliary arrays, and a persistent worker pool so repeated sorts make
 	// zero steady-state heap allocations. See NewWorkspace.
 	Workspace *Workspace
+	// AutoTune engages the machine-calibrated adaptive planner: the sort
+	// samples the key column, prices candidate configurations with the
+	// machine profile (Profile, or the process-wide one — see Calibrate),
+	// and fills every knob left at its zero value from the winning plan.
+	// Knobs set explicitly always win over the planner. The plan is
+	// recorded in Stats.Plan and, under an observability session, emitted
+	// as an "autotune-plan" meta event. Inputs smaller than ~4K tuples
+	// skip planning entirely.
+	AutoTune bool
+	// Profile is the calibrated machine profile AutoTune plans against;
+	// nil selects the process-wide profile (installed by Calibrate,
+	// SetMachineProfile, or LoadMachineProfile, or quick-calibrated
+	// lazily on first use). Ignored unless AutoTune is set.
+	Profile *MachineProfile
 }
 
 func (o *SortOptions) toInternal() (sortalgo.Options, *numa.Topology) {
@@ -89,6 +104,7 @@ func SortLSBWithScratch[K Key](keys, vals, tmpKeys, tmpVals []K, opt *SortOption
 	mustValid(validatePairs("SortLSBWithScratch", "keys", "vals", keys, vals))
 	mustValid(validateScratch("SortLSBWithScratch", keys, tmpKeys, tmpVals))
 	mustValid(validateOptions("SortLSBWithScratch", opt))
+	opt, _ = autotune(keys, opt, tune.AlgoLSB, true, false)
 	io, _ := opt.toInternal()
 	sortalgo.LSB(keys, vals, tmpKeys, tmpVals, io)
 }
@@ -100,6 +116,7 @@ func SortLSBWithScratch[K Key](keys, vals, tmpKeys, tmpVals []K, opt *SortOption
 func SortMSB[K Key](keys, vals []K, opt *SortOptions) {
 	mustValid(validatePairs("SortMSB", "keys", "vals", keys, vals))
 	mustValid(validateOptions("SortMSB", opt))
+	opt, _ = autotune(keys, opt, tune.AlgoMSB, false, true)
 	io, _ := opt.toInternal()
 	sortalgo.MSB(keys, vals, io)
 }
@@ -123,6 +140,7 @@ func SortCMPWithScratch[K Key](keys, vals, tmpKeys, tmpVals []K, opt *SortOption
 	mustValid(validatePairs("SortCMPWithScratch", "keys", "vals", keys, vals))
 	mustValid(validateScratch("SortCMPWithScratch", keys, tmpKeys, tmpVals))
 	mustValid(validateOptions("SortCMPWithScratch", opt))
+	opt, _ = autotune(keys, opt, tune.AlgoCMP, false, false)
 	io, _ := opt.toInternal()
 	sortalgo.CMP(keys, vals, tmpKeys, tmpVals, io)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/hard"
 	"repro/internal/part"
 	"repro/internal/sortalgo"
+	"repro/internal/tune"
 	"repro/internal/ws"
 )
 
@@ -67,6 +68,31 @@ func validateOptions(fn string, opt *SortOptions) *ArgError {
 	if opt.CacheTuples < 0 {
 		return &ArgError{Func: fn, Field: "CacheTuples",
 			Reason: fmt.Sprintf("%d; must be non-negative (0 selects the default)", opt.CacheTuples)}
+	}
+	if opt.Profile != nil {
+		if err := opt.Profile.Validate(); err != nil {
+			return &ArgError{Func: fn, Field: "Profile", Reason: err.Error()}
+		}
+	}
+	return nil
+}
+
+// validateWorkload checks the Workload ranges Recommend documents: N at
+// least 1, KeyBits one of 0/32/64, DomainBits in [0, 64].
+func validateWorkload(fn string, w Workload) *ArgError {
+	if w.N < 1 {
+		return &ArgError{Func: fn, Field: "N",
+			Reason: fmt.Sprintf("%d; must be at least 1", w.N)}
+	}
+	switch w.KeyBits {
+	case 0, 32, 64:
+	default:
+		return &ArgError{Func: fn, Field: "KeyBits",
+			Reason: fmt.Sprintf("%d; must be 32, 64, or 0 (unknown)", w.KeyBits)}
+	}
+	if w.DomainBits < 0 || w.DomainBits > 64 {
+		return &ArgError{Func: fn, Field: "DomainBits",
+			Reason: fmt.Sprintf("%d; must be in [0, 64] (0 means unknown)", w.DomainBits)}
 	}
 	return nil
 }
@@ -183,6 +209,7 @@ func TrySortLSBCtx[K Key](ctx context.Context, keys, vals []K, opt *SortOptions)
 			ws.PutKeys(iw, tmpK)
 			ws.PutKeys(iw, tmpV)
 		}()
+		opt, _ := autotune(keys, opt, tune.AlgoLSB, true, false)
 		io, _ := opt.toInternal()
 		io.Ctl = ctl
 		sortalgo.LSB(keys, vals, tmpK, tmpV, io)
@@ -205,6 +232,7 @@ func TrySortMSBCtx[K Key](ctx context.Context, keys, vals []K, opt *SortOptions)
 		return err
 	}
 	return tryRun(op, ctx, optWorkspace(opt), func(ctl *hard.Ctl) {
+		opt, _ := autotune(keys, opt, tune.AlgoMSB, false, true)
 		io, _ := opt.toInternal()
 		io.Ctl = ctl
 		sortalgo.MSB(keys, vals, io)
@@ -232,6 +260,7 @@ func TrySortCmpCtx[K Key](ctx context.Context, keys, vals []K, opt *SortOptions)
 			ws.PutKeys(iw, tmpK)
 			ws.PutKeys(iw, tmpV)
 		}()
+		opt, _ := autotune(keys, opt, tune.AlgoCMP, false, false)
 		io, _ := opt.toInternal()
 		io.Ctl = ctl
 		sortalgo.CMP(keys, vals, tmpK, tmpV, io)

@@ -5,6 +5,7 @@ set -eux
 
 go build ./...
 go vet ./...
+go run ./cmd/doccheck
 go test ./...
 go test -race ./internal/part/ ./internal/sortalgo/ .
 go test -race -short ./internal/ws/
@@ -40,5 +41,12 @@ go test -run xxx -bench ObsOverhead -benchtime 0.2s ./internal/part/ > /dev/null
 # short context deadline must cancel a large sort promptly.
 go test -race -short -count=1 -run 'TestTryFaultMatrix|TestTryCancelRace|TestTryPartitionFault' .
 go run ./cmd/faultcheck
+
+# Auto-tuning: quick calibration must produce a valid, reloadable profile
+# and a plan (the tuned-vs-static agreement and regression-bound witnesses
+# — TestAutoTuneMatchesStatic, BenchmarkAutoTune — run in the suite above
+# and in BENCH_PR4.json respectively).
+go run ./cmd/tunecli -quick -out "$obsdir/profile.json" -plan-n 1000000 > /dev/null
+go run ./cmd/tunecli -load "$obsdir/profile.json" > /dev/null
 
 echo "verify: OK"
