@@ -1,0 +1,130 @@
+// Command benchdiff compares two benchmark reports recorded by cmd/benchjson
+// and fails on performance regressions: the standing perf gate of verify.sh.
+// For every benchmark present in both files it prints old/new ns/op and the
+// delta, then the geometric-mean delta over the common set, and exits
+// non-zero when any common benchmark got slower than the threshold (default
+// 5%).
+//
+// Examples:
+//
+//	benchdiff BENCH_PR4.json BENCH_PR5.json
+//	benchdiff -threshold 10 old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Result mirrors cmd/benchjson's per-benchmark record (the fields benchdiff
+// reads; unknown fields are ignored).
+type Result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_op"`
+	AllocsPerOp *float64           `json:"allocs_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report mirrors cmd/benchjson's document shape.
+type Report struct {
+	Command string   `json:"command,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 5, "max allowed ns/op regression in percent before failing")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] old.json new.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	newByName := map[string]Result{}
+	for _, r := range newRep.Results {
+		newByName[r.Name] = r
+	}
+
+	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var logSum float64
+	common := 0
+	failed := false
+	for _, o := range oldRep.Results {
+		n, ok := newByName[o.Name]
+		if !ok {
+			fmt.Printf("%-44s %14.0f %14s %8s\n", o.Name, o.NsPerOp, "-", "gone")
+			continue
+		}
+		if o.NsPerOp <= 0 || n.NsPerOp <= 0 {
+			continue
+		}
+		ratio := n.NsPerOp / o.NsPerOp
+		delta := (ratio - 1) * 100
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %+7.1f%%%s\n", o.Name, o.NsPerOp, n.NsPerOp, delta, mark)
+		logSum += math.Log(ratio)
+		common++
+	}
+	for _, n := range newRep.Results {
+		found := false
+		for _, o := range oldRep.Results {
+			if o.Name == n.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-44s %14s %14.0f %8s\n", n.Name, "-", n.NsPerOp, "new")
+		}
+	}
+	if common == 0 {
+		fatal(fmt.Errorf("no common benchmarks between %s and %s", flag.Arg(0), flag.Arg(1)))
+	}
+	geo := (math.Exp(logSum/float64(common)) - 1) * 100
+	fmt.Printf("\ngeomean delta over %d common benchmarks: %+.1f%%\n", common, geo)
+	if failed {
+		fmt.Printf("benchdiff: FAIL — at least one benchmark regressed more than %.1f%%\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}
+
+// load reads and decodes one benchjson report.
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &r, nil
+}
+
+// fatal prints the error and exits non-zero.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

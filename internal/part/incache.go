@@ -21,7 +21,9 @@ func NonInPlaceInCache[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn
 func NonInPlaceInCacheWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK, srcV, dstK, dstV []K, fn F, hist []int) {
 	CheckHistogram(hist, len(srcK))
 	offset, _ := StartsInto(w.Ints(len(hist)), hist)
-	if len(srcK) > 0 {
+	if shift, mask, ok := radixParams[K](fn); ok {
+		inCacheScatterRadix(srcK, srcV, dstK, dstV, shift, mask, offset)
+	} else if len(srcK) > 0 {
 		srcV := srcV[:len(srcK)]
 		for i, k := range srcK {
 			p := fn.Partition(k)
@@ -117,6 +119,12 @@ func InPlaceInCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []int)
 // InPlaceInCacheWS is InPlaceInCache with a workspace-pooled cursor array.
 func InPlaceInCacheWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, keys, vals []K, fn F, hist []int) {
 	CheckHistogram(hist, len(keys))
+	if shift, mask, ok := radixParams[K](fn); ok {
+		offset := w.Ints(len(hist))
+		inPlaceInCacheRadix(keys, vals, shift, mask, hist, offset)
+		w.PutInts(offset)
+		return
+	}
 	p := len(hist) // number of partitions
 	// offset[q] points one past the next write slot of partition q
 	// (descending); when offset[q] reaches the partition base, q is done.

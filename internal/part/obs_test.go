@@ -6,6 +6,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/pfunc"
+	"repro/internal/ws"
 )
 
 // withSession installs a counters-only obs session for the test body and
@@ -163,9 +164,12 @@ func TestObsDisabledNoCounters(t *testing.T) {
 	}
 }
 
-// BenchmarkObsOverhead measures the scatter kernel with observability off
-// and on; the "off" case guards the near-zero-cost contract for the
-// default configuration (compare with -bench 'ObsOverhead' ./...).
+// BenchmarkObsOverhead measures the partitioning kernels with observability
+// off and on; the "off" cases guard the near-zero-cost contract for the
+// default configuration (compare with -bench 'ObsOverhead' ./...). The
+// Radix fn routes every sub-benchmark through the unrolled radix kernels
+// (scatterLinesRadix, inCacheScatterRadix, inPlaceOutOfCacheRadix), so the
+// disabled-path guard covers them too.
 func BenchmarkObsOverhead(b *testing.B) {
 	n := 1 << 20
 	keys := gen.Uniform[uint32](n, 0, 1)
@@ -174,18 +178,39 @@ func BenchmarkObsOverhead(b *testing.B) {
 	hist := Histogram(keys, fn)
 	starts, _ := Starts(hist)
 	dstK, dstV := make([]uint32, n), make([]uint32, n)
+	w := ws.New()
+	defer w.Close()
+	inK, inV := make([]uint32, n), make([]uint32, n)
 
-	run := func(b *testing.B) {
-		b.SetBytes(int64(n * 8))
-		for i := 0; i < b.N; i++ {
+	kernels := []struct {
+		name string
+		run  func()
+	}{
+		{"scatter", func() {
 			s := append([]int(nil), starts...)
 			NonInPlaceOutOfCache(keys, vals, dstK, dstV, fn, s)
-		}
+		}},
+		{"incache", func() {
+			NonInPlaceInCacheWS(w, keys, vals, dstK, dstV, fn, hist)
+		}},
+		{"inplace", func() {
+			copy(inK, keys)
+			copy(inV, vals)
+			InPlaceOutOfCacheWS(w, inK, inV, fn, hist)
+		}},
 	}
-	b.Run("off", run)
-	b.Run("on", func(b *testing.B) {
-		obs.Start(nil)
-		defer func() { _ = obs.Stop() }()
-		run(b)
-	})
+	for _, k := range kernels {
+		run := func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				k.run()
+			}
+		}
+		b.Run(k.name+"/off", run)
+		b.Run(k.name+"/on", func(b *testing.B) {
+			obs.Start(nil)
+			defer func() { _ = obs.Stop() }()
+			run(b)
+		})
+	}
 }

@@ -101,12 +101,23 @@ func NonInPlaceOutOfCacheCtlWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, srcK,
 	publishScatter(len(srcK), buf.flushes)
 }
 
-// scatterLines is the buffered scatter inner loop, structured for
+// scatterLines is the buffered scatter inner loop: radix functions take the
+// specialized kernel (kernels.go), everything else the generic reference
+// below.
+func scatterLines[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, buf *lineBuffers[K], off, starts []int) {
+	if shift, mask, ok := radixParams[K](fn); ok {
+		scatterLinesRadix(srcK, srcV, dstK, dstV, shift, mask, buf, off, starts)
+		return
+	}
+	scatterLinesGeneric(srcK, srcV, dstK, dstV, fn, buf, off, starts)
+}
+
+// scatterLinesGeneric is the scalar reference scatter loop, structured for
 // bounds-check elimination: the payload column is re-sliced to the key
 // column's length so srcV[i] piggybacks on the range check, the buffer
 // columns live in locals, and the in-line slot index o&(l-1) is provably
 // below l (verify with: go build -gcflags='-d=ssa/check_bce' ./internal/part).
-func scatterLines[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, buf *lineBuffers[K], off, starts []int) {
+func scatterLinesGeneric[K kv.Key, F pfunc.Func[K]](srcK, srcV, dstK, dstV []K, fn F, buf *lineBuffers[K], off, starts []int) {
 	if len(srcK) == 0 {
 		return
 	}
@@ -175,12 +186,12 @@ func NonInPlaceOutOfCacheCodesCtlWS[K kv.Key](w *ws.Workspace, srcK, srcV, dstK,
 	off := w.Ints(p)
 	copy(off, starts[:p])
 	if ctl == nil {
-		scatterLinesCodes(srcK, srcV, dstK, dstV, codes, &buf, off, starts)
+		scatterLinesCodesFast(srcK, srcV, dstK, dstV, codes, &buf, off, starts)
 	} else {
 		for c := 0; c < len(srcK); c += hard.CkptTuples {
 			ctl.Checkpoint()
 			e := min(c+hard.CkptTuples, len(srcK))
-			scatterLinesCodes(srcK[c:e], srcV[c:e], dstK, dstV, codes[c:e], &buf, off, starts)
+			scatterLinesCodesFast(srcK[c:e], srcV[c:e], dstK, dstV, codes[c:e], &buf, off, starts)
 		}
 	}
 	drainBuffers(&buf, dstK, dstV, off, starts)
@@ -190,7 +201,9 @@ func NonInPlaceOutOfCacheCodesCtlWS[K kv.Key](w *ws.Workspace, srcK, srcV, dstK,
 }
 
 // scatterLinesCodes is scatterLines driven by the code array instead of the
-// partition function.
+// partition function: the scalar reference of scatterLinesCodesFast
+// (kernels.go), which the drivers dispatch to; kernels_test.go asserts the
+// two agree bit for bit.
 func scatterLinesCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32, buf *lineBuffers[K], off, starts []int) {
 	if len(srcK) == 0 {
 		return
@@ -217,9 +230,13 @@ func scatterLinesCodes[K kv.Key](srcK, srcV, dstK, dstV []K, codes []int32, buf 
 	buf.flushes += flushes
 }
 
-// drainBuffers flushes every partition's final partial line.
+// drainBuffers flushes every partition's final partial line. Runs once per
+// scatter call; the buffer columns are hoisted out of the loop so the
+// per-partition work is two straight copies.
 func drainBuffers[K kv.Key](buf *lineBuffers[K], dstK, dstV []K, off, starts []int) {
 	l := buf.l
+	bufK, bufV := buf.keys, buf.vals
+	var flushes uint64
 	for p := range off {
 		o := off[p]
 		lo := o &^ (l - 1) // start of the (partial) current line
@@ -230,10 +247,11 @@ func drainBuffers[K kv.Key](buf *lineBuffers[K], dstK, dstV []K, off, starts []i
 			continue // line already flushed (or partition empty)
 		}
 		bs := lo & (l - 1)
-		copy(dstK[lo:o], buf.keys[p*l+bs:p*l+bs+(o-lo)])
-		copy(dstV[lo:o], buf.vals[p*l+bs:p*l+bs+(o-lo)])
-		buf.flushes++
+		copy(dstK[lo:o], bufK[p*l+bs:p*l+bs+(o-lo)])
+		copy(dstV[lo:o], bufV[p*l+bs:p*l+bs+(o-lo)])
+		flushes++
 	}
+	buf.flushes += flushes
 }
 
 // InPlaceOutOfCache is Algorithm 4: in-place partitioning with the swap
@@ -251,6 +269,10 @@ func InPlaceOutOfCache[K kv.Key, F pfunc.Func[K]](keys, vals []K, fn F, hist []i
 // and cursor arrays.
 func InPlaceOutOfCacheWS[K kv.Key, F pfunc.Func[K]](w *ws.Workspace, keys, vals []K, fn F, hist []int) {
 	CheckHistogram(hist, len(keys))
+	if shift, mask, ok := radixParams[K](fn); ok {
+		inPlaceOutOfCacheRadix(w, keys, vals, shift, mask, hist)
+		return
+	}
 	np := len(hist)
 	l := LineTuples[K]()
 	buf := newLineBuffers[K](w, np)

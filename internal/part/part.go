@@ -40,8 +40,14 @@ func HistogramInto[K kv.Key, F pfunc.Func[K]](hist []int, keys []K, fn F) []int 
 
 // histogramAccum is the accumulate half of HistogramInto: it adds keys'
 // counts onto hist without clearing, so checkpointed drivers can count one
-// sub-chunk at a time into one bucket array.
+// sub-chunk at a time into one bucket array. Radix functions take the
+// unrolled direct-digit kernel (kernels.go); the loop below is its scalar
+// reference and the path for every other partition function.
 func histogramAccum[K kv.Key, F pfunc.Func[K]](hist []int, keys []K, fn F) {
+	if shift, mask, ok := radixParams[K](fn); ok {
+		histogramRadixAccum(hist, keys, shift, mask)
+		return
+	}
 	for _, k := range keys {
 		hist[fn.Partition(k)]++
 	}

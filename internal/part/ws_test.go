@@ -128,6 +128,46 @@ func TestWSScatterZeroAlloc(t *testing.T) {
 	}); a != 0 {
 		t.Fatalf("warm NonInPlaceInCacheWS allocates %v times", a)
 	}
+
+	// The generic dispatch arm (non-Radix fn) must stay zero-alloc too: the
+	// radix specialization is a fast path, not a requirement.
+	hfn := pfunc.NewHash[uint32](256)
+	hh := Histogram(keys, hfn)
+	hs, _ := Starts(hh)
+	NonInPlaceOutOfCacheWS(w, keys, vals, dstK, dstV, hfn, hs)
+	if a := testing.AllocsPerRun(10, func() {
+		NonInPlaceOutOfCacheWS(w, keys, vals, dstK, dstV, hfn, hs)
+	}); a != 0 {
+		t.Fatalf("warm generic NonInPlaceOutOfCacheWS allocates %v times", a)
+	}
+
+	// Unrolled code-driven scatter.
+	codes := make([]int32, len(keys))
+	ch := HistogramCodes(keys, fn, codes)
+	cs, _ := Starts(ch)
+	NonInPlaceOutOfCacheCodesWS(w, keys, vals, dstK, dstV, codes, len(ch), cs)
+	if a := testing.AllocsPerRun(10, func() {
+		NonInPlaceOutOfCacheCodesWS(w, keys, vals, dstK, dstV, codes, len(ch), cs)
+	}); a != 0 {
+		t.Fatalf("warm NonInPlaceOutOfCacheCodesWS allocates %v times", a)
+	}
+}
+
+// TestMultiHistogramFlatZeroAlloc pins the flat padded layout's contract:
+// one pooled buffer, no per-row allocations.
+func TestMultiHistogramFlatZeroAlloc(t *testing.T) {
+	w := ws.New()
+	defer w.Close()
+	keys := gen.Uniform[uint64](1<<14, 0, 23)
+	ranges := [][2]uint{{0, 8}, {8, 16}, {16, 24}}
+	var rows [3][]int
+	flat := w.Ints(MultiHistogramFlatLen(ranges))
+	defer w.PutInts(flat)
+	if a := testing.AllocsPerRun(10, func() {
+		MultiHistogramFlatInto(rows[:], flat, keys, ranges)
+	}); a != 0 {
+		t.Fatalf("MultiHistogramFlatInto allocates %v times", a)
+	}
 }
 
 func TestMergeHistogramsInto(t *testing.T) {

@@ -45,6 +45,36 @@ func (r Radix[K]) Fanout() int {
 	return int(r.Mask) + 1
 }
 
+// LookupBatch computes partition codes for a batch of keys, 8 per
+// iteration: the radix analog of the range index's unrolled batch walk, so
+// radix functions plug into the code-driven kernels (part.BatchLookuper)
+// without a per-key dynamic dispatch. out must have at least len(keys)
+// slots; the tail loop makes results identical at every length.
+func (r Radix[K]) LookupBatch(keys []K, out []int32) {
+	if len(out) < len(keys) {
+		panic("pfunc: output batch too small")
+	}
+	s, m := r.Shift, r.Mask
+	n := len(keys)
+	out = out[:n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		k0, k1, k2, k3 := keys[i], keys[i+1], keys[i+2], keys[i+3]
+		k4, k5, k6, k7 := keys[i+4], keys[i+5], keys[i+6], keys[i+7]
+		out[i+0] = int32((k0 >> s) & m)
+		out[i+1] = int32((k1 >> s) & m)
+		out[i+2] = int32((k2 >> s) & m)
+		out[i+3] = int32((k3 >> s) & m)
+		out[i+4] = int32((k4 >> s) & m)
+		out[i+5] = int32((k5 >> s) & m)
+		out[i+6] = int32((k6 >> s) & m)
+		out[i+7] = int32((k7 >> s) & m)
+	}
+	for ; i < n; i++ {
+		out[i] = int32((keys[i] >> s) & m)
+	}
+}
+
 // Multiplicative hashing factors: odd constants derived from the golden
 // ratio, the classical choice for multiplicative hashing.
 const (

@@ -41,6 +41,43 @@ func TestRadixPanicsOnBadRange(t *testing.T) {
 	NewRadix[uint32](8, 8)
 }
 
+// testRadixLookupBatch asserts the 8x unrolled batch lookup agrees with
+// Partition at every length 0..17 (all tail sizes around the unroll) plus a
+// long odd length, for one key width.
+func testRadixLookupBatch[K interface{ ~uint32 | ~uint64 }](t *testing.T) {
+	t.Helper()
+	r := NewRadix[K](5, 13)
+	lengths := []int{1003}
+	for n := 0; n <= 17; n++ {
+		lengths = append(lengths, n)
+	}
+	for _, n := range lengths {
+		keys := make([]K, n)
+		for i := range keys {
+			keys[i] = K(i*2654435761 + 17)
+		}
+		out := make([]int32, n)
+		r.LookupBatch(keys, out)
+		for i, k := range keys {
+			if int(out[i]) != r.Partition(k) {
+				t.Fatalf("n=%d batch[%d] = %d, want %d", n, i, out[i], r.Partition(k))
+			}
+		}
+	}
+}
+
+func TestRadixLookupBatch32(t *testing.T) { testRadixLookupBatch[uint32](t) }
+func TestRadixLookupBatch64(t *testing.T) { testRadixLookupBatch[uint64](t) }
+
+func TestRadixLookupBatchPanicsOnShortOut(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short output batch")
+		}
+	}()
+	NewRadix[uint32](0, 8).LookupBatch(make([]uint32, 9), make([]int32, 8))
+}
+
 func TestHashInRangeAndDeterministic(t *testing.T) {
 	for _, p := range []int{1, 2, 64, 1024} {
 		h := NewHash[uint32](p)

@@ -206,12 +206,20 @@ func TestTree64(t *testing.T) {
 func TestTreeLookupBatch(t *testing.T) {
 	d := sortedDelims(359, 21)
 	tree := BuildTree(d, []int{8, 5, 9})
-	keys := gen.Uniform[uint32](1003, 0, 77) // odd length exercises the tail
-	out := make([]int32, len(keys))
-	tree.LookupBatch(keys, out)
-	for i, k := range keys {
-		if int(out[i]) != Search(d, k) {
-			t.Fatalf("batch[%d] = %d, want %d", i, out[i], Search(d, k))
+	// Every length 0..17 covers all tail sizes around the 8-key unroll; the
+	// long odd length exercises the steady state.
+	lengths := []int{1003}
+	for n := 0; n <= 17; n++ {
+		lengths = append(lengths, n)
+	}
+	for _, n := range lengths {
+		keys := gen.Uniform[uint32](n, 0, 77)
+		out := make([]int32, len(keys))
+		tree.LookupBatch(keys, out)
+		for i, k := range keys {
+			if int(out[i]) != Search(d, k) {
+				t.Fatalf("n=%d batch[%d] = %d, want %d", n, i, out[i], Search(d, k))
+			}
 		}
 	}
 }

@@ -64,6 +64,50 @@ func TestCombLanesVectorEquivalence64(t *testing.T) {
 	}
 }
 
+// testCombLanesBranchFreeAgreement asserts the unrolled branch-free lane
+// kernels (combLanes2/combLanes4) match combLanesGeneric byte for byte —
+// same passes, same exchanges — for one key width and lane count.
+func testCombLanesBranchFreeAgreement[K interface{ ~uint32 | ~uint64 }](t *testing.T, w int) {
+	t.Helper()
+	f := func(seed uint64, sz uint16) bool {
+		nvec := int(sz%512) + 2
+		n := nvec * w
+		keys := gen.Uniform[K](n, 0, seed)
+		vals := gen.RIDs[K](n)
+
+		ak := append([]K(nil), keys...)
+		av := append([]K(nil), vals...)
+		switch w {
+		case 2:
+			combLanes2(ak, av, nvec)
+		case 4:
+			combLanes4(ak, av, nvec)
+		}
+
+		bk := append([]K(nil), keys...)
+		bv := append([]K(nil), vals...)
+		combLanesGeneric(bk, bv, nvec, w)
+
+		for i := range ak {
+			if ak[i] != bk[i] || av[i] != bv[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The dispatcher pairs W=2 with 64-bit keys and W=4 with 32-bit keys, but
+// the kernels are width-generic; test both widths at both lane counts so
+// laneMask is exercised across the full domain.
+func TestCombLanes2Agreement32(t *testing.T) { testCombLanesBranchFreeAgreement[uint32](t, 2) }
+func TestCombLanes2Agreement64(t *testing.T) { testCombLanesBranchFreeAgreement[uint64](t, 2) }
+func TestCombLanes4Agreement32(t *testing.T) { testCombLanesBranchFreeAgreement[uint32](t, 4) }
+func TestCombLanes4Agreement64(t *testing.T) { testCombLanesBranchFreeAgreement[uint64](t, 4) }
+
 // TestCombLanesSortsEachLane verifies the post-comb invariant the W-way
 // merge depends on: every lane is independently sorted.
 func TestCombLanesSortsEachLane(t *testing.T) {

@@ -153,19 +153,18 @@ func (c *CombSorter[K]) SortInto(srcK, srcV, dstK, dstV []K) {
 
 	// W-way merge of the interleaved lane runs. Lane l's run occupies
 	// positions l, l+w, l+2w, ...; pads (MaxKey) sit at run tails and are
-	// excluded by per-lane counts.
-	runLen := make([]int, w)
+	// excluded by per-lane counts. The merge state lives in fixed
+	// lane-count arrays (W is at most 4, see Lanes) so a leaf sort
+	// allocates nothing.
+	var runLen, idx, emit [4]int // idx: next position of lane l (l + step*w)
+	var alive [4]bool            // lane still has real elements
+	var curK, curV [4]K
 	for l := 0; l < w; l++ {
 		runLen[l] = nvec
 		if l >= n%w && n%w != 0 {
 			runLen[l] = nvec - 1
 		}
 	}
-	idx := make([]int, w)    // next position of lane l: l + step*w
-	emit := make([]int, w)   // emitted count per lane
-	alive := make([]bool, w) // lane still has real elements
-	curK := make([]K, w)
-	curV := make([]K, w)
 	for l := 0; l < w; l++ {
 		if runLen[l] > 0 {
 			curK[l] = pk[l]

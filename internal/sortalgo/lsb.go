@@ -327,8 +327,10 @@ func lsbPassCopyback[K kv.Key](keys, vals, srcK, srcV []K, st *Stats, ph phase) 
 }
 
 // lsbSingle is the single-threaded driver: one histogram scan for all
-// passes, then one buffered scatter per pass, all scratch pooled. Zero heap
-// allocations in steady state with a warm workspace.
+// passes (accumulated into the flat padded layout so the per-pass rows stay
+// cache-set disjoint during the scan), then one buffered scatter per pass,
+// all scratch pooled. Zero heap allocations in steady state with a warm
+// workspace.
 func lsbSingle[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Options, ph phase) {
 	n := len(keys)
 	st := opt.Stats
@@ -338,14 +340,14 @@ func lsbSingle[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Optio
 	dstK, dstV := tmpK, tmpV
 	defer lsbRestore(keys, vals, &srcK, &srcV)
 	maxP := 0
-	multi := w.Matrix(len(ranges), 0)
-	for i, rg := range ranges {
-		p := 1 << (rg[1] - rg[0])
-		multi[i] = w.ResizeInts(multi[i], p)
-		maxP = max(maxP, p)
+	for _, rg := range ranges {
+		maxP = max(maxP, 1<<(rg[1]-rg[0]))
 	}
+	var rowsArr [part.MaxRadixPasses][]int
+	rows := rowsArr[:len(ranges)]
+	flat := w.Ints(part.MultiHistogramFlatLen(ranges))
 	timed(st, phHistogram, func() {
-		part.MultiHistogramInto(multi, keys, ranges)
+		part.MultiHistogramFlatInto(rows, flat, keys, ranges)
 	})
 	starts := w.Ints(maxP)
 	for pass, rg := range ranges {
@@ -353,7 +355,7 @@ func lsbSingle[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Optio
 		fault.Inject(fault.SiteLSBPass)
 		fn := pfunc.NewRadix[K](rg[0], rg[1])
 		p := 1 << (rg[1] - rg[0])
-		part.StartsInto(starts[:p], multi[pass])
+		part.StartsInto(starts[:p], rows[pass])
 		sk, sv, dk, dv := srcK, srcV, dstK, dstV
 		sp := obs.BeginPass(int(rg[0])/opt.RadixBits, -1)
 		timed(st, ph, func() {
@@ -369,7 +371,7 @@ func lsbSingle[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Optio
 		srcV, dstV = dstV, srcV
 	}
 	lsbPassCopyback(keys, vals, srcK, srcV, st, ph)
-	w.PutMatrix(multi)
+	w.PutInts(flat)
 	w.PutInts(starts)
 }
 

@@ -64,6 +64,20 @@ func classSize(c int) int {
 	return 1 << (c + minClassShift)
 }
 
+// spillClasses is how many classes above the requested one an acquisition
+// may borrow from: a sort whose early wide-fanout passes pooled large
+// histogram/offset buffers serves later narrow-fanout passes from those
+// same buffers (re-sliced; a returned buffer still pools under its true
+// capacity class) instead of taking an allocation miss. Bounded so a tiny
+// request can waste at most 16x its size, and so the scan stays O(1).
+const spillClasses = 4
+
+// spillLimit returns the last class an acquisition of class c may borrow
+// from.
+func spillLimit(c int) int {
+	return min(c+spillClasses, numClasses-1)
+}
+
 // Workspace is a reusable arena of partitioning/sorting scratch. The zero
 // value is not usable; call New. A nil *Workspace is valid everywhere and
 // means "no reuse": getters fall back to plain allocation and putters are
@@ -223,12 +237,14 @@ func (w *Workspace) Ints(n int) []int {
 	c := classFor(n)
 	if c >= 0 {
 		w.mu.Lock()
-		if l := w.ints[c]; len(l) > 0 {
-			b := l[len(l)-1]
-			w.ints[c] = l[:len(l)-1]
-			w.mu.Unlock()
-			w.hit()
-			return b[:n]
+		for cc := c; cc <= spillLimit(c); cc++ {
+			if l := w.ints[cc]; len(l) > 0 {
+				b := l[len(l)-1]
+				w.ints[cc] = l[:len(l)-1]
+				w.mu.Unlock()
+				w.hit()
+				return b[:n]
+			}
 		}
 		w.mu.Unlock()
 		w.miss()

@@ -42,6 +42,46 @@ func TestIntsReuse(t *testing.T) {
 	}
 }
 
+// TestIntsSpillReuse witnesses the smaller-fanout fix: a pooled wide
+// histogram/offset buffer (say fanout 4096 from an early pass) serves a
+// later narrower request (fanout 256) as a hit instead of allocating, and
+// the borrowed buffer returns to its true capacity class.
+func TestIntsSpillReuse(t *testing.T) {
+	w := New()
+	wide := w.Ints(4096)
+	p0 := unsafe.SliceData(wide)
+	w.PutInts(wide)
+
+	narrow := w.Ints(256) // 4 classes below: within spillClasses
+	if unsafe.SliceData(narrow) != p0 {
+		t.Fatal("smaller-fanout reacquisition did not borrow the pooled wide buffer")
+	}
+	if len(narrow) != 256 || cap(narrow) != 4096 {
+		t.Fatalf("borrowed buffer: len %d cap %d, want 256/4096", len(narrow), cap(narrow))
+	}
+	if hits, misses := w.Counters(); hits != 1 || misses != 1 {
+		t.Fatalf("counters = %d hits / %d misses, want 1/1", hits, misses)
+	}
+
+	// Returning the borrowed buffer pools it under its true class: the next
+	// wide request hits again.
+	w.PutInts(narrow)
+	wide2 := w.Ints(4096)
+	if unsafe.SliceData(wide2) != p0 {
+		t.Fatal("borrowed buffer did not return to its capacity class")
+	}
+	w.PutInts(wide2)
+
+	// Beyond the spill window the scan must not borrow: a class-0 request
+	// against a lone 4096-cap buffer (6 classes up) is a miss.
+	if small := w.Ints(64); unsafe.SliceData(small) == p0 {
+		t.Fatal("spill window exceeded spillClasses")
+	}
+	if _, misses := w.Counters(); misses != 2 {
+		t.Fatalf("misses = %d, want 2", misses)
+	}
+}
+
 func TestPutRejectsForeignBuffers(t *testing.T) {
 	w := New()
 	w.PutInts(make([]int, 100)) // cap 100 is not a class size: dropped

@@ -22,6 +22,13 @@ go run ./cmd/benchjson -benchtime 2x -out "$benchout"
 grep -q '"allocs_op": 0' "$benchout"
 rm -f "$benchout"
 
+# Perf-regression gate: the recorded benchmark trajectory must not regress.
+# Each PR records its AutoTune run (cmd/benchjson -bench AutoTune) as
+# BENCH_PR<n>.json; benchdiff fails if any benchmark in the newer file is
+# >5% slower than the older. To check the working tree against the recorded
+# baseline, record a fresh file and diff it the same way.
+go run ./cmd/benchdiff BENCH_PR4.json BENCH_PR5.json
+
 # Observability smoke: spans + counters must produce a valid Chrome trace
 # whose LSB counters reconcile (tuples_partitioned == passes * n), with at
 # least one span per pass and per worker — and degenerate inputs must
