@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +22,10 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
+
+	partsort "repro"
 )
 
 // Result is one benchmark line in parsed form.
@@ -51,8 +56,24 @@ func main() {
 		pkg   = flag.String("pkg", ".", "package to benchmark")
 		out   = flag.String("out", "BENCH_PR2.json", "output file (- for stdout)")
 		stdin = flag.Bool("stdin", false, "parse go test output from stdin instead of running go test")
+		mAddr = flag.String("metrics-addr", "", "serve live telemetry for the benchjson driver process on this address while the benchmarks run (Prometheus /metrics, expvar /debug/vars, pprof /debug/pprof/)")
 	)
 	flag.Parse()
+
+	if *mAddr != "" {
+		srv, err := partsort.ServeMetrics(*mAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: metrics endpoint:", err)
+			os.Exit(1)
+		}
+		srv.ShutdownOnSignal(os.Interrupt, syscall.SIGTERM)
+		fmt.Fprintf(os.Stderr, "benchjson: serving live metrics on %s/metrics\n", srv.URL())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+	}
 
 	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 

@@ -1,0 +1,349 @@
+// Command metricscheck is the CI gate for the live-telemetry layer: it
+// starts an observability session with the metrics sink and profile
+// labels enabled, runs sorts in the background, scrapes the HTTP
+// endpoint mid-sort, and fails on Prometheus text-format violations,
+// missing metric families, histogram inconsistencies, unlabeled
+// profiles, allocating record paths, or goroutines leaked by server
+// shutdown. Exit 0 means the telemetry contract holds end to end.
+//
+// Usage:
+//
+//	metricscheck [-n tuples] [-threads k]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	partsort "repro"
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+func main() {
+	n := flag.Int("n", 1<<20, "tuples per background sort")
+	threads := flag.Int("threads", 4, "sort worker goroutines")
+	flag.Parse()
+
+	// 1. Zero-allocation record paths, disabled session first.
+	if a := testing.AllocsPerRun(1000, func() {
+		sp := obs.BeginIn("lsb", "local", "phase", -1)
+		sp.End()
+	}); a != 0 {
+		fail(fmt.Sprintf("disabled span hook allocates %v/op, want 0", a))
+	}
+
+	// 2. Enabled session with the metrics sink and profile labels.
+	partsort.StartObservability(partsort.NewMetricsSink(nil))
+	partsort.EnableProfileLabels(true)
+	defer func() { _ = partsort.StopObservability() }()
+
+	sp := obs.BeginIn("lsb", "local", "phase", -1) // warm the series
+	sp.End()
+	if a := testing.AllocsPerRun(1000, func() {
+		sp := obs.BeginIn("lsb", "local", "phase", -1)
+		sp.EndN(64)
+	}); a != 0 {
+		fail(fmt.Sprintf("enabled histogram record path allocates %v/op, want 0", a))
+	}
+
+	goroutinesBefore := runtime.NumGoroutine()
+	srv, err := partsort.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		fail("metrics endpoint: " + err.Error())
+	}
+
+	// 3. Background sort loop so scrapes observe a live workload.
+	stop := make(chan struct{})
+	sortDone := make(chan struct{})
+	go func() {
+		defer close(sortDone)
+		keys := gen.Uniform[uint32](*n, 0, 42)
+		vals := partsort.RIDs[uint32](*n)
+		work := make([]uint32, *n)
+		wvals := make([]uint32, *n)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			copy(work, keys)
+			copy(wvals, vals)
+			algo := []string{"lsb", "msb", "cmp"}[i%3]
+			opt := &partsort.SortOptions{Threads: *threads}
+			switch algo {
+			case "lsb":
+				partsort.SortLSB(work, wvals, opt)
+			case "msb":
+				partsort.SortMSB(work, wvals, opt)
+			case "cmp":
+				partsort.SortCMP(work, wvals, opt)
+			}
+		}
+	}()
+
+	// Let at least one sort of each algorithm land in the registry.
+	time.Sleep(300 * time.Millisecond)
+
+	// 4. Scrape and validate the Prometheus exposition mid-sort.
+	body := get(srv.URL() + "/metrics")
+	fams := parseProm(body)
+	for _, want := range []string{
+		"partsort_events_total",
+		"partsort_workspace_hit_ratio",
+		"partsort_phase_duration_seconds",
+		"partsort_pass_duration_seconds",
+		"partsort_sort_duration_seconds",
+		"partsort_goroutines",
+		"partsort_heap_alloc_bytes",
+		"partsort_gc_cycles_total",
+	} {
+		if _, ok := fams[want]; !ok {
+			fail("scrape missing family " + want + "\n" + names(fams))
+		}
+	}
+	if !strings.Contains(body, `partsort_events_total{event="tuples_partitioned"}`) {
+		fail("partsort_events_total lacks the tuples_partitioned series")
+	}
+	if !strings.Contains(body, `partsort_phase_duration_seconds_count{algo="lsb"`) {
+		fail("phase histograms lack the algo label")
+	}
+	checkHistograms(body)
+
+	// 5. expvar view must be valid JSON carrying the partsort export.
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get(srv.URL()+"/debug/vars")), &vars); err != nil {
+		fail("/debug/vars is not JSON: " + err.Error())
+	}
+	if _, ok := vars["partsort"]; !ok {
+		fail("/debug/vars missing the partsort export")
+	}
+
+	// 6. Profile labels: the goroutine profile's label section must show
+	// algo/worker labels while sorts run. Retried — labels are only
+	// visible while a labeled scope is live.
+	labeled := false
+	for try := 0; try < 40 && !labeled; try++ {
+		prof := get(srv.URL() + "/debug/pprof/goroutine?debug=1")
+		labeled = strings.Contains(prof, `"algo":`) || strings.Contains(prof, "algo:")
+		if !labeled {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !labeled {
+		fail("goroutine profile never showed algo labels while sorting")
+	}
+
+	// 7. Graceful shutdown leaks nothing.
+	close(stop)
+	<-sortDone
+	if err := srv.Shutdown(context.Background()); err != nil {
+		fail("shutdown: " + err.Error())
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > goroutinesBefore {
+		fail(fmt.Sprintf("goroutines: %d before endpoint, %d after shutdown", goroutinesBefore, g))
+	}
+
+	fmt.Printf("metricscheck: ok (%d families, labeled profiles, zero-alloc record paths)\n", len(fams))
+}
+
+// get fetches a URL or fails the check.
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err.Error())
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err.Error())
+	}
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Sprintf("GET %s: HTTP %d", url, resp.StatusCode))
+	}
+	return string(body)
+}
+
+// parseProm validates the scrape line by line (comments, TYPE keywords,
+// sample syntax, numeric values) and returns family -> TYPE.
+func parseProm(body string) map[string]string {
+	fams := map[string]string{}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				fail(fmt.Sprintf("line %d: malformed TYPE comment %q", ln+1, line))
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				fail(fmt.Sprintf("line %d: unknown TYPE %q", ln+1, f[3]))
+			}
+			if _, dup := fams[f[2]]; dup {
+				fail(fmt.Sprintf("line %d: duplicate TYPE for family %s", ln+1, f[2]))
+			}
+			fams[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			fail(fmt.Sprintf("line %d: malformed sample %q", ln+1, line))
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			fail(fmt.Sprintf("line %d: non-numeric value in %q", ln+1, line))
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				fail(fmt.Sprintf("line %d: unterminated label set in %q", ln+1, line))
+			}
+			name = name[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if _, ok := fams[name]; ok {
+			continue
+		}
+		if _, ok := fams[base]; !ok {
+			fail(fmt.Sprintf("line %d: sample %q precedes its TYPE comment", ln+1, line))
+		}
+	}
+	return fams
+}
+
+// checkHistograms verifies every histogram series: cumulative buckets
+// are non-decreasing with strictly increasing le bounds, and the +Inf
+// bucket equals the series' _count sample.
+func checkHistograms(body string) {
+	type state struct {
+		lastLe  float64
+		lastCum uint64
+		inf     *uint64
+		count   *uint64
+	}
+	series := map[string]*state{}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		name := line[:sp]
+		switch {
+		case strings.Contains(name, "_bucket{"):
+			le := extractLabel(name, "le")
+			key := strings.Replace(stripLabel(name, "le"), "_bucket", "", 1)
+			st := series[key]
+			if st == nil {
+				st = &state{lastLe: -1}
+				series[key] = st
+			}
+			cum, err := strconv.ParseUint(line[sp+1:], 10, 64)
+			if err != nil {
+				fail(fmt.Sprintf("line %d: non-integer bucket count %q", ln+1, line))
+			}
+			if cum < st.lastCum {
+				fail(fmt.Sprintf("line %d: cumulative bucket decreased in %q", ln+1, line))
+			}
+			st.lastCum = cum
+			if le == "+Inf" {
+				st.inf = &cum
+				continue
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				fail(fmt.Sprintf("line %d: bad le %q", ln+1, le))
+			}
+			if b <= st.lastLe {
+				fail(fmt.Sprintf("line %d: le bounds not increasing in %q", ln+1, line))
+			}
+			st.lastLe = b
+		case strings.Contains(name, "_count"):
+			key := strings.Replace(name, "_count", "", 1)
+			if st := series[key]; st != nil {
+				c, _ := strconv.ParseUint(line[sp+1:], 10, 64)
+				st.count = &c
+			}
+		}
+	}
+	if len(series) == 0 {
+		fail("scrape contains no histogram buckets")
+	}
+	for key, st := range series {
+		if st.inf == nil {
+			fail("histogram " + key + " has no +Inf bucket")
+		}
+		if st.count == nil {
+			fail("histogram " + key + " has no _count sample")
+		}
+		if *st.inf != *st.count {
+			fail(fmt.Sprintf("histogram %s: +Inf bucket %d != _count %d", key, *st.inf, *st.count))
+		}
+	}
+}
+
+// extractLabel returns the value of one label in a rendered sample name.
+func extractLabel(name, key string) string {
+	i := strings.Index(name, key+`="`)
+	if i < 0 {
+		fail("sample " + name + " lacks label " + key)
+	}
+	rest := name[i+len(key)+2:]
+	return rest[:strings.IndexByte(rest, '"')]
+}
+
+// stripLabel removes one label pair from a rendered sample name so
+// bucket lines of a series group under one key.
+func stripLabel(name, key string) string {
+	i := strings.Index(name, key+`="`)
+	if i < 0 {
+		return name
+	}
+	rest := name[i:]
+	end := strings.IndexByte(rest[len(key)+2:], '"') + len(key) + 3
+	out := name[:i] + rest[end:]
+	out = strings.Replace(out, ",}", "}", 1)
+	out = strings.Replace(out, "{,", "{", 1)
+	out = strings.Replace(out, ",,", ",", 1)
+	if strings.HasSuffix(out, "{}") {
+		out = strings.TrimSuffix(out, "{}")
+	}
+	return out
+}
+
+// names renders the scraped family list for failure messages.
+func names(fams map[string]string) string {
+	out := make([]string, 0, len(fams))
+	for f := range fams {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return "families seen: " + strings.Join(out, ", ")
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "metricscheck:", msg)
+	os.Exit(1)
+}

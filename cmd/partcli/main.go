@@ -12,12 +12,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	partsort "repro"
@@ -42,10 +44,11 @@ func main() {
 		stats   = flag.Bool("stats", false, "print the observability counter snapshot for the pass")
 		jsonOut = flag.Bool("json", false, "print the result as one machine-readable JSON object")
 		traceTo = flag.String("trace", "", "write a span trace to this file: .jsonl extension selects JSON-lines, anything else Chrome trace-event JSON")
+		mAddr   = flag.String("metrics-addr", "", "serve live telemetry on this address during the pass (e.g. 127.0.0.1:9090): Prometheus text on /metrics, expvar JSON on /debug/vars, pprof on /debug/pprof/; SIGINT shuts the endpoint down gracefully")
 	)
 	flag.Parse()
 
-	if *traceTo != "" || *stats || *jsonOut {
+	if *traceTo != "" || *stats || *jsonOut || *mAddr != "" {
 		var sink partsort.TraceSink
 		if *traceTo != "" {
 			f, err := os.Create(*traceTo)
@@ -59,11 +62,27 @@ func main() {
 				sink = partsort.NewChromeTraceSink(f)
 			}
 		}
-		partsort.StartObservability(sink)
+		partsort.StartObservability(partsort.NewMetricsSink(sink))
 		defer func() {
 			if err := partsort.StopObservability(); err != nil {
 				fatal("closing trace sink: " + err.Error())
 			}
+		}()
+	}
+	if *mAddr != "" {
+		srv, err := partsort.ServeMetrics(*mAddr)
+		if err != nil {
+			fatal("metrics endpoint: " + err.Error())
+		}
+		partsort.EnableProfileLabels(true)
+		srv.ShutdownOnSignal(os.Interrupt, syscall.SIGTERM)
+		if !*jsonOut {
+			fmt.Printf("serving live metrics on %s/metrics (pprof on /debug/pprof/)\n", srv.URL())
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
 		}()
 	}
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"flag"
@@ -21,11 +22,13 @@ import (
 	"os"
 	"runtime/trace"
 	"strings"
+	"syscall"
 	"time"
 
 	partsort "repro"
 	"repro/internal/gen"
 	"repro/internal/kv"
+	"repro/internal/obs"
 )
 
 // cfg bundles the command-line configuration.
@@ -45,7 +48,12 @@ type cfg struct {
 	seed    uint64
 	dict    bool
 	verify  bool
+	repeat  int
 }
+
+// metricsSink, when non-nil, is the live histogram aggregator wrapped
+// around the trace sink; run reads its summary into the JSON result.
+var metricsSink *obs.MetricsSink
 
 func main() {
 	var c cfg
@@ -65,8 +73,10 @@ func main() {
 	flag.Uint64Var(&c.seed, "seed", 42, "generator seed")
 	flag.BoolVar(&c.dict, "dict", false, "dictionary-compress keys before sorting (order-preserving), decode after — reduces LSB passes on sparse domains")
 	flag.BoolVar(&c.verify, "verify", false, "keep a copy of the input and verify the output multiset (and stability for lsb)")
+	flag.IntVar(&c.repeat, "repeat", 1, "sort the input this many times, restoring it between runs — keeps the process busy for live metric scrapes")
 	traceOut := flag.String("trace", "", "write a span trace to this file: .jsonl extension selects JSON-lines, anything else Chrome trace-event JSON (open in Perfetto)")
 	gotrace := flag.String("gotrace", "", "write a runtime/trace file for `go tool trace`")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address while sorting (e.g. 127.0.0.1:9090): Prometheus text on /metrics, expvar JSON on /debug/vars, pprof with algo/phase/worker profile labels on /debug/pprof/; SIGINT shuts the endpoint down gracefully")
 	flag.Parse()
 
 	// Start the Go execution tracer first so the obs session sees it and
@@ -81,7 +91,7 @@ func main() {
 		}
 		defer trace.Stop()
 	}
-	if *traceOut != "" || c.stats || c.jsonOut {
+	if *traceOut != "" || c.stats || c.jsonOut || *metricsAddr != "" {
 		var sink partsort.TraceSink
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -95,11 +105,30 @@ func main() {
 				sink = partsort.NewChromeTraceSink(f)
 			}
 		}
-		partsort.StartObservability(sink)
+		// Always aggregate spans into the live histogram registry: it
+		// feeds both the -json span_hist summary and /metrics.
+		metricsSink = obs.NewMetricsSink(nil, sink)
+		partsort.StartObservability(metricsSink)
 		defer func() {
 			if err := partsort.StopObservability(); err != nil {
 				fatal("closing trace sink: " + err.Error())
 			}
+		}()
+	}
+	if *metricsAddr != "" {
+		srv, err := partsort.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fatal("metrics endpoint: " + err.Error())
+		}
+		partsort.EnableProfileLabels(true)
+		srv.ShutdownOnSignal(os.Interrupt, syscall.SIGTERM)
+		if !c.jsonOut {
+			fmt.Printf("serving live metrics on %s/metrics (pprof on /debug/pprof/)\n", srv.URL())
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
 		}()
 	}
 
@@ -130,7 +159,11 @@ type jsonResult struct {
 	RegionBounds []int                `json:"region_bounds,omitempty"`
 	PhaseNs      map[string]int64     `json:"phase_ns"`
 	Counters     partsort.ObsCounters `json:"counters"`
-	Verified     *bool                `json:"verified,omitempty"`
+	// SpanHist is the live latency-histogram summary per span key
+	// ("cat/name"), aggregated by the metrics sink — what tracecheck
+	// reconciles against the trace file and the phase wall clocks.
+	SpanHist map[string]obs.SpanStat `json:"span_hist,omitempty"`
+	Verified *bool                   `json:"verified,omitempty"`
 }
 
 func run[K kv.Key](c cfg) {
@@ -188,18 +221,29 @@ func run[K kv.Key](c cfg) {
 		}
 	}
 
+	var baseK, baseV []K
+	if c.repeat > 1 {
+		baseK = append([]K(nil), keys...)
+		baseV = append([]K(nil), vals...)
+	}
 	var st partsort.SortStats
 	opt := &partsort.SortOptions{Threads: c.threads, Regions: c.regions, Stats: &st}
 	start := time.Now()
-	switch c.algo {
-	case "lsb":
-		partsort.SortLSB(keys, vals, opt)
-	case "msb":
-		partsort.SortMSB(keys, vals, opt)
-	case "cmp":
-		partsort.SortCMP(keys, vals, opt)
-	default:
-		fatal("unknown algorithm " + c.algo)
+	for r := 0; r < max(c.repeat, 1); r++ {
+		if r > 0 {
+			copy(keys, baseK)
+			copy(vals, baseV)
+		}
+		switch c.algo {
+		case "lsb":
+			partsort.SortLSB(keys, vals, opt)
+		case "msb":
+			partsort.SortMSB(keys, vals, opt)
+		case "cmp":
+			partsort.SortCMP(keys, vals, opt)
+		default:
+			fatal("unknown algorithm " + c.algo)
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -231,7 +275,7 @@ func run[K kv.Key](c cfg) {
 
 	rate := 0.0
 	if elapsed > 0 && len(keys) > 0 {
-		rate = float64(len(keys)) / elapsed.Seconds() / 1e6
+		rate = float64(len(keys)) * float64(max(c.repeat, 1)) / elapsed.Seconds() / 1e6
 	}
 
 	if c.jsonOut {
@@ -257,6 +301,9 @@ func run[K kv.Key](c cfg) {
 			},
 			Counters: st.Counters,
 			Verified: verified,
+		}
+		if metricsSink != nil {
+			res.SpanHist = metricsSink.Summary()
 		}
 		if c.keysIn == "" {
 			res.Dist = c.dist

@@ -14,7 +14,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strings"
 )
 
 // event mirrors the Chrome trace-event fields the sinks emit.
@@ -35,15 +37,26 @@ type stats struct {
 	Algo     string `json:"algo"`
 	N        uint64 `json:"n"`
 	Passes   uint64 `json:"passes"`
+	Regions  int    `json:"regions"`
 	Counters struct {
 		TuplesPartitioned uint64 `json:"tuples_partitioned"`
 	} `json:"counters"`
+	PhaseNs  map[string]int64    `json:"phase_ns"`
+	SpanHist map[string]spanStat `json:"span_hist"`
+}
+
+// spanStat mirrors one sortcli span_hist entry (the live histogram
+// aggregate for one "cat/name" span key).
+type spanStat struct {
+	Count uint64 `json:"count"`
+	SumNs uint64 `json:"sum_ns"`
 }
 
 func main() {
 	requirePass := flag.Bool("require-pass", false, "require at least one span with cat \"pass\"")
 	workers := flag.Int("workers", 0, "require spans from at least this many distinct worker tids (cat \"worker\")")
 	statsFile := flag.String("stats", "", "sortcli -json output to reconcile: for lsb, tuples_partitioned must equal passes*n")
+	checkHist := flag.Bool("check-hist", false, "reconcile the stats file's span_hist against the trace: per span key the histogram sample count must equal the trace span count and the duration sums must agree; for single-region lsb the summed pass durations must bracket the phase wall clocks (requires -stats)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fail("usage: tracecheck [flags] <trace.json>")
@@ -60,6 +73,11 @@ func main() {
 
 	passSpans := 0
 	workerTids := map[int]bool{}
+	type agg struct {
+		count uint64
+		sumUs float64
+	}
+	traceAgg := map[string]agg{}
 	for i, e := range events {
 		switch e.Ph {
 		case "X":
@@ -69,6 +87,10 @@ func main() {
 			if *e.Ts < 0 || *e.Dur < 0 {
 				fail(fmt.Sprintf("event %d: negative ts or dur", i))
 			}
+			a := traceAgg[e.Cat+"/"+e.Name]
+			a.count++
+			a.sumUs += *e.Dur
+			traceAgg[e.Cat+"/"+e.Name] = a
 		case "i":
 			if e.Name == "" || e.Ts == nil {
 				fail(fmt.Sprintf("event %d: instant event missing name/ts", i))
@@ -91,12 +113,12 @@ func main() {
 		fail(fmt.Sprintf("spans from %d distinct worker tids, want >= %d", len(workerTids), *workers))
 	}
 
+	var st stats
 	if *statsFile != "" {
 		sdata, err := os.ReadFile(*statsFile)
 		if err != nil {
 			fail(err.Error())
 		}
-		var st stats
 		if err := json.Unmarshal(sdata, &st); err != nil {
 			fail("stats file: " + err.Error())
 		}
@@ -109,6 +131,62 @@ func main() {
 					st.Counters.TuplesPartitioned, st.Passes, st.N, want))
 			}
 		}
+	}
+
+	if *checkHist {
+		if *statsFile == "" {
+			fail("-check-hist requires -stats")
+		}
+		if len(st.SpanHist) == 0 {
+			fail("-check-hist: stats file carries no span_hist (need sortcli -json with observability on)")
+		}
+		// Both views are fed from the same event stream (the metrics sink
+		// tees to the trace sink), so per span key the histogram sample
+		// count must equal the trace span count exactly, and the duration
+		// sums must agree up to the trace's microsecond serialization.
+		for k, a := range traceAgg {
+			h, ok := st.SpanHist[k]
+			if !ok {
+				fail(fmt.Sprintf("span key %q has %d trace spans but no span_hist entry", k, a.count))
+			}
+			if h.Count != a.count {
+				fail(fmt.Sprintf("span key %q: histogram count %d != trace span count %d", k, h.Count, a.count))
+			}
+			traceSumNs := a.sumUs * 1e3
+			tol := 0.001*traceSumNs + 1e3*float64(a.count)
+			if diff := math.Abs(float64(h.SumNs) - traceSumNs); diff > tol {
+				fail(fmt.Sprintf("span key %q: histogram sum %d ns vs trace sum %.0f ns (diff %.0f > tol %.0f)",
+					k, h.SumNs, traceSumNs, diff, tol))
+			}
+		}
+		for k, h := range st.SpanHist {
+			if _, ok := traceAgg[k]; !ok && h.Count > 0 {
+				fail(fmt.Sprintf("span_hist key %q has %d samples but no trace spans", k, h.Count))
+			}
+		}
+		// Wall-clock reconciliation, meaningful where spans don't overlap:
+		// a single-region lsb run nests each pass span inside (or just
+		// around) one phase timer on one goroutine, so the summed pass
+		// durations must bracket the partition/shuffle/local wall clocks.
+		// Tolerances are generous — this is a unit-error and double-count
+		// gate, not a timing assertion.
+		if st.Algo == "lsb" && st.Regions <= 1 && len(st.PhaseNs) > 0 {
+			var passNs float64
+			for k, a := range traceAgg {
+				if strings.HasPrefix(k, "pass/") {
+					passNs += a.sumUs * 1e3
+				}
+			}
+			moveNs := float64(st.PhaseNs["partition"] + st.PhaseNs["shuffle"] + st.PhaseNs["local"])
+			const slack = 2e6 // 2 ms absolute slack for span begin/end skew
+			if passNs > 1.25*moveNs+slack {
+				fail(fmt.Sprintf("pass spans sum to %.0f ns, exceeding 1.25x the partition+shuffle+local wall clock (%.0f ns)", passNs, moveNs))
+			}
+			if lower := float64(st.PhaseNs["partition"]+st.PhaseNs["local"]); passNs < 0.5*lower-slack {
+				fail(fmt.Sprintf("pass spans sum to %.0f ns, under half the partition+local wall clock (%.0f ns)", passNs, lower))
+			}
+		}
+		fmt.Printf("tracecheck: span_hist reconciled over %d span keys\n", len(traceAgg))
 	}
 
 	fmt.Printf("tracecheck: %d events ok (%d pass spans, %d worker tids)\n",

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+func TestServeMetricsEndpoints(t *testing.T) {
+	Start(NewMetricsSink(nil, nil))
+	defer Stop()
+	Cur().Counters.TuplesPartitioned.Add(42)
+	sp := BeginIn("lsb", "local", "phase", -1)
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	srv, err := ServeMetrics("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	body := get(t, srv.URL()+"/metrics")
+	for _, want := range []string{
+		`partsort_events_total{event="tuples_partitioned"} 42`,
+		"# TYPE partsort_phase_duration_seconds histogram",
+		`partsort_phase_duration_seconds_count{algo="lsb",phase="local"} 1`,
+		"# TYPE partsort_goroutines gauge",
+		"partsort_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get(t, srv.URL()+"/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["partsort"]; !ok {
+		t.Fatal("/debug/vars missing the partsort export")
+	}
+
+	if body := get(t, srv.URL()+"/debug/pprof/goroutine?debug=1"); !strings.Contains(body, "goroutine") {
+		t.Fatal("/debug/pprof/goroutine not serving")
+	}
+}
+
+// TestShutdownLeaksNoGoroutines is the satellite-1 gate: server plus
+// sampler must fully unwind on Shutdown.
+func TestShutdownLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		srv, err := ServeMetrics("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		get(t, srv.URL()+"/metrics")
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatalf("second Shutdown: %v", err)
+		}
+		select {
+		case <-srv.Done():
+		default:
+			t.Fatal("Done not closed after Shutdown")
+		}
+	}
+	// Allow http's idle machinery to settle before counting.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after three server lifecycles", before, runtime.NumGoroutine())
+}
+
+func TestShutdownOnSignal(t *testing.T) {
+	srv, err := ServeMetrics("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ShutdownOnSignal(syscall.SIGUSR1)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-srv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down on signal")
+	}
+	if _, err := http.Get(srv.URL() + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after signal shutdown")
+	}
+}

@@ -1,0 +1,425 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the live-metrics half of the obs package: a lock-free
+// registry of named metric families (monotonic counters, gauges, and
+// log-linear histograms) that the HTTP exposition endpoints (metrics
+// server, expvar) render on demand. Recording is designed for the hot
+// side of a long-running sort service: counter/gauge updates are single
+// atomic operations, and histogram records are one atomic add into a
+// per-worker shard — no locks, no allocations, no map writes. All
+// registration (the cold side) happens under a mutex.
+
+// Metric-name prefix shared by every built-in family.
+const metricPrefix = "partsort_"
+
+// Log-linear histogram geometry: values are bucketed by octave
+// (power-of-two exponent) subdivided into 2^histSubBits linear
+// sub-buckets, the classic HDR layout — constant relative error of
+// 2^-histSubBits (12.5%) across the full uint64 range with a fixed,
+// pre-computable bucket count.
+const (
+	histSubBits  = 3
+	histSubCount = 1 << histSubBits // linear sub-buckets per octave
+	// HistBuckets is the number of buckets of every Histogram.
+	HistBuckets = (64 - histSubBits + 1) * histSubCount
+	// histShards is the number of per-worker shards of a Histogram
+	// (power of two; workers beyond it wrap around).
+	histShards = 8
+)
+
+// BucketIndex maps a value to its log-linear bucket: exact buckets below
+// histSubCount, then 2^histSubBits sub-buckets per octave.
+func BucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	e := bits.Len64(v)
+	mant := (v >> uint(e-1-histSubBits)) & (histSubCount - 1)
+	return (e-histSubBits)*histSubCount + int(mant)
+}
+
+// BucketUpper returns the inclusive upper value bound of bucket i — the
+// Prometheus `le` boundary (in the recorded unit).
+func BucketUpper(i int) uint64 {
+	if i < histSubCount {
+		return uint64(i)
+	}
+	oct := i / histSubCount
+	mant := uint64(i % histSubCount)
+	shift := uint(oct - 1)
+	lower := (histSubCount + mant) << shift
+	width := uint64(1) << shift
+	return lower + width - 1
+}
+
+// histShard is one worker's slice of a histogram. Shards are written by
+// (mostly) disjoint workers and merged only at snapshot time, so records
+// never contend on a shared cache line.
+type histShard struct {
+	buckets [HistBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	_       [48]byte // keep neighboring shards' sum fields off one line
+}
+
+// Histogram is a lock-free log-linear histogram with per-worker shards.
+// Observe is wait-free (two atomic adds) and allocation-free; Snapshot
+// merges the shards into a consistent-enough point-in-time copy (counts
+// only grow). The zero value is NOT usable — obtain histograms from a
+// Registry.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// Observe records v into the shard of the given worker (worker -1, the
+// coordinator, maps to shard 0; workers beyond the shard count wrap).
+func (h *Histogram) Observe(v uint64, worker int) {
+	s := &h.shards[(worker+1)&(histShards-1)]
+	s.buckets[BucketIndex(v)].Add(1)
+	s.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative clamps to 0).
+func (h *Histogram) ObserveDuration(d time.Duration, worker int) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d), worker)
+}
+
+// Snapshot merges the shards into a plain copy.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.buckets {
+			c := sh.buckets[b].Load()
+			s.Buckets[b] += c
+			s.Count += c
+		}
+		s.Sum += sh.sum.Load()
+	}
+	return s
+}
+
+// HistSnapshot is the merged, plain form of a Histogram. Count is derived
+// from the buckets, so cumulative-bucket totals always reconcile with it.
+type HistSnapshot struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Sub returns s - o bucket by bucket — the delta of one run between two
+// snapshots of the same histogram.
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	for i := range s.Buckets {
+		s.Buckets[i] -= o.Buckets[i]
+	}
+	s.Count -= o.Count
+	s.Sum -= o.Sum
+	return s
+}
+
+// Add returns s + o bucket by bucket (merging two histograms' snapshots).
+func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	return s
+}
+
+// Quantile returns the upper bound of the bucket holding the q-quantile
+// (0 < q <= 1) — an estimate with the layout's 12.5% relative error.
+// Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(HistBuckets - 1)
+}
+
+// Counter is a monotonic lock-free counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous value (stored as float64 bits).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// L is shorthand for Label{k, v}.
+func L(k, v string) Label { return Label{k, v} }
+
+// metricKind discriminates the exposition TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// promType returns the Prometheus TYPE keyword.
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// series is one labeled member of a family: exactly one of the value
+// fields is set.
+type series struct {
+	labels []Label
+	key    string // rendered label set, the dedup key
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	cf func() uint64  // live counter (reads an external source at scrape)
+	gf func() float64 // live gauge
+}
+
+// family is one exposition family: a name, a TYPE, and its label series.
+type family struct {
+	name, help string
+	kind       metricKind
+	series     []*series
+	byKey      map[string]*series
+}
+
+// Registry is a set of metric families. Registration (Counter, Gauge,
+// Histogram, ...) is idempotent get-or-create under a mutex; the returned
+// metric handles are lock-free to update. Exposition (WritePrometheus,
+// Expvar) walks a point-in-time view.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// renderLabels renders a label set in registration order:
+// `{k1="v1",k2="v2"}`, or "" for no labels.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	s := "{"
+	for i, l := range labels {
+		if i > 0 {
+			s += ","
+		}
+		s += l.Key + `="` + escapeLabel(l.Value) + `"`
+	}
+	return s + "}"
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// get returns the series for (name, labels), creating family and series
+// as needed. Panics if the name is already registered with another kind
+// — a programming error, not a runtime condition.
+func (r *Registry) get(name, help string, kind metricKind, labels []Label, mk func() *series) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]*series)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic("obs: metric " + name + " re-registered with a different type")
+	}
+	key := renderLabels(labels)
+	if s := f.byKey[key]; s != nil {
+		return s
+	}
+	s := mk()
+	s.labels = append([]Label(nil), labels...)
+	s.key = key
+	f.series = append(f.series, s)
+	f.byKey[key] = s
+	return s
+}
+
+// Counter returns the monotonic counter for (name, labels), creating it
+// on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.get(name, help, kindCounter, labels, func() *series { return &series{c: &Counter{}} })
+	if s.c == nil {
+		panic("obs: metric " + name + " is not a plain counter")
+	}
+	return s.c
+}
+
+// CounterFunc registers a live counter whose value is read from fn at
+// scrape time (e.g. the session's §3.2 event counters). Idempotent: a
+// second registration of the same (name, labels) replaces fn.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	s := r.get(name, help, kindCounter, labels, func() *series { return &series{} })
+	s.cf = fn
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.get(name, help, kindGauge, labels, func() *series { return &series{g: &Gauge{}} })
+	if s.g == nil {
+		panic("obs: metric " + name + " is not a plain gauge")
+	}
+	return s.g
+}
+
+// GaugeFunc registers a live gauge read from fn at scrape time.
+// Idempotent: a second registration replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.get(name, help, kindGauge, labels, func() *series { return &series{} })
+	s.gf = fn
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	s := r.get(name, help, kindHistogram, labels, func() *series { return &series{h: &Histogram{}} })
+	if s.h == nil {
+		panic("obs: metric " + name + " is not a histogram")
+	}
+	return s.h
+}
+
+// families returns a stable-ordered copy of the family list (series
+// sorted by label key) for exposition.
+func (r *Registry) families() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.fams[name]
+		cp := &family{name: f.name, help: f.help, kind: f.kind}
+		cp.series = append(cp.series, f.series...)
+		sort.Slice(cp.series, func(i, j int) bool { return cp.series[i].key < cp.series[j].key })
+		out = append(out, cp)
+	}
+	return out
+}
+
+// value returns a plain series' current value (counters and gauges).
+func (s *series) value() float64 {
+	switch {
+	case s.c != nil:
+		return float64(s.c.Value())
+	case s.cf != nil:
+		return float64(s.cf())
+	case s.g != nil:
+		return s.g.Value()
+	case s.gf != nil:
+		return s.gf()
+	}
+	return 0
+}
+
+// defaultRegistry is the process-wide registry behind ServeMetrics and
+// the public exposition helpers, built lazily with the §3.2 cost-factor
+// counter families pre-registered against the current obs session.
+var defaultRegistry struct {
+	once sync.Once
+	r    *Registry
+}
+
+// DefaultRegistry returns the process-wide registry. On first use it
+// registers a live counter family `partsort_events_total{event=...}`
+// carrying every Counters field of the current session (zero while no
+// session is installed) and a workspace hit-ratio gauge.
+func DefaultRegistry() *Registry {
+	defaultRegistry.once.Do(func() {
+		r := NewRegistry()
+		for _, f := range counterFields {
+			load := f.load
+			r.CounterFunc(metricPrefix+"events_total",
+				"Paper §3.2 cost-factor event counters of the current obs session.",
+				func() uint64 {
+					if s := Cur(); s != nil {
+						return load(&s.Counters)
+					}
+					return 0
+				}, L("event", f.name))
+		}
+		r.GaugeFunc(metricPrefix+"workspace_hit_ratio",
+			"Fraction of workspace buffer acquisitions served by the reuse arena (current obs session).",
+			func() float64 {
+				s := Cur()
+				if s == nil {
+					return 0
+				}
+				h := s.Counters.WorkspaceHits.Load()
+				m := s.Counters.WorkspaceMisses.Load()
+				if h+m == 0 {
+					return 0
+				}
+				return float64(h) / float64(h+m)
+			})
+		defaultRegistry.r = r
+	})
+	return defaultRegistry.r
+}

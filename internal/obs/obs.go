@@ -91,6 +91,27 @@ type CounterSnapshot struct {
 	WorkspaceMisses   uint64 `json:"workspace_misses"`
 }
 
+// counterFields enumerates every Counters field with its exposition name
+// and an atomic loader — the single authority the metrics registry
+// (partsort_events_total), Map, and the reflection-based exhaustiveness
+// test share, so a future counter cannot be silently dropped from the
+// exported surfaces.
+var counterFields = []struct {
+	name string
+	load func(*Counters) uint64
+}{
+	{"tuples_partitioned", func(c *Counters) uint64 { return c.TuplesPartitioned.Load() }},
+	{"buffer_flushes", func(c *Counters) uint64 { return c.BufferFlushes.Load() }},
+	{"swap_cycles", func(c *Counters) uint64 { return c.SwapCycles.Load() }},
+	{"sync_claims", func(c *Counters) uint64 { return c.SyncClaims.Load() }},
+	{"sync_parks", func(c *Counters) uint64 { return c.SyncParks.Load() }},
+	{"remote_bytes", func(c *Counters) uint64 { return c.RemoteBytes.Load() }},
+	{"splitter_samples", func(c *Counters) uint64 { return c.SplitterSamples.Load() }},
+	{"combsort_leaves", func(c *Counters) uint64 { return c.CombSortLeaves.Load() }},
+	{"workspace_hits", func(c *Counters) uint64 { return c.WorkspaceHits.Load() }},
+	{"workspace_misses", func(c *Counters) uint64 { return c.WorkspaceMisses.Load() }},
+}
+
 // Sub returns s - o field by field (the delta of one run).
 func (s CounterSnapshot) Sub(o CounterSnapshot) CounterSnapshot {
 	return CounterSnapshot{
@@ -212,6 +233,7 @@ type SpanHandle struct {
 	region *trace.Region
 	name   string
 	cat    string
+	algo   string
 	worker int
 	start  time.Time
 }
@@ -220,25 +242,42 @@ type SpanHandle struct {
 // (-1 for coordinator-level spans). Returns an inert handle when
 // disabled.
 func Begin(name, cat string, worker int) SpanHandle {
+	return BeginIn("", name, cat, worker)
+}
+
+// BeginIn is Begin with the owning algorithm attached (the label the
+// metrics sink aggregates per-(algo, phase) histograms under). algo may
+// be empty for spans emitted below the driver level.
+func BeginIn(algo, name, cat string, worker int) SpanHandle {
 	s := cur.Load()
 	if s == nil {
 		return SpanHandle{}
 	}
-	return s.Begin(name, cat, worker)
+	return s.BeginIn(algo, name, cat, worker)
 }
 
 // BeginPass opens the canonical per-pass span ("pass-<k>").
 func BeginPass(pass, worker int) SpanHandle {
+	return BeginPassIn("", pass, worker)
+}
+
+// BeginPassIn is BeginPass with the owning algorithm attached.
+func BeginPassIn(algo string, pass, worker int) SpanHandle {
 	s := cur.Load()
 	if s == nil {
 		return SpanHandle{}
 	}
-	return s.Begin("pass-"+strconv.Itoa(pass), "pass", worker)
+	return s.BeginIn(algo, "pass-"+strconv.Itoa(pass), "pass", worker)
 }
 
 // Begin opens a span on s.
 func (s *Session) Begin(name, cat string, worker int) SpanHandle {
-	h := SpanHandle{s: s, name: name, cat: cat, worker: worker, start: time.Now()}
+	return s.BeginIn("", name, cat, worker)
+}
+
+// BeginIn opens a span on s with the owning algorithm attached.
+func (s *Session) BeginIn(algo, name, cat string, worker int) SpanHandle {
+	h := SpanHandle{s: s, name: name, cat: cat, algo: algo, worker: worker, start: time.Now()}
 	if s.task != nil {
 		h.region = trace.StartRegion(s.ctx, cat+":"+name)
 	}
@@ -263,6 +302,7 @@ func (h SpanHandle) EndN(n int64) {
 		h.s.sink.Emit(Event{
 			Name:   h.name,
 			Cat:    h.cat,
+			Algo:   h.algo,
 			Worker: h.worker,
 			Start:  h.start.Sub(h.s.epoch),
 			Dur:    d,

@@ -12,6 +12,7 @@ import (
 type Event struct {
 	Name   string
 	Cat    string
+	Algo   string        // owning algorithm ("" below driver level)
 	Worker int           // -1 for coordinator-level spans
 	Start  time.Duration // since session epoch
 	Dur    time.Duration
@@ -41,6 +42,7 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 type jsonlEvent struct {
 	Name   string            `json:"name"`
 	Cat    string            `json:"cat"`
+	Algo   string            `json:"algo,omitempty"`
 	Worker int               `json:"worker"`
 	TsUs   float64           `json:"ts_us"`
 	DurUs  float64           `json:"dur_us"`
@@ -57,6 +59,7 @@ func (s *JSONLSink) Emit(e Event) {
 	_ = s.enc.Encode(jsonlEvent{
 		Name:   e.Name,
 		Cat:    e.Cat,
+		Algo:   e.Algo,
 		Worker: e.Worker,
 		TsUs:   float64(e.Start.Nanoseconds()) / 1e3,
 		DurUs:  float64(e.Dur.Nanoseconds()) / 1e3,

@@ -213,4 +213,68 @@ func BenchmarkObsOverhead(b *testing.B) {
 			run(b)
 		})
 	}
+
+	// The live-metrics primitives themselves: one histogram record (the
+	// per-span cost of the metrics sink) and one full registry snapshot
+	// (the per-scrape cost), each with the span pipeline off and on.
+	reg := obs.NewRegistry()
+	h := reg.Histogram("bench_hist", "")
+	b.Run("histrecord/off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := obs.BeginIn("lsb", "local", "phase", -1)
+			sp.End()
+		}
+	})
+	b.Run("histrecord/on", func(b *testing.B) {
+		obs.Start(obs.NewMetricsSink(reg, nil))
+		defer func() { _ = obs.Stop() }()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := obs.BeginIn("lsb", "local", "phase", -1)
+			sp.End()
+		}
+	})
+	b.Run("snapshot/off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(uint64(i), i&7)
+		}
+	})
+	b.Run("snapshot/on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = h.Snapshot().Count
+		}
+	})
+}
+
+// TestObsRecordPathAllocs pins the zero-allocation contract of the hot
+// record path at both session states: with observability disabled the
+// span hook is an atomic load, and with a metrics-sink session installed
+// each span costs two atomic adds into the histogram shards — neither
+// may allocate.
+func TestObsRecordPathAllocs(t *testing.T) {
+	if obs.Cur() != nil {
+		t.Fatal("test requires no installed session")
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		sp := obs.BeginIn("lsb", "local", "phase", -1)
+		sp.End()
+	}); a != 0 {
+		t.Fatalf("disabled span hook allocates %v/op", a)
+	}
+
+	reg := obs.NewRegistry()
+	obs.Start(obs.NewMetricsSink(reg, nil))
+	t.Cleanup(func() { _ = obs.Stop() })
+	// Warm: the first span of a key registers its series.
+	sp := obs.BeginIn("lsb", "local", "phase", -1)
+	sp.End()
+	if a := testing.AllocsPerRun(1000, func() {
+		sp := obs.BeginIn("lsb", "local", "phase", -1)
+		sp.EndN(64)
+	}); a != 0 {
+		t.Fatalf("enabled histogram record path allocates %v/op", a)
+	}
 }

@@ -132,9 +132,9 @@ func TestOptionsDefaults(t *testing.T) {
 
 func TestStatsAccumulation(t *testing.T) {
 	var st Stats
-	timed(&st, phHistogram, func() {})
-	timed(&st, phCache, func() {})
-	timed(nil, phCache, func() {}) // nil-safe
+	timed(&st, "test", phHistogram, func() {})
+	timed(&st, "test", phCache, func() {})
+	timed(nil, "test", phCache, func() {}) // nil-safe
 	st.add(phAlloc, 5)
 	st.add(phPartition, 7)
 	st.add(phShuffle, 11)

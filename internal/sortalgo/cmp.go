@@ -68,7 +68,7 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 		ctl.CheckpointNow()
 		fault.Inject(fault.SiteCMPPass)
 		cs := getCombSorter[K](w, n)
-		timed(st, phCache, func() {
+		timed(st, "cmp", phCache, func() {
 			cs.SortInto(keys, vals, keys, vals)
 		})
 		putCombSorter(w, cs)
@@ -83,7 +83,7 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	// Pass 1: global splitters, then region-local partition + shuffle.
 	var ref splitter.Refined[K]
 	var tree *rangeidx.Tree[K]
-	timed(st, phHistogram, func() {
+	timed(st, "cmp", phHistogram, func() {
 		sampled := splitter.ForThreads(keys, opt.RangeFanout, opt.Seed)
 		ref = splitter.RefineDuplicates(sampled)
 		tree = rangeidx.NewTreeFor(ref.Delims)
@@ -98,11 +98,11 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 		var bounds []int
 		ctl.CheckpointNow()
 		fault.Inject(fault.SiteCMPPass)
-		pass0 := obs.BeginPass(0, -1)
-		timed(st, phHistogram, func() {
+		pass0 := obs.BeginPassIn("cmp", 0, -1)
+		timed(st, "cmp", phHistogram, func() {
 			hists, bounds = part.ParallelHistogramsCodesCtlWS(w, keys, fn, codes, t, ctl)
 		})
-		timed(st, phPartition, func() {
+		timed(st, "cmp", phPartition, func() {
 			part.ParallelNonInPlaceCodesCtlWS(w, keys, vals, tmpK, tmpV, codes, hists, 0, ctl)
 		})
 		pass0.EndN(int64(n))
@@ -132,8 +132,8 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	regionChunks := make([][]int, c)
 	ctl.CheckpointNow()
 	fault.Inject(fault.SiteCMPPass)
-	pass0 := obs.BeginPass(0, -1)
-	timed(st, phHistogram, func() {
+	pass0 := obs.BeginPassIn("cmp", 0, -1)
+	timed(st, "cmp", phHistogram, func() {
 		g := hard.NewGroup(ctl)
 		for r := 0; r < c; r++ {
 			g.Go(func() {
@@ -143,7 +143,7 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 		}
 		g.Wait()
 	})
-	timed(st, phPartition, func() {
+	timed(st, "cmp", phPartition, func() {
 		g := hard.NewGroup(ctl)
 		for r := 0; r < c; r++ {
 			g.Go(func() {
@@ -194,7 +194,7 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	ctl.CheckpointNow()
 	fault.Inject(fault.SiteShuffleStart)
 	inShuffle = true
-	timed(st, phShuffle, func() {
+	timed(st, "cmp", phShuffle, func() {
 		numa.RunPerRegion(topo, tpr, func(w numa.Worker) {
 			meter := topo.NewMeter()
 			dst := int(w.Region)
@@ -266,7 +266,7 @@ type cmpWorker[K kv.Key] struct {
 
 func (r *cmpWorker[K]) RunTask(wi int) {
 	w := r.opt.Workspace
-	sp := obs.Begin("cmp-recurse", "worker", wi)
+	sp := obs.BeginIn("cmp", "cmp-recurse", "worker", wi)
 	var done int64
 	cs := getCombSorter[K](w, r.ct+r.ct/2)
 	nq := int64(len(r.starts) - 1)

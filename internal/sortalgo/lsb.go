@@ -58,7 +58,7 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 		}
 	}()
 
-	domainBits := timedInt(st, phHistogram, func() int {
+	domainBits := timedInt(st, "lsb", phHistogram, func() int {
 		return kv.DomainBits(keys)
 	})
 
@@ -84,7 +84,7 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	// even when quantile sampling of low-entropy domains wastes splits.
 	rangeTarget := min(4*c, maxRegDelims+1)
 	var fn1 rangeRadix[K]
-	timed(st, phHistogram, func() {
+	timed(st, "lsb", phHistogram, func() {
 		ref := splitter.RefineDuplicates(splitter.ForThreads(keys, rangeTarget, opt.Seed))
 		delims := ref.Delims
 		if len(delims) > maxRegDelims {
@@ -104,7 +104,7 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	regionChunks := make([][]int, c)  // per-region worker bounds, pooled
 	ctl.CheckpointNow()
 	fault.Inject(fault.SiteLSBPass)
-	timed(st, phHistogram, func() {
+	timed(st, "lsb", phHistogram, func() {
 		g := hard.NewGroup(ctl)
 		for r := 0; r < c; r++ {
 			g.Go(func() {
@@ -114,8 +114,8 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 		}
 		g.Wait()
 	})
-	pass0 := obs.BeginPass(0, -1)
-	timed(st, phPartition, func() {
+	pass0 := obs.BeginPassIn("lsb", 0, -1)
+	timed(st, "lsb", phPartition, func() {
 		g := hard.NewGroup(ctl)
 		for r := 0; r < c; r++ {
 			g.Go(func() {
@@ -169,7 +169,7 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	ctl.CheckpointNow()
 	fault.Inject(fault.SiteShuffleStart)
 	inShuffle = true
-	timed(st, phShuffle, func() {
+	timed(st, "lsb", phShuffle, func() {
 		numa.RunPerRegion(topo, tpr, func(w numa.Worker) {
 			meter := topo.NewMeter()
 			dst := int(w.Region)
@@ -222,7 +222,7 @@ func lsbRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	// Stats would race and double-count overlapping wall clock).
 	regionOpt := opt
 	regionOpt.Stats = nil
-	timed(st, phLocal, func() {
+	timed(st, "lsb", phLocal, func() {
 		g := hard.NewGroup(ctl)
 		for r := 0; r < c; r++ {
 			g.Go(func() {
@@ -319,7 +319,7 @@ func lsbRestore[K kv.Key](keys, vals []K, srcK, srcV *[]K) {
 // in the auxiliary arrays.
 func lsbPassCopyback[K kv.Key](keys, vals, srcK, srcV []K, st *Stats, ph phase) {
 	if &srcK[0] != &keys[0] {
-		timed(st, ph, func() {
+		timed(st, "lsb", ph, func() {
 			copy(keys, srcK)
 			copy(vals, srcV)
 		})
@@ -346,7 +346,7 @@ func lsbSingle[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Optio
 	var rowsArr [part.MaxRadixPasses][]int
 	rows := rowsArr[:len(ranges)]
 	flat := w.Ints(part.MultiHistogramFlatLen(ranges))
-	timed(st, phHistogram, func() {
+	timed(st, "lsb", phHistogram, func() {
 		part.MultiHistogramFlatInto(rows, flat, keys, ranges)
 	})
 	starts := w.Ints(maxP)
@@ -357,9 +357,9 @@ func lsbSingle[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Optio
 		p := 1 << (rg[1] - rg[0])
 		part.StartsInto(starts[:p], rows[pass])
 		sk, sv, dk, dv := srcK, srcV, dstK, dstV
-		sp := obs.BeginPass(int(rg[0])/opt.RadixBits, -1)
-		timed(st, ph, func() {
-			wsp := obs.Begin("scatter", "worker", 0)
+		sp := obs.BeginPassIn("lsb", int(rg[0])/opt.RadixBits, -1)
+		timed(st, "lsb", ph, func() {
+			wsp := obs.BeginIn("lsb", "scatter", "worker", 0)
 			part.NonInPlaceOutOfCacheCtlWS(w, sk, sv, dk, dv, fn, starts[:p], ctl)
 			wsp.EndN(int64(n))
 		})
@@ -395,11 +395,11 @@ func lsbPerPass[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Opti
 		var hists [][]int
 		var bounds []int
 		sk, sv, dk, dv := srcK, srcV, dstK, dstV
-		timed(st, phHistogram, func() {
+		timed(st, "lsb", phHistogram, func() {
 			hists, bounds = part.ParallelHistogramsCtlWS(w, sk, fn, threads, ctl)
 		})
-		sp := obs.BeginPass(int(rg[0])/opt.RadixBits, -1)
-		timed(st, ph, func() {
+		sp := obs.BeginPassIn("lsb", int(rg[0])/opt.RadixBits, -1)
+		timed(st, "lsb", ph, func() {
 			part.ParallelScatterBoundsCtlWS(w, sk, sv, dk, dv, fn, hists, 0, bounds, ctl)
 		})
 		sp.EndN(int64(n))
@@ -439,7 +439,7 @@ func lsbFused[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Option
 
 	bounds0 := part.ChunkBoundsInto(w.Ints(threads+1), n)
 	var h0, joints [][]int
-	timed(st, phHistogram, func() {
+	timed(st, "lsb", phHistogram, func() {
 		h0, joints = part.FusedHistogramsCtl(w, keys, ranges, bounds0, ctl)
 	})
 
@@ -449,8 +449,8 @@ func lsbFused[K kv.Key](keys, vals, tmpK, tmpV []K, ranges [][2]uint, opt Option
 		rg := ranges[pass]
 		fn := pfunc.NewRadix[K](rg[0], rg[1])
 		sk, sv, dk, dv := srcK, srcV, dstK, dstV
-		sp := obs.BeginPass(int(rg[0])/opt.RadixBits, -1)
-		timed(st, ph, func() {
+		sp := obs.BeginPassIn("lsb", int(rg[0])/opt.RadixBits, -1)
+		timed(st, "lsb", ph, func() {
 			part.ParallelScatterBoundsCtlWS(w, sk, sv, dk, dv, fn, hists, 0, bounds, ctl)
 		})
 		sp.EndN(int64(n))

@@ -77,13 +77,13 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 		}
 	}()
 
-	domainBits := timedInt(st, phHistogram, func() int {
+	domainBits := timedInt(st, "msb", phHistogram, func() int {
 		return kv.DomainBits(keys)
 	})
 
 	t := opt.Threads
 	if t == 1 && opt.regions() == 1 {
-		timed(st, phLocal, func() {
+		timed(st, "msb", phLocal, func() {
 			msbRecurse(opt.Workspace, keys, vals, domainBits, cacheTuples(opt, width), ctl)
 		})
 		return
@@ -97,7 +97,7 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 	}
 	var ref splitter.Refined[K]
 	var fn treeFunc[K]
-	timed(st, phHistogram, func() {
+	timed(st, "msb", phHistogram, func() {
 		sampled := splitter.ForThreads(keys, t, opt.Seed)
 		delims := splitter.Union(sampled, splitter.RadixBoundaries[K](topBits))
 		ref = splitter.RefineDuplicates(delims)
@@ -105,8 +105,8 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 	})
 
 	// Step 2: range partition into blocks, in place, in parallel.
-	pass0 := obs.BeginPass(0, -1)
-	timed(st, phPartition, func() {
+	pass0 := obs.BeginPassIn("msb", 0, -1)
+	timed(st, "msb", phPartition, func() {
 		blocks = part.ToBlocksInPlaceParallelCtl(keys, vals, fn, msbBlockTuples[K](), t, ctl)
 	})
 	inBlocks = true
@@ -116,7 +116,7 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 
 	// Step 3: synchronized in-place block shuffle across regions.
 	var starts []int
-	timed(st, phShuffle, func() {
+	timed(st, "msb", phShuffle, func() {
 		shOpt := part.ShuffleOptions{Workers: t}
 		if opt.Topo != nil && !opt.Oblivious {
 			bounds := equalBounds(n, opt.regions())
@@ -148,7 +148,7 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 	// covers the remaining width-topBits bits (capped by the domain).
 	hiBit := min(width-topBits, domainBits)
 	ct := cacheTuples(opt, width)
-	timed(st, phLocal, func() {
+	timed(st, "msb", phLocal, func() {
 		w := opt.Workspace
 		r := ws.Scratch[msbWorker[K]](w, ws.SlotMsbWork)
 		r.w, r.keys, r.vals = w, keys, vals
@@ -178,7 +178,7 @@ type msbWorker[K kv.Key] struct {
 }
 
 func (r *msbWorker[K]) RunTask(wi int) {
-	sp := obs.Begin("msb-recurse", "worker", wi)
+	sp := obs.BeginIn("msb", "msb-recurse", "worker", wi)
 	var done int64
 	for {
 		q := int(r.next.Add(1) - 1)

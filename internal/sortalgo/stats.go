@@ -108,17 +108,24 @@ func (s *Stats) add(p phase, d time.Duration) {
 }
 
 // timed runs fn and charges its wall clock to phase p of s (nil-safe).
-// When an obs session is active it additionally emits a phase span, so
-// trace-only runs (nil Stats) still show the breakdown.
-func timed(s *Stats, p phase, fn func()) {
+// When an obs session is active it additionally emits a phase span —
+// tagged with the owning algorithm so the metrics sink aggregates a
+// per-(algo, phase) latency histogram — and, when profile labels are on,
+// re-labels the goroutine (and the pool workers' shared label set) with
+// the phase for the scope of fn, so trace-only runs (nil Stats) still
+// show the breakdown and CPU profiles attribute samples per phase.
+func timed(s *Stats, algo string, p phase, fn func()) {
 	o := obs.Cur()
-	if s == nil && o == nil {
+	if s == nil && o == nil && !obs.ProfileLabelsEnabled() {
 		fn()
 		return
 	}
+	if restore := obs.PushLabels(algo, p.name()); restore != nil {
+		defer restore()
+	}
 	var sp obs.SpanHandle
 	if o != nil {
-		sp = o.Begin(p.name(), "phase", -1)
+		sp = o.BeginIn(algo, p.name(), "phase", -1)
 	}
 	start := time.Now()
 	fn()
@@ -131,14 +138,14 @@ func timed(s *Stats, p phase, fn func()) {
 // instead of writing through a captured variable keeps the result out of
 // the heap (a capture written inside a non-inlined callee is moved there,
 // costing one allocation per sort on otherwise allocation-free paths).
-func timedInt(s *Stats, p phase, fn func() int) int {
+func timedInt(s *Stats, algo string, p phase, fn func() int) int {
 	o := obs.Cur()
 	if s == nil && o == nil {
 		return fn()
 	}
 	var sp obs.SpanHandle
 	if o != nil {
-		sp = o.Begin(p.name(), "phase", -1)
+		sp = o.BeginIn(algo, p.name(), "phase", -1)
 	}
 	start := time.Now()
 	v := fn()
@@ -148,16 +155,20 @@ func timedInt(s *Stats, p phase, fn func() int) int {
 	return v
 }
 
-// instrument wraps one whole sort run: opens a top-level span and stores
+// instrument wraps one whole sort run: opens a top-level span, stores
 // the run's counter delta into st.Counters (nil-safe; a plain call when
-// observability is disabled).
+// observability is disabled), and — when profile labels are enabled —
+// tags the run's goroutines with the algorithm for CPU profiles.
 func instrument(st *Stats, algo string, fn func()) {
+	if restore := obs.PushLabels(algo, "run"); restore != nil {
+		defer restore()
+	}
 	o := obs.Cur()
 	if o == nil {
 		fn()
 		return
 	}
-	sp := o.Begin(algo, "sort", -1)
+	sp := o.BeginIn(algo, algo, "sort", -1)
 	before := o.Counters.Snapshot()
 	fn()
 	if st != nil {

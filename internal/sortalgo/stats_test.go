@@ -26,7 +26,7 @@ func TestStatsTimedAndAdd(t *testing.T) {
 	}
 	for _, ph := range phases {
 		ran := false
-		timed(&st, ph.p, func() {
+		timed(&st, "test", ph.p, func() {
 			ran = true
 			time.Sleep(time.Millisecond)
 		})
@@ -58,7 +58,7 @@ func TestStatsNilSafe(t *testing.T) {
 	var s *Stats
 	s.add(phHistogram, time.Second)
 	ran := false
-	timed(nil, phLocal, func() { ran = true })
+	timed(nil, "test", phLocal, func() { ran = true })
 	if !ran {
 		t.Fatal("timed(nil, ...) did not run fn")
 	}

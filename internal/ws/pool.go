@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/hard"
+	"repro/internal/obs"
 )
 
 // Runner is the unit of work the pool executes: RunTask(i) is called once
@@ -130,6 +131,12 @@ func (t task) run() {
 			t.c.done <- struct{}{}
 		}
 	}()
+	// Persistent workers cannot inherit the driver's pprof labels the way
+	// fresh goroutines do, so pick up the current (algo, phase) scope plus
+	// this task's worker index here. One atomic load when labels are off.
+	if obs.ApplyWorkerLabels(t.i) {
+		defer obs.ClearWorkerLabels()
+	}
 	fault.Inject(fault.SiteWorkerStart)
 	t.c.ctl.CheckpointNow()
 	t.r.RunTask(t.i)
@@ -196,6 +203,9 @@ func GoRunCtl(n int, r Runner, ctl *hard.Ctl) {
 	g := hard.NewGroup(ctl)
 	for i := 0; i < n; i++ {
 		g.Go(func() {
+			if obs.ApplyWorkerLabels(i) {
+				defer obs.ClearWorkerLabels()
+			}
 			fault.Inject(fault.SiteWorkerStart)
 			ctl.CheckpointNow()
 			r.RunTask(i)

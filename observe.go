@@ -56,3 +56,44 @@ func NewJSONLSink(w io.Writer) TraceSink {
 func NewChromeTraceSink(w io.Writer) TraceSink {
 	return obs.NewChromeTraceSink(w)
 }
+
+// MetricsServer is the live-telemetry HTTP endpoint started by
+// ServeMetrics: Prometheus text on /metrics, expvar JSON on /debug/vars,
+// and net/http/pprof on /debug/pprof/. Call Shutdown (or
+// ShutdownOnSignal) to stop it gracefully.
+type MetricsServer = obs.MetricsServer
+
+// ServeMetrics starts the live-telemetry endpoint on addr (":9090", or
+// "127.0.0.1:0" to pick a free port — read it back via Addr). It exposes
+// the default metrics registry: the Section 3.2 event counters of the
+// current observability session as partsort_events_total series, the
+// per-(algo, phase) latency histograms fed by NewMetricsSink, and
+// background-sampled runtime gauges (heap, GC, goroutines).
+func ServeMetrics(addr string) (*MetricsServer, error) {
+	return obs.ServeMetrics(addr, nil)
+}
+
+// NewMetricsSink wraps next (which may be nil) so every span emitted by
+// an observability session is additionally folded into the default
+// metrics registry's latency histograms — the source of the
+// partsort_phase_duration_seconds / partsort_pass_duration_seconds
+// families served by ServeMetrics. Use it as the sink (or sink wrapper)
+// passed to StartObservability.
+func NewMetricsSink(next TraceSink) TraceSink {
+	return obs.NewMetricsSink(nil, next)
+}
+
+// EnableProfileLabels turns runtime/pprof label propagation on or off:
+// when on, sort drivers tag their goroutines (and the pool's workers)
+// with algo/phase/worker labels, so CPU profiles taken from
+// /debug/pprof/profile attribute samples per partition phase. Off — the
+// default — the hooks cost one atomic load.
+func EnableProfileLabels(on bool) {
+	obs.EnableProfileLabels(on)
+}
+
+// WriteMetrics renders the default metrics registry in Prometheus text
+// exposition format to w — the pull-less alternative to ServeMetrics.
+func WriteMetrics(w io.Writer) error {
+	return obs.DefaultRegistry().WritePrometheus(w)
+}

@@ -27,7 +27,7 @@ rm -f "$benchout"
 # BENCH_PR<n>.json; benchdiff fails if any benchmark in the newer file is
 # >5% slower than the older. To check the working tree against the recorded
 # baseline, record a fresh file and diff it the same way.
-go run ./cmd/benchdiff BENCH_PR4.json BENCH_PR5.json
+go run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json
 
 # Observability smoke: spans + counters must produce a valid Chrome trace
 # whose LSB counters reconcile (tuples_partitioned == passes * n), with at
@@ -36,11 +36,17 @@ go run ./cmd/benchdiff BENCH_PR4.json BENCH_PR5.json
 obsdir=$(mktemp -d)
 trap 'rm -rf "$obsdir"' EXIT
 go run ./cmd/sortcli -n 200000 -algo lsb -threads 4 -trace "$obsdir/t.json" -json > "$obsdir/stats.json"
-go run ./cmd/tracecheck -require-pass -workers 4 -stats "$obsdir/stats.json" "$obsdir/t.json"
+go run ./cmd/tracecheck -require-pass -workers 4 -stats "$obsdir/stats.json" -check-hist "$obsdir/t.json"
 go run ./cmd/sortcli -n 0 -algo lsb -trace "$obsdir/empty.json" -json > /dev/null
 go run ./cmd/tracecheck "$obsdir/empty.json"
 go run ./cmd/partcli -n 100000 -variant sync -threads 4 -stats > /dev/null
 go test -run xxx -bench ObsOverhead -benchtime 0.2s ./internal/part/ > /dev/null
+
+# Live telemetry: the metrics endpoint scraped mid-sort must serve valid
+# Prometheus text with every expected family, consistent histograms, a
+# JSON expvar view, pprof profiles labeled by algo/phase/worker, and
+# zero-allocation record paths; shutdown must leak no goroutines.
+go run ./cmd/metricscheck -n 500000
 
 # Hardened execution: the fault-injection matrix (every site x every sort)
 # must contain worker panics as *InternalError with the input left a
