@@ -130,6 +130,7 @@ func autotune[K Key](keys []K, opt *SortOptions, force tune.Algo, needStable, sp
 		SpaceTight: spaceTight,
 		Force:      force,
 		MaxThreads: eff.Threads,
+		MaxBytes:   eff.MaxAuxBytes,
 	}
 	plan := tune.Choose(prof, w, req)
 	if eff.Threads == 0 {
@@ -141,6 +142,10 @@ func autotune[K Key](keys []K, opt *SortOptions, force tune.Algo, needStable, sp
 	if eff.RangeFanout == 0 {
 		eff.RangeFanout = plan.RangeFanout
 	}
+	inPlace := uint64(0)
+	if plan.InPlace {
+		inPlace = 1
+	}
 	obs.Meta("autotune-plan", map[string]uint64{
 		"algo":         algoCode(plan.Algo),
 		"radix_bits":   uint64(plan.RadixBits),
@@ -149,6 +154,8 @@ func autotune[K Key](keys []K, opt *SortOptions, force tune.Algo, needStable, sp
 		"passes":       uint64(plan.Passes),
 		"predicted_ns": uint64(plan.PredictedNs),
 		"baseline_ns":  uint64(plan.BaselineNs),
+		"in_place":     inPlace,
+		"aux_bytes":    uint64(plan.AuxBytes),
 	})
 	if eff.Stats != nil {
 		eff.Stats.Plan = &plan

@@ -610,6 +610,67 @@ func BenchmarkScatterAlloc(b *testing.B) {
 	})
 }
 
+// BenchmarkAuxMemory measures the peak auxiliary footprint of the
+// parallel fan-out paths: each arm runs with a warm workspace and reports
+// the run's SortStats.PeakAuxBytes (the arena's checked-out high-water
+// mark) as peakaux-MB next to throughput. The in-place arms are the PR
+// defaults (block-permutation fan-out); the baseline arms are the legacy
+// layouts — CMP's linear tmp pair + codes column via the caller-scratch
+// entry point (its unmetered caller tmp added back analytically), and the
+// list-of-blocks + shuffle still taken on the NUMA paths (regions=2).
+// EXPERIMENTS.md records the 2^26-tuple sweep.
+func BenchmarkAuxMemory(b *testing.B) {
+	for _, n := range []int{1 << 22, 1 << 26} {
+		baseKeys := gen.Uniform[uint64](n, 0, 77)
+		baseVals := RIDs[uint64](n)
+		keys := make([]uint64, n)
+		vals := make([]uint64, n)
+		tmpK := make([]uint64, n) // CMP/scratch baseline's caller scratch
+		tmpV := make([]uint64, n)
+		arms := []struct {
+			name     string
+			extraAux uint64 // caller-provided scratch the arena cannot see
+			run      func(opt *SortOptions)
+		}{
+			{"MSB/inplace", 0, func(opt *SortOptions) {
+				SortMSB(keys, vals, opt)
+			}},
+			{"MSB/blocks", 0, func(opt *SortOptions) {
+				opt.Regions = 2
+				SortMSB(keys, vals, opt)
+			}},
+			{"CMP/inplace", 0, func(opt *SortOptions) {
+				SortCMP(keys, vals, opt)
+			}},
+			{"CMP/scratch", uint64(2 * n * 8), func(opt *SortOptions) {
+				SortCMPWithScratch(keys, vals, tmpK, tmpV, opt)
+			}},
+		}
+		for _, a := range arms {
+			b.Run(fmt.Sprintf("%s/n=%d", a.name, n), func(b *testing.B) {
+				w := NewWorkspace()
+				defer w.Close()
+				var st SortStats
+				opt := &SortOptions{Threads: 4, Workspace: w, Stats: &st}
+				copy(keys, baseKeys)
+				copy(vals, baseVals)
+				a.run(opt) // warm the arena
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					copy(keys, baseKeys)
+					copy(vals, baseVals)
+					b.StartTimer()
+					a.run(opt)
+				}
+				b.ReportMetric(float64(st.PeakAuxBytes+a.extraAux)/(1<<20), "peakaux-MB")
+				reportMtps(b, n)
+			})
+		}
+	}
+}
+
 func lg(p int) int {
 	l := 0
 	for 1<<l < p {

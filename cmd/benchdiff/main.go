@@ -3,12 +3,14 @@
 // For every benchmark present in both files it prints old/new ns/op and the
 // delta, then the geometric-mean delta over the common set, and exits
 // non-zero when any common benchmark got slower than the threshold (default
-// 5%).
+// 5%). When both reports carry allocated B/op (benchjson -benchmem), those
+// are diffed too under their own threshold (default 10%) — the memory gate
+// for the in-place partitioning paths.
 //
 // Examples:
 //
 //	benchdiff BENCH_PR4.json BENCH_PR5.json
-//	benchdiff -threshold 10 old.json new.json
+//	benchdiff -threshold 10 -bthreshold 20 old.json new.json
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 type Result struct {
 	Name        string             `json:"name"`
 	NsPerOp     float64            `json:"ns_op"`
+	BytesPerOp  *float64           `json:"b_op,omitempty"`
 	AllocsPerOp *float64           `json:"allocs_op,omitempty"`
 	Extra       map[string]float64 `json:"extra,omitempty"`
 }
@@ -36,8 +39,9 @@ type Report struct {
 
 func main() {
 	threshold := flag.Float64("threshold", 5, "max allowed ns/op regression in percent before failing")
+	bthreshold := flag.Float64("bthreshold", 10, "max allowed B/op regression in percent before failing (benchmarks reporting B/op in both files)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-bthreshold pct] old.json new.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -100,11 +104,55 @@ func main() {
 	}
 	geo := (math.Exp(logSum/float64(common)) - 1) * 100
 	fmt.Printf("\ngeomean delta over %d common benchmarks: %+.1f%%\n", common, geo)
+
+	if diffBytes(oldRep, newByName, *bthreshold) {
+		failed = true
+	}
+
 	if failed {
-		fmt.Printf("benchdiff: FAIL — at least one benchmark regressed more than %.1f%%\n", *threshold)
+		fmt.Printf("benchdiff: FAIL — at least one benchmark regressed more than the threshold\n")
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: OK")
+}
+
+// diffBytes prints the allocated-bytes table for benchmarks carrying B/op
+// in both reports and returns true when any grew past the threshold. A
+// report recorded without -benchmem simply contributes no rows.
+func diffBytes(oldRep *Report, newByName map[string]Result, threshold float64) bool {
+	var logSum float64
+	common := 0
+	failed := false
+	header := false
+	for _, o := range oldRep.Results {
+		n, ok := newByName[o.Name]
+		if !ok || o.BytesPerOp == nil || n.BytesPerOp == nil {
+			continue
+		}
+		ob, nb := *o.BytesPerOp, *n.BytesPerOp
+		if ob <= 0 {
+			continue
+		}
+		if !header {
+			fmt.Printf("\n%-44s %14s %14s %8s\n", "benchmark", "old B/op", "new B/op", "delta")
+			header = true
+		}
+		ratio := nb / ob
+		delta := (ratio - 1) * 100
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %+7.1f%%%s\n", o.Name, ob, nb, delta, mark)
+		logSum += math.Log(ratio)
+		common++
+	}
+	if common > 0 {
+		geo := (math.Exp(logSum/float64(common)) - 1) * 100
+		fmt.Printf("\ngeomean B/op delta over %d common benchmarks: %+.1f%%\n", common, geo)
+	}
+	return failed
 }
 
 // load reads and decodes one benchjson report.

@@ -42,10 +42,14 @@ var matrix = []cell{
 	{"lsb", fault.SiteShuffleStart, 2, 0},
 	{"msb", fault.SiteMSBRecurse, 1, 0},
 	{"msb", fault.SiteWorkerStart, 1, 0},
-	{"msb", fault.SiteBlockRefill, 1, 0},
-	{"msb", fault.SiteShuffleStart, 1, 0},
+	{"msb", fault.SiteBlockPermute, 1, 0},
+	{"msb", fault.SiteBlockCleanup, 1, 0},
+	{"msb", fault.SiteBlockRefill, 2, 0},
+	{"msb", fault.SiteShuffleStart, 2, 0},
 	{"cmp", fault.SiteCMPPass, 1, 1 << 12},
 	{"cmp", fault.SiteWorkerStart, 1, 1 << 12},
+	{"cmp", fault.SiteBlockPermute, 1, 1 << 12},
+	{"cmp", fault.SiteBlockCleanup, 1, 1 << 12},
 	{"cmp", fault.SiteShuffleStart, 2, 1 << 12},
 }
 

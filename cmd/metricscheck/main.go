@@ -103,6 +103,7 @@ func main() {
 	for _, want := range []string{
 		"partsort_events_total",
 		"partsort_workspace_hit_ratio",
+		"partsort_aux_bytes",
 		"partsort_phase_duration_seconds",
 		"partsort_pass_duration_seconds",
 		"partsort_sort_duration_seconds",

@@ -156,6 +156,7 @@ type jsonResult struct {
 	MTuplesPerS  float64              `json:"mtuples_per_s"`
 	Passes       int                  `json:"passes"`
 	RemoteBytes  uint64               `json:"remote_bytes"`
+	PeakAuxBytes uint64               `json:"peak_aux_bytes"`
 	RegionBounds []int                `json:"region_bounds,omitempty"`
 	PhaseNs      map[string]int64     `json:"phase_ns"`
 	Counters     partsort.ObsCounters `json:"counters"`
@@ -227,7 +228,12 @@ func run[K kv.Key](c cfg) {
 		baseV = append([]K(nil), vals...)
 	}
 	var st partsort.SortStats
-	opt := &partsort.SortOptions{Threads: c.threads, Regions: c.regions, Stats: &st}
+	// A workspace routes every internal scratch array through the metered
+	// arena, so st.PeakAuxBytes reports the run's true auxiliary footprint
+	// (and repeat runs reuse buffers instead of reallocating).
+	wsp := partsort.NewWorkspace()
+	defer wsp.Close()
+	opt := &partsort.SortOptions{Threads: c.threads, Regions: c.regions, Stats: &st, Workspace: wsp}
 	start := time.Now()
 	for r := 0; r < max(c.repeat, 1); r++ {
 		if r > 0 {
@@ -289,6 +295,7 @@ func run[K kv.Key](c cfg) {
 			MTuplesPerS:  rate,
 			Passes:       st.Passes,
 			RemoteBytes:  st.RemoteBytes,
+			PeakAuxBytes: st.PeakAuxBytes,
 			RegionBounds: st.RegionBounds,
 			PhaseNs: map[string]int64{
 				"alloc":     st.Alloc.Nanoseconds(),
@@ -316,8 +323,8 @@ func run[K kv.Key](c cfg) {
 		fmt.Printf("%s sorted %d %d-bit tuples in %.2f ms (%.1f Mtuples/s)\n",
 			c.algo, len(keys), kv.Width[K](), float64(elapsed.Microseconds())/1000, rate)
 		if c.stats {
-			fmt.Printf("  histogram %v  partition %v  shuffle %v  local %v  cache %v  (%d passes)\n",
-				st.Histogram, st.Partition, st.Shuffle, st.LocalRadix, st.CacheSort, st.Passes)
+			fmt.Printf("  histogram %v  partition %v  shuffle %v  local %v  cache %v  (%d passes, peak aux %d B)\n",
+				st.Histogram, st.Partition, st.Shuffle, st.LocalRadix, st.CacheSort, st.Passes, st.PeakAuxBytes)
 			cs := st.Counters
 			fmt.Printf("  counters: tuples %d  flushes %d  swap-cycles %d  sync-claims %d  parks %d  remote %d B  samples %d  comb-leaves %d\n",
 				cs.TuplesPartitioned, cs.BufferFlushes, cs.SwapCycles, cs.SyncClaims,

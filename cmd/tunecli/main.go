@@ -33,6 +33,7 @@ func main() {
 	planHead := flag.Float64("plan-headmass", 0, "head mass in [0,1] for -plan-n (>= 0.4 means heavy skew)")
 	planStable := flag.Bool("plan-stable", false, "require a stable sort for -plan-n")
 	planTight := flag.Bool("plan-tight", false, "forbid the linear auxiliary array for -plan-n")
+	planMaxBytes := flag.Int64("plan-maxbytes", 0, "auxiliary-memory budget in bytes for -plan-n (0: half of available memory)")
 	flag.Parse()
 
 	var p *tune.MachineProfile
@@ -71,6 +72,7 @@ func main() {
 			KeyBits:    *planKeyBits,
 			NeedStable: *planStable,
 			SpaceTight: *planTight,
+			MaxBytes:   *planMaxBytes,
 		})
 		emit("plan", plan)
 	}

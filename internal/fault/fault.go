@@ -9,8 +9,11 @@
 // pointer load and a nil check — no build tags, so the injection sites are
 // compiled into production binaries but cost nothing until a test arms
 // them. Sites sit only where every enclosing layer can restore its
-// invariants; adding one inside an unrestorable window (the in-place block
-// shuffle, a comb-sort leaf) would make the permutation guarantee a lie.
+// invariants; adding one inside an unrestorable window (the legacy
+// synchronized tuple shuffle, a comb-sort leaf) would make the permutation
+// guarantee a lie. The block-permutation kernel's permute loop is restorable
+// — workers park their in-flight hand blocks on unwind, so SiteBlockPermute
+// and SiteBlockCleanup sit inside it.
 package fault
 
 import "sync/atomic"
@@ -42,6 +45,14 @@ const (
 	// cross-region shuffle, the last point where the pre-shuffle layout is
 	// trivially restorable.
 	SiteShuffleStart Site = "shuffle/start"
+	// SiteBlockPermute fires inside the in-place block-permutation kernel's
+	// cooperative permute loop, between block claims — with the worker's
+	// hand block in flight, exercising the park-on-unwind restore.
+	SiteBlockPermute Site = "blocks/permute"
+	// SiteBlockCleanup fires at the start of the block-permutation cleanup
+	// phase, after the permute loop has placed every full block but before
+	// partial buffer blocks are written into the gaps.
+	SiteBlockCleanup Site = "blocks/cleanup"
 )
 
 // Sites returns the full catalogue of injection sites.
@@ -53,6 +64,8 @@ func Sites() []Site {
 		SiteWorkerStart,
 		SiteBlockRefill,
 		SiteShuffleStart,
+		SiteBlockPermute,
+		SiteBlockCleanup,
 	}
 }
 

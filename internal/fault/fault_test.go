@@ -88,6 +88,7 @@ func TestSitesCatalogueComplete(t *testing.T) {
 	want := map[Site]bool{
 		SiteLSBPass: true, SiteMSBRecurse: true, SiteCMPPass: true,
 		SiteWorkerStart: true, SiteBlockRefill: true, SiteShuffleStart: true,
+		SiteBlockPermute: true, SiteBlockCleanup: true,
 	}
 	got := Sites()
 	if len(got) != len(want) {

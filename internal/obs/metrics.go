@@ -379,6 +379,27 @@ func (s *series) value() float64 {
 	return 0
 }
 
+// auxBytes is the process-wide count of workspace scratch bytes currently
+// checked out (every ws arena mirrors its acquisitions here), behind the
+// partsort_aux_bytes gauge. Process-wide rather than per-session so the
+// exposition reflects live memory pressure even between obs sessions.
+var auxBytes atomic.Int64
+
+// AddAuxBytes records delta bytes of workspace scratch checked out
+// (negative on release).
+func AddAuxBytes(delta int64) {
+	auxBytes.Add(delta)
+}
+
+// AuxBytesNow returns the workspace scratch bytes currently checked out
+// across the process, clamped at zero.
+func AuxBytesNow() int64 {
+	if n := auxBytes.Load(); n > 0 {
+		return n
+	}
+	return 0
+}
+
 // defaultRegistry is the process-wide registry behind ServeMetrics and
 // the public exposition helpers, built lazily with the §3.2 cost-factor
 // counter families pre-registered against the current obs session.
@@ -418,6 +439,11 @@ func DefaultRegistry() *Registry {
 					return 0
 				}
 				return float64(h) / float64(h+m)
+			})
+		r.GaugeFunc(metricPrefix+"aux_bytes",
+			"Workspace auxiliary scratch bytes currently checked out across the process.",
+			func() float64 {
+				return float64(AuxBytesNow())
 			})
 		defaultRegistry.r = r
 	})

@@ -20,8 +20,10 @@ import (
 // the cache-resident index and stored as partition codes — until segments
 // are cache-resident, then SIMD comb-sort with W-way lane merging. The
 // first pass is NUMA-aware: regions partition locally and one shuffle
-// moves each tuple across the interconnect at most once. Non-in-place:
-// tmpK/tmpV is the linear auxiliary space. Not stable.
+// moves each tuple across the interconnect at most once. tmpK/tmpV is the
+// linear auxiliary space; passing nil tmp arrays selects the in-place
+// variant — block-permutation first pass, pooled per-partition recursion
+// scratch — which ignores the NUMA topology. Not stable.
 //
 // Unlike the radix sorts, CMP's splitters adapt to any distribution:
 // sampled delimiters balance the work under skew, and keys sampled twice
@@ -75,8 +77,6 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 		return
 	}
 
-	codes := w.Int32s(n)
-	defer w.PutInt32s(codes)
 	c := opt.regions()
 	t := opt.Threads
 
@@ -90,6 +90,33 @@ func cmpRun[K kv.Key](keys, vals, tmpK, tmpV []K, opt Options) {
 	})
 	fanout := len(ref.Delims) + 1
 	fn := treeBatchFunc[K]{tree, fanout}
+
+	if tmpK == nil {
+		// In-place: the first pass fans out through the block-permutation
+		// kernel (O(threads × fanout × B) scratch instead of the linear tmp
+		// arrays plus a codes column), and the recursion draws per-partition
+		// scratch from the workspace pool, bounded by the largest top-level
+		// partition per worker. The NUMA-aware layout needs tmp (the
+		// cross-region shuffle routes through it), so a nil-tmp request runs
+		// obliviously regardless of the topology.
+		ctl.CheckpointNow()
+		fault.Inject(fault.SiteCMPPass)
+		pass0 := obs.BeginPassIn("cmp", 0, -1)
+		starts := w.Ints(fanout + 1)
+		timed(st, "cmp", phPartition, func() {
+			part.BlockPermutePartitionCtl(w, keys, vals, fn, cmpBlockTuples(n, fanout, t), t, starts, ctl)
+		})
+		pass0.EndN(int64(n))
+		cmpRecurseAll[K](keys, vals, nil, nil, starts, ref.SingleKey, true, opt, ct)
+		w.PutInts(starts)
+		if st != nil {
+			st.Passes++
+		}
+		return
+	}
+
+	codes := w.Int32s(n)
+	defer w.PutInt32s(codes)
 
 	var outBounds []int // per-region segment bounds after the shuffle
 	var starts []int    // global per-partition start offsets
@@ -290,7 +317,21 @@ func (r *cmpWorker[K]) RunTask(wi int) {
 			}
 			continue
 		}
-		cmpRecurse(r.xK[lo:hi], r.xV[lo:hi], r.yK[lo:hi], r.yV[lo:hi], r.wantInX, cs, r.opt, r.ct, &r.passNs, &r.leafNs)
+		if r.yK == nil {
+			// In-place mode: draw the ping-pong scratch for this partition
+			// from the workspace pool — peak O(threads × max partition)
+			// instead of a linear tmp array. On unwind the buffers leak to
+			// the collector (never back to the pool half-filled); the
+			// segment itself is repaired by cmpRecurse's own handler, since
+			// its destination is x.
+			sk := ws.Keys[K](w, hi-lo)
+			sv := ws.Keys[K](w, hi-lo)
+			cmpRecurse(r.xK[lo:hi], r.xV[lo:hi], sk, sv, true, cs, r.opt, r.ct, &r.passNs, &r.leafNs)
+			ws.PutKeys(w, sk)
+			ws.PutKeys(w, sv)
+		} else {
+			cmpRecurse(r.xK[lo:hi], r.xV[lo:hi], r.yK[lo:hi], r.yV[lo:hi], r.wantInX, cs, r.opt, r.ct, &r.passNs, &r.leafNs)
+		}
 		done += int64(hi - lo)
 	}
 	putCombSorter(w, cs)
@@ -440,6 +481,19 @@ func cmpRecurse[K kv.Key](xK, xV, yK, yV []K, wantInX bool, cs *CombSorter[K], o
 		safeLo, subLo, subHi = lo, lo, lo
 	}
 	w.PutInts(hist)
+}
+
+// cmpBlockTuples sizes the block-permutation pass's block for CMP's wide
+// fanout: the classify buffers hold workers × fanout × b tuples, so b
+// shrinks (in powers of two, floored at 16) until they fit in a quarter
+// of the input — otherwise a small sort's scratch would exceed the input
+// itself and the whole pass would degenerate into the cleanup path.
+func cmpBlockTuples(n, fanout, workers int) int {
+	b := part.DefaultBlockTuples
+	for b > 16 && workers*fanout*b > n/4 {
+		b >>= 1
+	}
+	return b
 }
 
 // treeBatchFunc adapts a range tree to pfunc.Func and BatchLookuper with a

@@ -96,29 +96,48 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 		topBits = 1
 	}
 	var ref splitter.Refined[K]
-	var fn treeFunc[K]
+	var fn treeBatchFunc[K]
 	timed(st, "msb", phHistogram, func() {
 		sampled := splitter.ForThreads(keys, t, opt.Seed)
 		delims := splitter.Union(sampled, splitter.RadixBoundaries[K](topBits))
 		ref = splitter.RefineDuplicates(delims)
-		fn = treeFunc[K]{rangeidx.NewTreeFor(ref.Delims), len(ref.Delims) + 1}
+		fn = treeBatchFunc[K]{rangeidx.NewTreeFor(ref.Delims), len(ref.Delims) + 1}
 	})
 
-	// Step 2: range partition into blocks, in place, in parallel.
-	pass0 := obs.BeginPassIn("msb", 0, -1)
-	timed(st, "msb", phPartition, func() {
-		blocks = part.ToBlocksInPlaceParallelCtl(keys, vals, fn, msbBlockTuples[K](), t, ctl)
-	})
-	inBlocks = true
-	ctl.CheckpointNow()
-	fault.Inject(fault.SiteShuffleStart)
-	inBlocks = false
-
-	// Step 3: synchronized in-place block shuffle across regions.
+	// Steps 2+3: fan the keys out into per-range contiguous segments. The
+	// default path is the in-place block-permutation kernel
+	// (part.BlockPermutePartitionCtl): O(threads × fanout × B) scratch
+	// instead of list-of-blocks auxiliary memory plus a copy-back, which
+	// halves peak memory on large sorts. The NUMA-aware path keeps the
+	// legacy block lists + synchronized cross-region shuffle, whose block
+	// store placement and RegionOfTuple metering the permutation kernel
+	// does not model.
 	var starts []int
-	timed(st, "msb", phShuffle, func() {
-		shOpt := part.ShuffleOptions{Workers: t}
-		if opt.Topo != nil && !opt.Oblivious {
+	inPlaceFanOut := opt.Topo == nil || opt.Oblivious
+	if inPlaceFanOut {
+		pass0 := obs.BeginPassIn("msb", 0, -1)
+		starts = opt.Workspace.Ints(fn.Fanout() + 1)
+		timed(st, "msb", phPartition, func() {
+			part.BlockPermutePartitionCtl(opt.Workspace, keys, vals, fn, msbBlockTuples[K](), t, starts, ctl)
+		})
+		pass0.EndN(int64(n))
+		if st != nil {
+			st.Passes++
+		}
+	} else {
+		// Step 2: range partition into blocks, in place, in parallel.
+		pass0 := obs.BeginPassIn("msb", 0, -1)
+		timed(st, "msb", phPartition, func() {
+			blocks = part.ToBlocksInPlaceParallelCtl(keys, vals, fn, msbBlockTuples[K](), t, ctl)
+		})
+		inBlocks = true
+		ctl.CheckpointNow()
+		fault.Inject(fault.SiteShuffleStart)
+		inBlocks = false
+
+		// Step 3: synchronized in-place block shuffle across regions.
+		timed(st, "msb", phShuffle, func() {
+			shOpt := part.ShuffleOptions{Workers: t}
 			bounds := equalBounds(n, opt.regions())
 			shOpt.Topo = opt.Topo
 			shOpt.RegionOfTuple = func(i int) numa.Region {
@@ -129,16 +148,12 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 				}
 				return numa.Region(len(bounds) - 2)
 			}
-		}
-		starts = part.ShuffleBlocksInPlace(blocks, shOpt)
-	})
-	pass0.EndN(int64(n))
-	if opt.Topo != nil {
+			starts = part.ShuffleBlocksInPlace(blocks, shOpt)
+		})
+		pass0.EndN(int64(n))
 		addRemoteBytes(opt.Topo.RemoteBytes())
-	}
-	if st != nil {
-		st.Passes++
-		if opt.Topo != nil {
+		if st != nil {
+			st.Passes++
 			st.RemoteBytes = opt.Topo.RemoteBytes()
 		}
 	}
@@ -161,6 +176,9 @@ func msbRun[K kv.Key](keys, vals []K, opt Options) {
 		r.ctl = nil
 		ws.PutScratch(w, ws.SlotMsbWork, r)
 	})
+	if inPlaceFanOut {
+		opt.Workspace.PutInts(starts)
+	}
 }
 
 // msbWorker is the worker-pool driver of MSB's shared-nothing recursion:

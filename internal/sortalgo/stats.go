@@ -23,6 +23,15 @@ type Stats struct {
 	Passes      int
 	RemoteBytes uint64
 
+	// PeakAuxBytes is the high-water mark of auxiliary scratch bytes the
+	// run's workspace had checked out — linear tmp arrays taken through
+	// the arena, partition-code columns, classify buffers, histograms —
+	// the memory-footprint witness for the in-place paths. Zero when no
+	// workspace was supplied (unpooled allocations are not metered).
+	// Concurrent sorts sharing one workspace fold each other's scratch
+	// into their peaks; attribute with care.
+	PeakAuxBytes uint64
+
 	// WorkspaceHits / WorkspaceMisses count pooled-buffer acquisitions the
 	// run's workspace served from its free lists (hits) versus fell through
 	// to the allocator (misses). Both zero when no workspace was supplied; a
@@ -185,10 +194,14 @@ func instrumentWS(st *Stats, w *ws.Workspace, algo string, fn func()) {
 		return
 	}
 	h0, m0 := w.Counters()
+	w.ResetPeakAux()
 	instrument(st, algo, fn)
 	h1, m1 := w.Counters()
 	st.WorkspaceHits += h1 - h0
 	st.WorkspaceMisses += m1 - m0
+	if p := w.PeakAuxBytes(); p > st.PeakAuxBytes {
+		st.PeakAuxBytes = p
+	}
 }
 
 // primePool grows the workspace's worker pool to the run's full width up

@@ -1,0 +1,74 @@
+// The default auxiliary-memory budget: planning and dispatch prefer the
+// in-place kernels once a sort's scratch footprint would cross half of
+// the memory actually available, instead of letting a large non-in-place
+// run push the machine into swap.
+
+package tune
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+var (
+	auxBudgetOnce sync.Once
+	auxBudgetVal  int64
+)
+
+// auxBudgetFallback is the budget when the platform exposes no memory
+// accounting (non-Linux, restricted /proc): 1 GiB, small enough to kick
+// large sorts onto the in-place paths rather than risk swapping.
+const auxBudgetFallback = 1 << 30
+
+// DefaultAuxBudget returns the auxiliary-memory budget used when no
+// explicit cap is requested: half of the machine's available memory
+// (MemAvailable from /proc/meminfo, falling back to MemTotal, then to a
+// fixed 1 GiB when neither is readable). Read once and cached for the
+// process lifetime.
+func DefaultAuxBudget() int64 {
+	auxBudgetOnce.Do(func() {
+		auxBudgetVal = readMemBudget("/proc/meminfo")
+	})
+	return auxBudgetVal
+}
+
+// readMemBudget parses a meminfo-format file into the half-of-available
+// budget; separated from the cache for tests.
+func readMemBudget(path string) int64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return auxBudgetFallback
+	}
+	var avail, total int64
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.HasPrefix(line, "MemAvailable:"):
+			avail = meminfoKB(line)
+		case strings.HasPrefix(line, "MemTotal:"):
+			total = meminfoKB(line)
+		}
+	}
+	if avail <= 0 {
+		avail = total
+	}
+	if avail <= 0 {
+		return auxBudgetFallback
+	}
+	return avail * 1024 / 2
+}
+
+// meminfoKB extracts the kB figure from one meminfo line ("MemAvailable:
+// 123456 kB"); 0 on malformed input.
+func meminfoKB(line string) int64 {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return 0
+	}
+	v, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -38,6 +38,12 @@ type Requirements struct {
 	Force Algo
 	// MaxThreads caps the planned worker count (0: the profile's NumCPU).
 	MaxThreads int
+	// MaxBytes caps the auxiliary memory a plan may budget for scratch
+	// arrays (0: half of the machine's available memory, see
+	// DefaultAuxBudget). Plans whose non-in-place footprint exceeds the
+	// cap steer to the in-place variants: CMP flips Plan.InPlace, and the
+	// free algorithm choice prefers MSB over LSB.
+	MaxBytes int64
 }
 
 // Plan is one tuned sort configuration: the planner's output and the
@@ -59,6 +65,14 @@ type Plan struct {
 	// (8-bit passes, single worker) for the same algorithm — the margin
 	// the tuner predicts over the untuned path.
 	BaselineNs float64 `json:"baseline_ns"`
+	// InPlace records that the plan selects the in-place layout: always
+	// true for MSB, and true for CMP when the run is parallel or the
+	// legacy two-array footprint exceeds the memory budget (the dispatch
+	// then routes through the block-permutation kernel).
+	InPlace bool `json:"in_place"`
+	// AuxBytes is the modeled peak auxiliary footprint of the chosen
+	// layout in bytes.
+	AuxBytes int64 `json:"aux_bytes"`
 }
 
 // Static default knobs (the zero-value SortOptions behavior the baseline
@@ -99,6 +113,10 @@ func Choose(p *MachineProfile, w WorkloadStats, req Requirements) Plan {
 	if w.N < parallelMinN || threads < 1 {
 		threads = 1
 	}
+	budget := req.MaxBytes
+	if budget <= 0 {
+		budget = DefaultAuxBudget()
+	}
 
 	algo := req.Force
 	if algo == "" {
@@ -121,6 +139,10 @@ func Choose(p *MachineProfile, w WorkloadStats, req Requirements) Plan {
 			} else {
 				algo = AlgoMSB
 			}
+			if algo == AlgoLSB && auxBytes(AlgoLSB, w, kb, threads, false) > budget {
+				// LSB's linear tmp pair does not fit: MSB sorts in place.
+				algo = AlgoMSB
+			}
 		}
 	}
 
@@ -131,16 +153,55 @@ func Choose(p *MachineProfile, w WorkloadStats, req Requirements) Plan {
 		plan.PredictedNs, plan.Passes = cmpCost(p, w, kb, threads)
 		base, _ := cmpCost(p, w, kb, 1)
 		plan.BaselineNs = base
+		legacy := auxBytes(AlgoCMP, w, kb, threads, false)
+		plan.InPlace = threads > 1 || legacy > budget
+		if plan.InPlace {
+			// The in-place first pass prices like MSB's buffered swaps:
+			// ~25% over the non-in-place scatter it replaces.
+			plan.PredictedNs += 0.25 * plan.PredictedNs / float64(max(plan.Passes, 1))
+			plan.AuxBytes = auxBytes(AlgoCMP, w, kb, threads, true)
+		} else {
+			plan.AuxBytes = legacy
+		}
 	case AlgoMSB:
 		plan.RadixBits, plan.Passes, plan.PredictedNs = pickBits(p, w, kb, threads, msbCost)
 		base, _ := msbCost(p, w, kb, defaultRadixBits, 1)
 		plan.BaselineNs = base
+		plan.InPlace = true
+		plan.AuxBytes = auxBytes(AlgoMSB, w, kb, threads, true)
 	default:
 		plan.RadixBits, plan.Passes, plan.PredictedNs = pickBits(p, w, kb, threads, lsbCost)
 		base, _ := lsbCost(p, w, kb, defaultRadixBits, 1)
 		plan.BaselineNs = base
+		plan.AuxBytes = auxBytes(AlgoLSB, w, kb, threads, false)
 	}
 	return plan
+}
+
+// auxBytes models the peak auxiliary footprint of one algorithm/layout in
+// bytes: the linear tmp pair (plus CMP's codes column) for the
+// non-in-place layouts, the block-permutation buffers plus pooled
+// recursion scratch for the in-place ones.
+func auxBytes(algo Algo, w WorkloadStats, keyBits, threads int, inPlace bool) int64 {
+	tuple := int64(2 * keyBits / 8) // one key + one payload of key width
+	n := int64(w.N)
+	t := int64(threads)
+	switch algo {
+	case AlgoCMP:
+		if inPlace {
+			// Classify buffers of the block-permutation kernel plus one
+			// in-flight per-partition ping-pong scratch per worker.
+			blocks := t * defaultRangeFanout * 1024 * tuple
+			rec := t * (n/defaultRangeFanout + 1) * tuple
+			return blocks + rec
+		}
+		return n*tuple + 4*n // tmp pair + int32 codes column
+	case AlgoMSB:
+		// Block-permutation fan-out over ~2T ranges; recursion is in place.
+		return t * (2*t + 2) * 1024 * tuple
+	default: // LSB
+		return n * tuple // tmp pair
+	}
 }
 
 // costFn models one algorithm's wall-clock in ns at a given radix width.

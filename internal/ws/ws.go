@@ -96,6 +96,13 @@ type Workspace struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 
+	// auxInUse tracks the bytes of arena scratch currently checked out;
+	// auxPeak is its high-water mark since the last ResetPeakAux. Together
+	// they put a measured number on a sort's auxiliary-memory footprint
+	// (SortStats.PeakAuxBytes).
+	auxInUse atomic.Int64
+	auxPeak  atomic.Int64
+
 	poolMu sync.Mutex
 	pool   *Pool
 }
@@ -166,6 +173,58 @@ func (w *Workspace) miss() {
 	}
 }
 
+// auxAcquire records bytes of scratch checked out of the arena, advancing
+// the high-water mark and mirroring the process-wide obs gauge.
+func (w *Workspace) auxAcquire(bytes int) {
+	obs.AddAuxBytes(int64(bytes))
+	n := w.auxInUse.Add(int64(bytes))
+	for {
+		p := w.auxPeak.Load()
+		if n <= p || w.auxPeak.CompareAndSwap(p, n) {
+			return
+		}
+	}
+}
+
+// auxRelease records bytes of scratch returned (or abandoned to the GC).
+func (w *Workspace) auxRelease(bytes int) {
+	obs.AddAuxBytes(-int64(bytes))
+	w.auxInUse.Add(-int64(bytes))
+}
+
+// AuxBytes returns the bytes of arena scratch currently checked out. Zero
+// on a nil workspace.
+func (w *Workspace) AuxBytes() uint64 {
+	if w == nil {
+		return 0
+	}
+	if n := w.auxInUse.Load(); n > 0 {
+		return uint64(n)
+	}
+	return 0
+}
+
+// PeakAuxBytes returns the high-water mark of checked-out scratch bytes
+// since the last ResetPeakAux. Zero on a nil workspace.
+func (w *Workspace) PeakAuxBytes() uint64 {
+	if w == nil {
+		return 0
+	}
+	if n := w.auxPeak.Load(); n > 0 {
+		return uint64(n)
+	}
+	return 0
+}
+
+// ResetPeakAux resets the high-water mark to the current checkout level, so
+// a caller can measure one run's peak in isolation.
+func (w *Workspace) ResetPeakAux() {
+	if w == nil {
+		return
+	}
+	w.auxPeak.Store(w.auxInUse.Load())
+}
+
 // getU32 pops (or allocates) a 32-bit block of capacity >= n, length n.
 func (w *Workspace) getU32(n int) []uint32 {
 	c := classFor(n)
@@ -176,17 +235,21 @@ func (w *Workspace) getU32(n int) []uint32 {
 			w.u32[c] = l[:len(l)-1]
 			w.mu.Unlock()
 			w.hit()
+			w.auxAcquire(4 * cap(b))
 			return b[:n]
 		}
 		w.mu.Unlock()
 		w.miss()
+		w.auxAcquire(4 * classSize(c))
 		return make([]uint32, n, classSize(c))
 	}
 	w.miss()
+	w.auxAcquire(4 * n)
 	return make([]uint32, n)
 }
 
 func (w *Workspace) putU32(s []uint32) {
+	w.auxRelease(4 * cap(s))
 	c := classFor(cap(s))
 	if c < 0 || classSize(c) != cap(s) {
 		return // oversize or foreign buffer: let the GC have it
@@ -205,17 +268,21 @@ func (w *Workspace) getU64(n int) []uint64 {
 			w.u64[c] = l[:len(l)-1]
 			w.mu.Unlock()
 			w.hit()
+			w.auxAcquire(8 * cap(b))
 			return b[:n]
 		}
 		w.mu.Unlock()
 		w.miss()
+		w.auxAcquire(8 * classSize(c))
 		return make([]uint64, n, classSize(c))
 	}
 	w.miss()
+	w.auxAcquire(8 * n)
 	return make([]uint64, n)
 }
 
 func (w *Workspace) putU64(s []uint64) {
+	w.auxRelease(8 * cap(s))
 	c := classFor(cap(s))
 	if c < 0 || classSize(c) != cap(s) {
 		return
@@ -243,16 +310,22 @@ func (w *Workspace) Ints(n int) []int {
 				w.ints[cc] = l[:len(l)-1]
 				w.mu.Unlock()
 				w.hit()
+				w.auxAcquire(intSize * cap(b))
 				return b[:n]
 			}
 		}
 		w.mu.Unlock()
 		w.miss()
+		w.auxAcquire(intSize * classSize(c))
 		return make([]int, n, classSize(c))
 	}
 	w.miss()
+	w.auxAcquire(intSize * n)
 	return make([]int, n)
 }
+
+// intSize is the byte width of int on this platform, for aux accounting.
+const intSize = int(unsafe.Sizeof(int(0)))
 
 // PutInts returns a buffer obtained from Ints to the arena. No-op on a nil
 // workspace or a nil slice.
@@ -260,6 +333,7 @@ func (w *Workspace) PutInts(s []int) {
 	if w == nil || cap(s) == 0 {
 		return
 	}
+	w.auxRelease(intSize * cap(s))
 	c := classFor(cap(s))
 	if c < 0 || classSize(c) != cap(s) {
 		return
@@ -361,6 +435,9 @@ func (w *Workspace) Matrix(rows, cols int) [][]int {
 	for i := range m {
 		if cap(m[i]) >= cols {
 			m[i] = m[i][:cols]
+			if w != nil {
+				w.auxAcquire(intSize * cap(m[i]))
+			}
 		} else {
 			m[i] = w.Ints(cols)
 		}
@@ -375,6 +452,11 @@ func (w *Workspace) PutMatrix(m [][]int) {
 	if w == nil || m == nil {
 		return
 	}
+	total := 0
+	for _, row := range m {
+		total += cap(row)
+	}
+	w.auxRelease(intSize * total)
 	w.mu.Lock()
 	w.mats = append(w.mats, m)
 	w.mu.Unlock()
@@ -395,6 +477,7 @@ const (
 	SlotMsbWork
 	SlotCombSorter
 	SlotCtl
+	SlotBlockPerm
 	numSlots
 )
 

@@ -38,6 +38,16 @@ type SortOptions struct {
 	// auxiliary arrays, and a persistent worker pool so repeated sorts make
 	// zero steady-state heap allocations. See NewWorkspace.
 	Workspace *Workspace
+	// MaxAuxBytes caps the auxiliary memory a sort may take for scratch
+	// arrays (0: half of the machine's available memory). SortCMP and
+	// TrySortCmp switch to the in-place block-permutation layout — no
+	// linear tmp arrays, no codes column — when the legacy footprint
+	// would exceed the cap (parallel runs use it regardless, unless the
+	// NUMA-aware layout is engaged), and the AutoTune planner budgets
+	// its algorithm choice against the same cap. Scratch the caller
+	// provides (SortCMPWithScratch, SortLSBWithScratch) is never
+	// counted. Negative is invalid.
+	MaxAuxBytes int64
 	// AutoTune engages the machine-calibrated adaptive planner: the sort
 	// samples the key column, prices candidate configurations with the
 	// machine profile (Profile, or the process-wide one — see Calibrate),
@@ -124,15 +134,53 @@ func SortMSB[K Key](keys, vals []K, opt *SortOptions) {
 // SortCMP sorts (keys, vals) by key with the range-partitioning comparison
 // sort (Section 4.3): sampled splitters give perfect load balance and skew
 // immunity regardless of the key distribution; heavily repeated keys get
-// single-key partitions that skip sorting entirely. Uses one linear
-// auxiliary array allocated internally. Not stable.
+// single-key partitions that skip sorting entirely. Parallel runs (and any
+// run whose linear scratch would exceed MaxAuxBytes) use the in-place
+// block-permutation layout; otherwise one linear auxiliary array pair is
+// allocated internally. Not stable.
 func SortCMP[K Key](keys, vals []K, opt *SortOptions) {
 	mustValid(validatePairs("SortCMP", "keys", "vals", keys, vals))
 	mustValid(validateOptions("SortCMP", opt))
-	tmpK, tmpV, w := scratchPair[K](opt, len(keys))
-	SortCMPWithScratch(keys, vals, tmpK, tmpV, opt)
+	eff, plan := autotune(keys, opt, tune.AlgoCMP, false, false)
+	io, _ := eff.toInternal()
+	if cmpInPlace[K](eff, plan, len(keys)) {
+		sortalgo.CMP[K](keys, vals, nil, nil, io)
+		return
+	}
+	tmpK, tmpV, w := scratchPair[K](eff, len(keys))
+	sortalgo.CMP(keys, vals, tmpK, tmpV, io)
 	ws.PutKeys(w, tmpK)
 	ws.PutKeys(w, tmpV)
+}
+
+// cmpInPlace decides SortCMP's layout: the in-place block-permutation
+// path whenever the NUMA-aware first pass (which must route through tmp)
+// is not engaged AND any of — the planner asked for it, the run is
+// parallel (the permutation kernel beats scatter+copy-back there and
+// halves peak memory), or the legacy footprint (tmp pair + codes column)
+// would exceed the auxiliary-memory budget.
+func cmpInPlace[K Key](opt *SortOptions, plan *SortPlan, n int) bool {
+	if opt != nil && opt.Regions > 1 && !opt.Oblivious {
+		return false
+	}
+	if plan != nil && plan.InPlace {
+		return true
+	}
+	var budget int64
+	threads := 1
+	if opt != nil {
+		threads = opt.Threads
+		budget = opt.MaxAuxBytes
+	}
+	if threads > 1 {
+		return true
+	}
+	if budget <= 0 {
+		budget = tune.DefaultAuxBudget()
+	}
+	width := int64(kv.Width[K]())
+	legacy := int64(n) * (2*width/8 + 4)
+	return legacy > budget
 }
 
 // SortCMPWithScratch is SortCMP with caller-provided auxiliary arrays.

@@ -69,6 +69,10 @@ func validateOptions(fn string, opt *SortOptions) *ArgError {
 		return &ArgError{Func: fn, Field: "CacheTuples",
 			Reason: fmt.Sprintf("%d; must be non-negative (0 selects the default)", opt.CacheTuples)}
 	}
+	if opt.MaxAuxBytes < 0 {
+		return &ArgError{Func: fn, Field: "MaxAuxBytes",
+			Reason: fmt.Sprintf("%d; must be non-negative (0 selects the default budget)", opt.MaxAuxBytes)}
+	}
 	if opt.Profile != nil {
 		if err := opt.Profile.Validate(); err != nil {
 			return &ArgError{Func: fn, Field: "Profile", Reason: err.Error()}
@@ -255,14 +259,18 @@ func TrySortCmpCtx[K Key](ctx context.Context, keys, vals []K, opt *SortOptions)
 		return err
 	}
 	return tryRun(op, ctx, optWorkspace(opt), func(ctl *hard.Ctl) {
-		tmpK, tmpV, iw := scratchPair[K](opt, len(keys))
+		eff, plan := autotune(keys, opt, tune.AlgoCMP, false, false)
+		io, _ := eff.toInternal()
+		io.Ctl = ctl
+		if cmpInPlace[K](eff, plan, len(keys)) {
+			sortalgo.CMP[K](keys, vals, nil, nil, io)
+			return
+		}
+		tmpK, tmpV, iw := scratchPair[K](eff, len(keys))
 		defer func() {
 			ws.PutKeys(iw, tmpK)
 			ws.PutKeys(iw, tmpV)
 		}()
-		opt, _ := autotune(keys, opt, tune.AlgoCMP, false, false)
-		io, _ := opt.toInternal()
-		io.Ctl = ctl
 		sortalgo.CMP(keys, vals, tmpK, tmpV, io)
 	})
 }

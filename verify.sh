@@ -27,7 +27,7 @@ rm -f "$benchout"
 # BENCH_PR<n>.json; benchdiff fails if any benchmark in the newer file is
 # >5% slower than the older. To check the working tree against the recorded
 # baseline, record a fresh file and diff it the same way.
-go run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json
+go run ./cmd/benchdiff BENCH_PR6.json BENCH_PR7.json
 
 # Observability smoke: spans + counters must produce a valid Chrome trace
 # whose LSB counters reconcile (tuples_partitioned == passes * n), with at
@@ -60,6 +60,6 @@ go run ./cmd/faultcheck
 # — TestAutoTuneMatchesStatic, BenchmarkAutoTune — run in the suite above
 # and in BENCH_PR4.json respectively).
 go run ./cmd/tunecli -quick -out "$obsdir/profile.json" -plan-n 1000000 > /dev/null
-go run ./cmd/tunecli -load "$obsdir/profile.json" > /dev/null
+go run ./cmd/tunecli -load "$obsdir/profile.json" -plan-maxbytes 1048576 > /dev/null
 
 echo "verify: OK"
