@@ -7,6 +7,7 @@
 //
 //	benchjson                                   # the PR 2 kernels -> BENCH_PR2.json
 //	benchjson -bench 'Fig10' -out fig10.json    # any benchmark family
+//	benchjson -count 6 -agg min -out b.json     # noise-robust: fastest of 6
 //	go test -bench X -benchmem | benchjson -stdin -out x.json
 package main
 
@@ -56,6 +57,7 @@ func main() {
 		pkg   = flag.String("pkg", ".", "package to benchmark")
 		out   = flag.String("out", "BENCH_PR2.json", "output file (- for stdout)")
 		stdin = flag.Bool("stdin", false, "parse go test output from stdin instead of running go test")
+		agg   = flag.String("agg", "mean", "how to merge -count repeats: mean, or min (fastest repeat; robust to scheduler noise when recording baselines)")
 		mAddr = flag.String("metrics-addr", "", "serve live telemetry for the benchjson driver process on this address while the benchmarks run (Prometheus /metrics, expvar /debug/vars, pprof /debug/pprof/)")
 	)
 	flag.Parse()
@@ -103,7 +105,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
 		os.Exit(1)
 	}
-	rep.Results = merge(results)
+	switch *agg {
+	case "mean":
+		rep.Results = merge(results)
+	case "min":
+		rep.Results = mergeMin(results)
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -agg %q (want mean or min)\n", *agg)
+		os.Exit(1)
+	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -176,6 +186,29 @@ func trimProcSuffix(name string) string {
 		}
 	}
 	return name
+}
+
+// mergeMin keeps, for each benchmark, the repeat with the lowest ns/op.
+// Timing noise on a shared machine is strictly additive — the scheduler
+// can only slow an iteration down — so the fastest of N repeats is the
+// best estimator of true cost when recording a regression baseline.
+func mergeMin(in []Result) []Result {
+	var order []string
+	byName := map[string]Result{}
+	for _, r := range in {
+		best, ok := byName[r.Name]
+		if !ok {
+			order = append(order, r.Name)
+		}
+		if !ok || r.NsPerOp < best.NsPerOp {
+			byName[r.Name] = r
+		}
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, byName[name])
+	}
+	return out
 }
 
 // merge averages repeated lines of the same benchmark (from -count > 1),

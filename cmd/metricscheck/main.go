@@ -110,6 +110,7 @@ func main() {
 		"partsort_goroutines",
 		"partsort_heap_alloc_bytes",
 		"partsort_gc_cycles_total",
+		"partsort_retry_attempts_total",
 	} {
 		if _, ok := fams[want]; !ok {
 			fail("scrape missing family " + want + "\n" + names(fams))
@@ -117,6 +118,11 @@ func main() {
 	}
 	if !strings.Contains(body, `partsort_events_total{event="tuples_partitioned"}`) {
 		fail("partsort_events_total lacks the tuples_partitioned series")
+	}
+	for _, outcome := range []string{"retry", "fallback", "degrade"} {
+		if !strings.Contains(body, `partsort_retry_attempts_total{outcome="`+outcome+`"}`) {
+			fail("partsort_retry_attempts_total lacks the " + outcome + " series")
+		}
 	}
 	if !strings.Contains(body, `partsort_phase_duration_seconds_count{algo="lsb"`) {
 		fail("phase histograms lack the algo label")

@@ -11,12 +11,19 @@
 //	sortcli -n 1000000 -algo lsb -stats -json          # machine-readable stats
 //	sortcli -n 1000000 -algo lsb -trace trace.json     # open in Perfetto
 //	sortcli -n 1000000 -algo lsb -gotrace go.trace     # go tool trace go.trace
+//	sortcli -n 1000000 -algo cmp -resilient -timeout 30s -max-aux 268435456
+//
+// Exit codes: 0 success; 1 I/O or usage problems; 2 invalid arguments
+// (*ArgError); 3 a contained worker panic (*InternalError, stack on
+// stderr); 4 cancellation or deadline expiry; 5 auxiliary-memory budget
+// exceeded (*ResourceError).
 package main
 
 import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +56,10 @@ type cfg struct {
 	dict    bool
 	verify  bool
 	repeat  int
+
+	resilient bool
+	timeout   time.Duration
+	maxAux    int64
 }
 
 // metricsSink, when non-nil, is the live histogram aggregator wrapped
@@ -74,6 +85,9 @@ func main() {
 	flag.BoolVar(&c.dict, "dict", false, "dictionary-compress keys before sorting (order-preserving), decode after — reduces LSB passes on sparse domains")
 	flag.BoolVar(&c.verify, "verify", false, "keep a copy of the input and verify the output multiset (and stability for lsb)")
 	flag.IntVar(&c.repeat, "repeat", 1, "sort the input this many times, restoring it between runs — keeps the process busy for live metric scrapes")
+	flag.BoolVar(&c.resilient, "resilient", false, "run under the retry/fallback supervisor: contained worker failures retry in place, then degrade to conservative and in-place plans")
+	flag.DurationVar(&c.timeout, "timeout", 0, "overall deadline for the sort (0 = none); expiry exits with code 4")
+	flag.Int64Var(&c.maxAux, "max-aux", 0, "auxiliary-memory budget in bytes (0 = half of available memory); exceeding it exits with code 5 (or degrades under -resilient)")
 	traceOut := flag.String("trace", "", "write a span trace to this file: .jsonl extension selects JSON-lines, anything else Chrome trace-event JSON (open in Perfetto)")
 	gotrace := flag.String("gotrace", "", "write a runtime/trace file for `go tool trace`")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address while sorting (e.g. 127.0.0.1:9090): Prometheus text on /metrics, expvar JSON on /debug/vars, pprof with algo/phase/worker profile labels on /debug/pprof/; SIGINT shuts the endpoint down gracefully")
@@ -233,25 +247,53 @@ func run[K kv.Key](c cfg) {
 	// (and repeat runs reuse buffers instead of reallocating).
 	wsp := partsort.NewWorkspace()
 	defer wsp.Close()
-	opt := &partsort.SortOptions{Threads: c.threads, Regions: c.regions, Stats: &st, Workspace: wsp}
+	opt := &partsort.SortOptions{Threads: c.threads, Regions: c.regions, Stats: &st, Workspace: wsp, MaxAuxBytes: c.maxAux}
+	var algo partsort.Algorithm
+	switch c.algo {
+	case "lsb":
+		algo = partsort.LSB
+	case "msb":
+		algo = partsort.MSB
+	case "cmp":
+		algo = partsort.CMP
+	default:
+		fatal("unknown algorithm " + c.algo)
+	}
+	ctx := context.Background()
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var rst partsort.RetryStats
 	start := time.Now()
 	for r := 0; r < max(c.repeat, 1); r++ {
 		if r > 0 {
 			copy(keys, baseK)
 			copy(vals, baseV)
 		}
-		switch c.algo {
-		case "lsb":
-			partsort.SortLSB(keys, vals, opt)
-		case "msb":
-			partsort.SortMSB(keys, vals, opt)
-		case "cmp":
-			partsort.SortCMP(keys, vals, opt)
-		default:
-			fatal("unknown algorithm " + c.algo)
+		var err error
+		if c.resilient {
+			err = partsort.SortResilientCtx(ctx, algo, keys, vals, opt, &partsort.RetryPolicy{Stats: &rst})
+		} else {
+			switch algo {
+			case partsort.LSB:
+				err = partsort.TrySortLSBCtx(ctx, keys, vals, opt)
+			case partsort.MSB:
+				err = partsort.TrySortMSBCtx(ctx, keys, vals, opt)
+			default:
+				err = partsort.TrySortCmpCtx(ctx, keys, vals, opt)
+			}
+		}
+		if err != nil {
+			exitErr(err)
 		}
 	}
 	elapsed := time.Since(start)
+	if c.resilient && c.stats && !c.jsonOut && rst.Attempts > 1 {
+		fmt.Printf("supervisor: %d attempts, final stage %d, degraded=%v, backoff %v\n",
+			rst.Attempts, rst.Stage, rst.Degraded, rst.Backoff)
+	}
 
 	if !partsort.IsSorted(keys) {
 		fatal("output not sorted (bug)")
@@ -386,6 +428,30 @@ func bitsFor(card int) int {
 		b++
 	}
 	return max(b, 1)
+}
+
+// exitErr maps a Try/supervisor error onto the documented exit codes,
+// printing the contained worker stack for *InternalError so the failure
+// site is diagnosable from the terminal.
+func exitErr(err error) {
+	fmt.Fprintln(os.Stderr, "sortcli:", err)
+	var ae *partsort.ArgError
+	var ie *partsort.InternalError
+	var re *partsort.ResourceError
+	switch {
+	case errors.As(err, &ae):
+		os.Exit(2)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		os.Exit(4)
+	case errors.As(err, &re):
+		os.Exit(5)
+	case errors.As(err, &ie):
+		if len(ie.Stack) > 0 {
+			fmt.Fprintf(os.Stderr, "contained worker stack:\n%s\n", ie.Stack)
+		}
+		os.Exit(3)
+	}
+	os.Exit(1)
 }
 
 func fatal(msg string) {

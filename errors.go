@@ -18,6 +18,27 @@ func (e *ArgError) Error() string {
 	return "partsort: " + e.Func + ": invalid " + e.Field + ": " + e.Reason
 }
 
+// ResourceError reports a sort that could not acquire auxiliary memory
+// within its budget: workspace scratch acquisition crossed
+// SortOptions.MaxAuxBytes (or the default budget of half the machine's
+// available memory). The run was contained like any worker failure — all
+// goroutines drained, the input restored to a permutation — but unlike an
+// *InternalError, retrying the same plan is pointless: the resilient
+// supervisor classifies it as a degradation trigger and steers the next
+// attempt onto the in-place paths (see RetryPolicy).
+type ResourceError struct {
+	Op     string // the Try operation whose acquisition failed
+	Need   int64  // bytes the failing acquisition asked for
+	InUse  int64  // auxiliary bytes already checked out when it failed
+	Budget int64  // the budget in force
+}
+
+// Error implements error, naming the operation and the budget arithmetic.
+func (e *ResourceError) Error() string {
+	return fmt.Sprintf("partsort: %s: aux memory budget exceeded: need %d B with %d B in use, budget %d B",
+		e.Op, e.Need, e.InUse, e.Budget)
+}
+
 // InternalError reports a worker panic that the hardened execution layer
 // contained: instead of crashing the process, the panic was recovered, its
 // sibling workers were cancelled and drained, the input arrays were

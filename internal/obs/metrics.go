@@ -445,6 +445,24 @@ func DefaultRegistry() *Registry {
 			func() float64 {
 				return float64(AuxBytesNow())
 			})
+		for _, o := range []struct {
+			outcome string
+			load    func(*Counters) uint64
+		}{
+			{"retry", func(c *Counters) uint64 { return c.RetryAttempts.Load() }},
+			{"fallback", func(c *Counters) uint64 { return c.RetryFallbacks.Load() }},
+			{"degrade", func(c *Counters) uint64 { return c.MemDegrades.Load() }},
+		} {
+			load := o.load
+			r.CounterFunc(metricPrefix+"retry_attempts_total",
+				"Resilient-supervisor outcomes of the current obs session: re-attempts, fallback-chain degradations, and memory-pressure degradations.",
+				func() uint64 {
+					if s := Cur(); s != nil {
+						return load(&s.Counters)
+					}
+					return 0
+				}, L("outcome", o.outcome))
+		}
 		defaultRegistry.r = r
 	})
 	return defaultRegistry.r

@@ -57,6 +57,16 @@ type Counters struct {
 	// allocator-pressure witness of the zero-allocation hot paths.
 	WorkspaceHits   atomic.Uint64
 	WorkspaceMisses atomic.Uint64
+	// RetryAttempts counts re-attempts made by the resilient supervisor
+	// (every attempt after a run's first); RetryFallbacks counts
+	// degradations along its fallback chain (tuned plan -> conservative
+	// sequential -> in-place single-threaded); MemDegrades counts
+	// resource-pressure degradations — attempts classified as over the
+	// auxiliary-memory budget that steered the run onto the in-place
+	// paths.
+	RetryAttempts  atomic.Uint64
+	RetryFallbacks atomic.Uint64
+	MemDegrades    atomic.Uint64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy (each field is
@@ -74,6 +84,9 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		CombSortLeaves:    c.CombSortLeaves.Load(),
 		WorkspaceHits:     c.WorkspaceHits.Load(),
 		WorkspaceMisses:   c.WorkspaceMisses.Load(),
+		RetryAttempts:     c.RetryAttempts.Load(),
+		RetryFallbacks:    c.RetryFallbacks.Load(),
+		MemDegrades:       c.MemDegrades.Load(),
 	}
 }
 
@@ -89,6 +102,9 @@ type CounterSnapshot struct {
 	CombSortLeaves    uint64 `json:"combsort_leaves"`
 	WorkspaceHits     uint64 `json:"workspace_hits"`
 	WorkspaceMisses   uint64 `json:"workspace_misses"`
+	RetryAttempts     uint64 `json:"retry_attempts"`
+	RetryFallbacks    uint64 `json:"retry_fallbacks"`
+	MemDegrades       uint64 `json:"mem_degrades"`
 }
 
 // counterFields enumerates every Counters field with its exposition name
@@ -110,6 +126,9 @@ var counterFields = []struct {
 	{"combsort_leaves", func(c *Counters) uint64 { return c.CombSortLeaves.Load() }},
 	{"workspace_hits", func(c *Counters) uint64 { return c.WorkspaceHits.Load() }},
 	{"workspace_misses", func(c *Counters) uint64 { return c.WorkspaceMisses.Load() }},
+	{"retry_attempts", func(c *Counters) uint64 { return c.RetryAttempts.Load() }},
+	{"retry_fallbacks", func(c *Counters) uint64 { return c.RetryFallbacks.Load() }},
+	{"mem_degrades", func(c *Counters) uint64 { return c.MemDegrades.Load() }},
 }
 
 // Sub returns s - o field by field (the delta of one run).
@@ -125,6 +144,9 @@ func (s CounterSnapshot) Sub(o CounterSnapshot) CounterSnapshot {
 		CombSortLeaves:    s.CombSortLeaves - o.CombSortLeaves,
 		WorkspaceHits:     s.WorkspaceHits - o.WorkspaceHits,
 		WorkspaceMisses:   s.WorkspaceMisses - o.WorkspaceMisses,
+		RetryAttempts:     s.RetryAttempts - o.RetryAttempts,
+		RetryFallbacks:    s.RetryFallbacks - o.RetryFallbacks,
+		MemDegrades:       s.MemDegrades - o.MemDegrades,
 	}
 }
 
@@ -146,6 +168,9 @@ func (s CounterSnapshot) Map() map[string]uint64 {
 		"combsort_leaves":    s.CombSortLeaves,
 		"workspace_hits":     s.WorkspaceHits,
 		"workspace_misses":   s.WorkspaceMisses,
+		"retry_attempts":     s.RetryAttempts,
+		"retry_fallbacks":    s.RetryFallbacks,
+		"mem_degrades":       s.MemDegrades,
 	}
 }
 

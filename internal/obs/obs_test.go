@@ -37,7 +37,7 @@ func TestSnapshotSubIsZero(t *testing.T) {
 		t.Fatal("self-subtraction not zero")
 	}
 	m := before.Map()
-	if len(m) != 10 || m["tuples_partitioned"] != 100 || m["combsort_leaves"] != 2 {
+	if len(m) != 13 || m["tuples_partitioned"] != 100 || m["combsort_leaves"] != 2 {
 		t.Fatalf("Map() = %v", m)
 	}
 }

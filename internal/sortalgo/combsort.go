@@ -97,23 +97,26 @@ func NewCombSorter[K kv.Key](capacity int) *CombSorter[K] {
 
 // getCombSorter returns a workspace-pooled sorter able to sort capacity
 // tuples; release with putCombSorter. The pad buffers come from (and return
-// to) the arena, so steady-state acquisition allocates nothing.
+// to) the arena, so steady-state acquisition allocates nothing. The parked
+// sorter holds no pads — putCombSorter returns them to the arena freelists
+// — so the checked-out-bytes ledger is balanced between sorts and a
+// contained panic that abandons a checked-out sorter loses only bytes the
+// post-containment reconcile rolls off.
 func getCombSorter[K kv.Key](w *ws.Workspace, capacity int) *CombSorter[K] {
 	cs := ws.Scratch[CombSorter[K]](w, ws.SlotCombSorter)
 	lanes := Lanes[K]()
 	c := (capacity/lanes + 2) * lanes
-	if cap(cs.padK) < c {
-		ws.PutKeys(w, cs.padK)
-		ws.PutKeys(w, cs.padV)
-		cs.padK = ws.Keys[K](w, c)
-		cs.padV = ws.Keys[K](w, c)
-	}
+	cs.padK = ws.Keys[K](w, c)[:0]
+	cs.padV = ws.Keys[K](w, c)[:0]
 	cs.padK = cs.padK[:cap(cs.padK)]
 	cs.padV = cs.padV[:cap(cs.padV)]
 	return cs
 }
 
 func putCombSorter[K kv.Key](w *ws.Workspace, cs *CombSorter[K]) {
+	ws.PutKeys(w, cs.padK)
+	ws.PutKeys(w, cs.padV)
+	cs.padK, cs.padV = nil, nil
 	ws.PutScratch(w, ws.SlotCombSorter, cs)
 }
 

@@ -34,6 +34,16 @@ func DefaultAuxBudget() int64 {
 	return auxBudgetVal
 }
 
+// LiveAuxBudget re-reads the machine's available memory and returns the
+// half-of-available budget without the process-lifetime cache behind
+// DefaultAuxBudget. The retry supervisor calls it between attempts so a
+// memory squeeze that developed after process start (another tenant's
+// allocation, an external pressure spike) steers the next attempt onto the
+// in-place paths instead of repeating the same over-budget plan.
+func LiveAuxBudget() int64 {
+	return readMemBudget("/proc/meminfo")
+}
+
 // readMemBudget parses a meminfo-format file into the half-of-available
 // budget; separated from the cache for tests.
 func readMemBudget(path string) int64 {

@@ -27,6 +27,7 @@
 package ws
 
 import (
+	"fmt"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -102,6 +103,10 @@ type Workspace struct {
 	// (SortStats.PeakAuxBytes).
 	auxInUse atomic.Int64
 	auxPeak  atomic.Int64
+	// auxBudget, when positive, caps checked-out scratch bytes: an
+	// acquisition that would cross it panics with *BudgetError instead of
+	// silently over-allocating. See SetBudget.
+	auxBudget atomic.Int64
 
 	poolMu sync.Mutex
 	pool   *Pool
@@ -173,9 +178,81 @@ func (w *Workspace) miss() {
 	}
 }
 
+// BudgetError is the panic value of an arena acquisition that would push
+// the checked-out scratch bytes past the workspace's budget (SetBudget).
+// It unwinds through the kernels' containment and restore layers like any
+// worker panic; the public Try entry points map it to *partsort.
+// ResourceError so callers can classify it (degrade, don't retry in
+// place). The buffer whose acquisition failed is abandoned to the GC; the
+// accounting never saw it, so the arena's byte ledger stays balanced.
+type BudgetError struct {
+	Need   int64 // bytes the failing acquisition asked for
+	InUse  int64 // bytes already checked out when it failed
+	Budget int64 // the configured cap
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("ws: aux budget exceeded: need %d B with %d B in use, budget %d B",
+		e.Need, e.InUse, e.Budget)
+}
+
+// SetBudget caps the arena's checked-out scratch bytes: while the cap is
+// positive, an acquisition that would cross it panics with *BudgetError.
+// Zero (the default) disables enforcement. Returns the previous cap. The
+// check is approximate under concurrency (two racing acquisitions may both
+// read the same InUse), which is fine for a guard whose purpose is to stop
+// runaway over-allocation, not to meter exactly.
+func (w *Workspace) SetBudget(bytes int64) int64 {
+	if w == nil {
+		return 0
+	}
+	return w.auxBudget.Swap(bytes)
+}
+
+// Budget returns the current aux-byte cap (0: unlimited). Zero on a nil
+// workspace.
+func (w *Workspace) Budget() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.auxBudget.Load()
+}
+
+// ReconcileAux rolls the checked-out-bytes ledger back to pre, the level
+// captured before a run that has since failed. Buffers in flight when a
+// contained panic unwinds a kernel are abandoned to the GC — the free
+// lists never see them again — so without reconciliation the ledger (and
+// the process-wide partsort_aux_bytes gauge) would report them as leaked
+// forever. Call it only after containment has drained every goroutine of
+// the failed run; concurrent runs sharing the arena would be mis-metered
+// (accounting only — never correctness).
+func (w *Workspace) ReconcileAux(pre int64) {
+	if w == nil {
+		return
+	}
+	for {
+		cur := w.auxInUse.Load()
+		if cur <= pre {
+			return
+		}
+		if w.auxInUse.CompareAndSwap(cur, pre) {
+			obs.AddAuxBytes(pre - cur)
+			return
+		}
+	}
+}
+
 // auxAcquire records bytes of scratch checked out of the arena, advancing
-// the high-water mark and mirroring the process-wide obs gauge.
+// the high-water mark and mirroring the process-wide obs gauge. When a
+// budget is set, an acquisition that would cross it panics with
+// *BudgetError before touching the ledger.
 func (w *Workspace) auxAcquire(bytes int) {
+	if b := w.auxBudget.Load(); b > 0 {
+		if in := w.auxInUse.Load(); in+int64(bytes) > b {
+			panic(&BudgetError{Need: int64(bytes), InUse: in, Budget: b})
+		}
+	}
 	obs.AddAuxBytes(int64(bytes))
 	n := w.auxInUse.Add(int64(bytes))
 	for {

@@ -236,3 +236,66 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestBudgetEnforced(t *testing.T) {
+	w := New()
+	w.SetBudget(int64(intSize * 1024))
+	a := w.Ints(512) // within budget
+	func() {
+		defer func() {
+			e := recover()
+			be, ok := e.(*BudgetError)
+			if !ok {
+				t.Fatalf("over-budget acquisition recovered %v (%T), want *BudgetError", e, e)
+			}
+			if be.Budget != int64(intSize*1024) || be.InUse != int64(intSize*512) {
+				t.Fatalf("BudgetError fields = %+v", be)
+			}
+			if be.Error() == "" {
+				t.Fatal("empty error string")
+			}
+		}()
+		w.Ints(1024) // 512 in use + 1024 > 1024: must panic
+		t.Fatal("over-budget acquisition did not panic")
+	}()
+	w.PutInts(a)
+	if got := w.AuxBytes(); got != 0 {
+		t.Fatalf("AuxBytes = %d after balanced put, want 0", got)
+	}
+	if prev := w.SetBudget(0); prev != int64(intSize*1024) {
+		t.Fatalf("SetBudget returned prev %d, want %d", prev, intSize*1024)
+	}
+	b := w.Ints(4096) // unlimited again
+	w.PutInts(b)
+}
+
+func TestBudgetNilSafe(t *testing.T) {
+	var w *Workspace
+	if w.SetBudget(100) != 0 || w.Budget() != 0 {
+		t.Fatal("nil workspace budget not inert")
+	}
+	w.ReconcileAux(0)
+}
+
+func TestReconcileAux(t *testing.T) {
+	w := New()
+	pre := int64(w.AuxBytes())
+	// Simulate a contained failure: buffers checked out, then abandoned on
+	// an unwind that never reaches the puts.
+	_ = w.Ints(256)
+	_ = w.Ints(512)
+	if w.AuxBytes() == 0 {
+		t.Fatal("acquisitions not metered")
+	}
+	w.ReconcileAux(pre)
+	if got := w.AuxBytes(); int64(got) != pre {
+		t.Fatalf("AuxBytes = %d after reconcile, want %d", got, pre)
+	}
+	// Reconcile must never raise the ledger.
+	a := w.Ints(128)
+	w.ReconcileAux(1 << 40)
+	if w.AuxBytes() != uint64(intSize*128) {
+		t.Fatalf("reconcile with a higher floor changed the ledger: %d", w.AuxBytes())
+	}
+	w.PutInts(a)
+}

@@ -1,7 +1,12 @@
 package partsort
 
 import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/gen"
 )
@@ -95,5 +100,75 @@ func TestStressSync(t *testing.T) {
 	}
 	if !SameMultiset(origK, origV, keys, vals) {
 		t.Fatal("multiset changed")
+	}
+}
+
+// TestStressCancelStorm hammers every algorithm with concurrent sorts
+// whose contexts are cancelled mid-pass at staggered offsets: each sort
+// must come back as a clean context error (or a completed success when
+// the cancel lost the race), leave its columns a permutation of the
+// input, and the storm as a whole must leak no goroutines. Sized to run
+// under -race and -short; the verify gate runs it with the race
+// detector on.
+func TestStressCancelStorm(t *testing.T) {
+	n := 1 << 16
+	if testing.Short() {
+		n = 1 << 14
+	}
+	ref := gen.ZipfKeys[uint32](n, uint64(n), 1.0, 7)
+	rids := RIDs[uint32](n)
+
+	algos := []struct {
+		name string
+		run  func(ctx context.Context, k, v []uint32) error
+	}{
+		{"lsb", func(ctx context.Context, k, v []uint32) error {
+			return TrySortLSBCtx(ctx, k, v, &SortOptions{Threads: 4})
+		}},
+		{"msb", func(ctx context.Context, k, v []uint32) error {
+			return TrySortMSBCtx(ctx, k, v, &SortOptions{Threads: 4})
+		}},
+		{"cmp", func(ctx context.Context, k, v []uint32) error {
+			return TrySortCmpCtx(ctx, k, v, &SortOptions{Threads: 4, CacheTuples: 1 << 12})
+		}},
+	}
+	const lanes = 8
+	for _, a := range algos {
+		t.Run(a.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			var wg sync.WaitGroup
+			errs := make([]error, lanes)
+			cols := make([][2][]uint32, lanes)
+			for l := 0; l < lanes; l++ {
+				k := append([]uint32(nil), ref...)
+				v := append([]uint32(nil), rids...)
+				cols[l] = [2][]uint32{k, v}
+				wg.Add(1)
+				go func(l int, k, v []uint32) {
+					defer wg.Done()
+					ctx, cancel := context.WithCancel(context.Background())
+					defer cancel()
+					// Staggered mid-pass cancels: lane 0 cancels almost
+					// immediately, later lanes progressively deeper into
+					// the sort; some lanes win the race and finish.
+					timer := time.AfterFunc(time.Duration(l)*200*time.Microsecond, cancel)
+					defer timer.Stop()
+					errs[l] = a.run(ctx, k, v)
+				}(l, k, v)
+			}
+			wg.Wait()
+			for l, err := range errs {
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Fatalf("lane %d: err = %v (%T), want nil or context.Canceled", l, err, err)
+				}
+				if !SameMultiset(ref, rids, cols[l][0], cols[l][1]) {
+					t.Fatalf("lane %d: columns are not a permutation after cancel (err=%v)", l, err)
+				}
+				if err == nil && !IsSorted(cols[l][0]) {
+					t.Fatalf("lane %d: completed sort left keys unsorted", l)
+				}
+			}
+			waitGoroutines(t, base)
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"unsafe"
 
 	"repro/internal/hard"
 	"repro/internal/part"
@@ -132,10 +133,19 @@ func mustValid(err *ArgError) {
 // it arms a (workspace-pooled) cancellation control under ctx, runs body
 // with it, and converts whatever unwinds — a cooperative cancellation bail,
 // a contained worker panic carrying its original stack, a validation panic
-// from a nested call — into the Try API's error taxonomy. The body runs
-// with panic containment on every fan-out, so by the time a failure
-// reaches this frame all worker goroutines of the run have finished.
-func tryRun(op string, ctx context.Context, w *Workspace, body func(ctl *hard.Ctl)) (err error) {
+// from a nested call, a workspace budget violation — into the Try API's
+// error taxonomy. The body runs with panic containment on every fan-out,
+// so by the time a failure reaches this frame all worker goroutines of the
+// run have finished.
+//
+// Resource accounting: maxAux (SortOptions.MaxAuxBytes) is installed as
+// the workspace's aux-byte budget for the duration of the run — when the
+// caller set none and the arena carries no budget of its own, the default
+// budget (half the machine's available memory) is enforced instead of
+// silently over-allocating. On a contained failure the arena's
+// checked-out-bytes ledger is reconciled back to the entry level, because
+// buffers in flight at the panic were abandoned to the GC on the unwind.
+func tryRun(op string, ctx context.Context, w *Workspace, maxAux int64, body func(ctl *hard.Ctl)) (err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -143,6 +153,15 @@ func tryRun(op string, ctx context.Context, w *Workspace, body func(ctl *hard.Ct
 		return e
 	}
 	iw := w.internal()
+	preAux := int64(iw.AuxBytes())
+	budgeted, prevBudget := false, int64(0)
+	if iw != nil {
+		if maxAux > 0 {
+			budgeted, prevBudget = true, iw.SetBudget(maxAux)
+		} else if iw.Budget() == 0 {
+			budgeted, prevBudget = true, iw.SetBudget(tune.DefaultAuxBudget())
+		}
+	}
 	ctl := ws.Scratch[hard.Ctl](iw, ws.SlotCtl)
 	ctl.Reset(ctx)
 	defer func() {
@@ -150,7 +169,11 @@ func tryRun(op string, ctx context.Context, w *Workspace, body func(ctl *hard.Ct
 		// Safe to pool again: containment drained every goroutine that
 		// could still observe this Ctl before re-raising.
 		ws.PutScratch(iw, ws.SlotCtl, ctl)
+		if budgeted {
+			iw.SetBudget(prevBudget)
+		}
 		if e != nil {
+			iw.ReconcileAux(preAux)
 			err = asTryError(op, e)
 		}
 	}()
@@ -170,12 +193,48 @@ func asTryError(op string, e any) error {
 		if ae, ok := pe.Val.(*ArgError); ok {
 			return ae
 		}
+		if be, ok := pe.Val.(*ws.BudgetError); ok {
+			return &ResourceError{Op: op, Need: be.Need, InUse: be.InUse, Budget: be.Budget}
+		}
 		return &InternalError{Op: op, Value: pe.Val, Stack: pe.Stack}
 	}
 	if ae, ok := e.(*ArgError); ok {
 		return ae
 	}
+	if be, ok := e.(*ws.BudgetError); ok {
+		return &ResourceError{Op: op, Need: be.Need, InUse: be.InUse, Budget: be.Budget}
+	}
 	return &InternalError{Op: op, Value: e, Stack: debug.Stack()}
+}
+
+// meteredScratchPair is scratchPair for the Try bodies: when no arena is
+// metering acquisitions (opt.Workspace nil), the linear tmp columns —
+// the dominant auxiliary cost of the non-in-place sorts — are checked
+// against the run's budget here, so a budget-less allocation cannot
+// silently exceed MaxAuxBytes (or the default half-of-available budget).
+// With an arena, its own ledger enforces the budget and this is a plain
+// scratchPair.
+func meteredScratchPair[K Key](opt *SortOptions, n int) ([]K, []K, *ws.Workspace) {
+	if optWorkspace(opt) == nil {
+		var z K
+		need := 2 * int64(n) * int64(unsafe.Sizeof(z))
+		budget := optMaxAux(opt)
+		if budget == 0 {
+			budget = tune.DefaultAuxBudget()
+		}
+		if budget > 0 && need > budget {
+			panic(&ws.BudgetError{Need: need, InUse: 0, Budget: budget})
+		}
+	}
+	return scratchPair[K](opt, n)
+}
+
+// optMaxAux returns opt's auxiliary-memory cap (nil-safe).
+func optMaxAux(opt *SortOptions) int64 {
+	if opt == nil {
+		return 0
+	}
+	return opt.MaxAuxBytes
 }
 
 // optWorkspace returns opt's workspace (nil-safe).
@@ -207,8 +266,8 @@ func TrySortLSBCtx[K Key](ctx context.Context, keys, vals []K, opt *SortOptions)
 	if err := validateOptions(op, opt); err != nil {
 		return err
 	}
-	return tryRun(op, ctx, optWorkspace(opt), func(ctl *hard.Ctl) {
-		tmpK, tmpV, iw := scratchPair[K](opt, len(keys))
+	return tryRun(op, ctx, optWorkspace(opt), optMaxAux(opt), func(ctl *hard.Ctl) {
+		tmpK, tmpV, iw := meteredScratchPair[K](opt, len(keys))
 		defer func() {
 			ws.PutKeys(iw, tmpK)
 			ws.PutKeys(iw, tmpV)
@@ -235,7 +294,7 @@ func TrySortMSBCtx[K Key](ctx context.Context, keys, vals []K, opt *SortOptions)
 	if err := validateOptions(op, opt); err != nil {
 		return err
 	}
-	return tryRun(op, ctx, optWorkspace(opt), func(ctl *hard.Ctl) {
+	return tryRun(op, ctx, optWorkspace(opt), optMaxAux(opt), func(ctl *hard.Ctl) {
 		opt, _ := autotune(keys, opt, tune.AlgoMSB, false, true)
 		io, _ := opt.toInternal()
 		io.Ctl = ctl
@@ -258,7 +317,7 @@ func TrySortCmpCtx[K Key](ctx context.Context, keys, vals []K, opt *SortOptions)
 	if err := validateOptions(op, opt); err != nil {
 		return err
 	}
-	return tryRun(op, ctx, optWorkspace(opt), func(ctl *hard.Ctl) {
+	return tryRun(op, ctx, optWorkspace(opt), optMaxAux(opt), func(ctl *hard.Ctl) {
 		eff, plan := autotune(keys, opt, tune.AlgoCMP, false, false)
 		io, _ := eff.toInternal()
 		io.Ctl = ctl
@@ -266,7 +325,7 @@ func TrySortCmpCtx[K Key](ctx context.Context, keys, vals []K, opt *SortOptions)
 			sortalgo.CMP[K](keys, vals, nil, nil, io)
 			return
 		}
-		tmpK, tmpV, iw := scratchPair[K](eff, len(keys))
+		tmpK, tmpV, iw := meteredScratchPair[K](eff, len(keys))
 		defer func() {
 			ws.PutKeys(iw, tmpK)
 			ws.PutKeys(iw, tmpV)
@@ -303,7 +362,7 @@ func TryPartitionCtx[K Key, F PartitionFunc[K]](ctx context.Context, srcKeys, sr
 		return nil, err
 	}
 	var hist []int
-	err := tryRun(op, ctx, nil, func(ctl *hard.Ctl) {
+	err := tryRun(op, ctx, nil, 0, func(ctl *hard.Ctl) {
 		t := threads
 		if t < 1 {
 			t = 1

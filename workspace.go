@@ -45,6 +45,30 @@ func (w *Workspace) Counters() (hits, misses uint64) {
 	return w.ws.Counters()
 }
 
+// AuxBytes returns the auxiliary scratch bytes currently checked out of
+// the arena. It is zero between balanced sorts; a persistent nonzero
+// reading after every sort has returned indicates leaked buffers (the
+// chaoscheck gate asserts this after each contained failure).
+func (w *Workspace) AuxBytes() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.ws.AuxBytes()
+}
+
+// SetMaxAuxBytes installs a standing auxiliary-memory budget on the
+// arena, returning the previous one: acquisitions that would push the
+// checked-out ledger past the budget panic inside the legacy entry
+// points and surface as *ResourceError from the Try entry points. A
+// SortOptions.MaxAuxBytes cap overrides it for the duration of one sort;
+// zero removes the standing budget (the per-sort default still applies).
+func (w *Workspace) SetMaxAuxBytes(budget int64) int64 {
+	if w == nil {
+		return 0
+	}
+	return w.ws.SetBudget(budget)
+}
+
 func (w *Workspace) internal() *ws.Workspace {
 	if w == nil {
 		return nil
