@@ -7,10 +7,16 @@
 // are diffed too under their own threshold (default 10%) — the memory gate
 // for the in-place partitioning paths.
 //
+// Benchmarks present only in the baseline are listed as "gone" and, under
+// -require-all, make the run fail: a recording that silently dropped a
+// benchmark family must not pass the gate as if nothing regressed.
+// Benchmarks present only in the new file are always informational — a
+// growing suite is not a regression.
+//
 // Examples:
 //
 //	benchdiff BENCH_PR4.json BENCH_PR5.json
-//	benchdiff -threshold 10 -bthreshold 20 old.json new.json
+//	benchdiff -require-all -threshold 10 -bthreshold 20 old.json new.json
 package main
 
 import (
@@ -40,8 +46,9 @@ type Report struct {
 func main() {
 	threshold := flag.Float64("threshold", 5, "max allowed ns/op regression in percent before failing")
 	bthreshold := flag.Float64("bthreshold", 10, "max allowed B/op regression in percent before failing (benchmarks reporting B/op in both files)")
+	requireAll := flag.Bool("require-all", false, "fail when a baseline benchmark is missing from the new report")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-bthreshold pct] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-bthreshold pct] [-require-all] old.json new.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,10 +74,12 @@ func main() {
 	var logSum float64
 	common := 0
 	failed := false
+	var gone []string
 	for _, o := range oldRep.Results {
 		n, ok := newByName[o.Name]
 		if !ok {
 			fmt.Printf("%-44s %14.0f %14s %8s\n", o.Name, o.NsPerOp, "-", "gone")
+			gone = append(gone, o.Name)
 			continue
 		}
 		if o.NsPerOp <= 0 || n.NsPerOp <= 0 {
@@ -107,6 +116,17 @@ func main() {
 
 	if diffBytes(oldRep, newByName, *bthreshold) {
 		failed = true
+	}
+
+	if len(gone) > 0 {
+		fmt.Printf("\n%d baseline benchmark(s) missing from %s:\n", len(gone), flag.Arg(1))
+		for _, name := range gone {
+			fmt.Printf("  %s\n", name)
+		}
+		if *requireAll {
+			fmt.Println("benchdiff: FAIL — -require-all is set and the new report dropped baseline benchmarks")
+			os.Exit(1)
+		}
 	}
 
 	if failed {

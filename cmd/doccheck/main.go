@@ -12,14 +12,23 @@
 //   - every exported type needs a doc comment on its spec or its decl;
 //   - exported consts/vars need a doc comment on the spec or on the
 //     enclosing grouped declaration (one comment may document a block);
-//   - every package needs a package comment in at least one file.
+//   - every package needs a package comment in at least one file;
+//   - a main package under a cmd/ tree must open its package comment with
+//     "Command <dirname>", the go tool's convention for binaries.
 //
 // Test files are skipped: their helpers are not part of any documented
 // surface.
 //
+// With -ops FILE the lint additionally collects every metric family name
+// registered in the scanned packages — string literals starting with
+// "partsort_", including names assembled as <prefix const> + "literal" —
+// and fails unless each family appears in FILE. verify.sh points it at
+// OPERATIONS.md so the operator runbook's metrics reference cannot fall
+// behind the registry.
+//
 // Usage:
 //
-//	doccheck [dir ...]   # default: the current directory tree
+//	doccheck [-ops OPERATIONS.md] [dir ...]   # default: the current directory tree
 package main
 
 import (
@@ -32,12 +41,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 func main() {
+	opsPath := flag.String("ops", "", "require every registered metric family to appear in this runbook file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: doccheck [dir ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: doccheck [-ops FILE] [dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,8 +68,17 @@ func main() {
 	}
 
 	var violations []string
+	families := map[string]string{} // family name -> first registration site
 	for _, dir := range dirs {
-		v, err := checkDir(dir)
+		v, err := checkDir(dir, families)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	if *opsPath != "" {
+		v, err := checkOpsCoverage(*opsPath, families)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "doccheck:", err)
 			os.Exit(2)
@@ -70,7 +90,7 @@ func main() {
 		for _, v := range violations {
 			fmt.Println(v)
 		}
-		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbol(s)\n", len(violations))
+		fmt.Fprintf(os.Stderr, "doccheck: %d violation(s)\n", len(violations))
 		os.Exit(1)
 	}
 	fmt.Println("doccheck: OK")
@@ -108,8 +128,9 @@ func goDirs(root string) ([]string, error) {
 }
 
 // checkDir parses every non-test Go file of one directory and returns its
-// violations as "path:line: message" strings.
-func checkDir(dir string) ([]string, error) {
+// violations as "path:line: message" strings, recording any metric family
+// names the files register into families.
+func checkDir(dir string, families map[string]string) ([]string, error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
@@ -132,16 +153,21 @@ func checkDir(dir string) ([]string, error) {
 			files = append(files, fname)
 		}
 		sort.Strings(files)
+		consts := stringConsts(pkg)
 		for _, fname := range files {
 			f := pkg.Files[fname]
 			if f.Doc != nil {
 				hasPkgDoc = true
+				if v := checkCmdConvention(dir, name, f, fset); v != "" {
+					out = append(out, v)
+				}
 			}
 			if firstFile == "" {
 				firstFile = fname
 				firstPos = fset.Position(f.Package)
 			}
 			out = append(out, checkFile(fset, f)...)
+			collectFamilies(fset, f, consts, families)
 		}
 		if !hasPkgDoc {
 			out = append(out, fmt.Sprintf("%s:%d: package %s lacks a package doc comment",
@@ -209,6 +235,133 @@ func checkFile(fset *token.FileSet, f *ast.File) []string {
 		}
 	}
 	return out
+}
+
+// checkCmdConvention enforces the binary-doc convention: a main package
+// under a cmd/ tree opens its package comment with "Command <dirname>".
+func checkCmdConvention(dir, pkgName string, f *ast.File, fset *token.FileSet) string {
+	if pkgName != "main" {
+		return ""
+	}
+	base := filepath.Base(dir)
+	parent := filepath.Base(filepath.Dir(dir))
+	if parent != "cmd" {
+		return ""
+	}
+	want := "Command " + base
+	if !strings.HasPrefix(strings.TrimSpace(f.Doc.Text()), want) {
+		p := fset.Position(f.Doc.Pos())
+		return fmt.Sprintf("%s:%d: package doc of cmd/%s must start with %q",
+			p.Filename, p.Line, base, want)
+	}
+	return ""
+}
+
+// stringConsts maps a package's string-constant names to their values —
+// the prefix constants metric families are assembled from.
+func stringConsts(pkg *ast.Package) map[string]string {
+	consts := map[string]string{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.GenDecl)
+			if !ok || d.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range d.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if v, err := strconv.Unquote(lit.Value); err == nil {
+							consts[name.Name] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return consts
+}
+
+// collectFamilies records every metric family name a file registers: a
+// string literal starting with "partsort_" (prefix constants, which end
+// in "_", are not themselves families), or a <prefix const> + "literal"
+// concatenation resolving to one.
+func collectFamilies(fset *token.FileSet, f *ast.File, consts map[string]string, families map[string]string) {
+	record := func(name string, pos token.Pos) {
+		if !strings.HasPrefix(name, "partsort_") || strings.HasSuffix(name, "_") || !isFamilyName(name) {
+			return
+		}
+		if _, seen := families[name]; !seen {
+			p := fset.Position(pos)
+			families[name] = fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BasicLit:
+			if e.Kind == token.STRING {
+				if v, err := strconv.Unquote(e.Value); err == nil {
+					record(v, e.Pos())
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op != token.ADD {
+				return true
+			}
+			id, ok := e.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			prefix, ok := consts[id.Name]
+			if !ok || !strings.HasPrefix(prefix, "partsort_") {
+				return true
+			}
+			if lit, ok := e.Y.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if v, err := strconv.Unquote(lit.Value); err == nil {
+					record(prefix+v, e.Pos())
+					return false // the literal alone is not a family
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFamilyName reports whether s is a bare metric family name — only
+// lowercase letters, digits, and underscores. Prose and rendered series
+// strings (spaces, braces, quotes) mentioning a family are not
+// registrations.
+func isFamilyName(s string) bool {
+	for _, c := range s {
+		if c != '_' && (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// checkOpsCoverage fails every registered metric family that the runbook
+// file never mentions.
+func checkOpsCoverage(path string, families map[string]string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := string(data)
+	var out []string
+	for name, site := range families {
+		if !strings.Contains(doc, name) {
+			out = append(out, fmt.Sprintf("%s: metric family %s (registered at %s) is undocumented",
+				path, name, site))
+		}
+	}
+	if len(families) > 0 {
+		fmt.Printf("doccheck: %d metric families checked against %s\n", len(families), path)
+	}
+	return out, nil
 }
 
 // receiverName returns the base type name of a method receiver, or

@@ -1,7 +1,9 @@
 package partsort_test
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 
 	partsort "repro"
 )
@@ -41,6 +43,57 @@ func ExampleNewRangeIndex() {
 	ix := partsort.NewRangeIndex(delims)
 	fmt.Println(ix.Lookup(5), ix.Lookup(10), ix.Lookup(25), ix.Lookup(99))
 	// Output: 0 1 2 3
+}
+
+func ExampleSortResilient() {
+	keys := []uint64{9, 3, 7, 1, 5}
+	rids := partsort.RIDs[uint64](len(keys))
+
+	// The supervisor retries transient faults, falls back to safer plans,
+	// and degrades in place under memory pressure; RetryStats reports
+	// what the run took.
+	var st partsort.RetryStats
+	err := partsort.SortResilientCtx(context.Background(), partsort.LSB, keys, rids,
+		&partsort.SortOptions{Threads: 1, MaxAuxBytes: 64 << 20},
+		&partsort.RetryPolicy{Stats: &st})
+	if err != nil {
+		fmt.Println("sort failed:", err)
+		return
+	}
+	fmt.Println(keys)
+	fmt.Println("attempts:", st.Attempts, "stage:", st.Stage, "degraded:", st.Degraded)
+	// Output:
+	// [1 3 5 7 9]
+	// attempts: 1 stage: 0 degraded: false
+}
+
+func ExampleServeMetrics() {
+	// Serve live telemetry (Prometheus /metrics, expvar, pprof) while
+	// sorts run; the sink feeds span latencies into the histograms.
+	partsort.StartObservability(partsort.NewMetricsSink(nil))
+	defer partsort.StopObservability()
+
+	srv, err := partsort.ServeMetrics("127.0.0.1:0") // any free port
+	if err != nil {
+		fmt.Println("metrics endpoint:", err)
+		return
+	}
+	defer srv.Shutdown(context.Background())
+
+	keys := []uint32{4, 2, 3, 1}
+	partsort.SortLSB(keys, partsort.RIDs[uint32](len(keys)), nil)
+
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		fmt.Println("scrape:", err)
+		return
+	}
+	resp.Body.Close()
+	fmt.Println(keys)
+	fmt.Println("scrape status:", resp.StatusCode)
+	// Output:
+	// [1 2 3 4]
+	// scrape status: 200
 }
 
 func ExamplePartitionBlocks() {

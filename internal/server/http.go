@@ -1,0 +1,251 @@
+// The HTTP/JSON front end: POST /v1/sort submits one request and blocks
+// until its result, GET /healthz reports liveness/drain state, and
+// GET /v1/stats returns a JSON operational snapshot. Error mapping:
+// malformed requests 400, oversized 413, tenant cap 429, admission and
+// drain rejections 503 (both with Retry-After), contained sort failures
+// 500 — the same taxonomy sortcli maps to exit codes (OPERATIONS.md).
+
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	partsort "repro"
+)
+
+// SortRequestJSON is the POST /v1/sort body. Keys are decoded as
+// uint64 and narrowed when width is 32 (out-of-range values are a 400).
+type SortRequestJSON struct {
+	// Tenant is the submitting tenant id (optional, default "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Algo is "lsb", "msb", or "cmp".
+	Algo string `json:"algo"`
+	// Priority is 0 (interactive), 1 (normal, default), or 2 (batch).
+	Priority int `json:"priority,omitempty"`
+	// Width is the key width in bits: 32 or 64 (default 64).
+	Width int `json:"width,omitempty"`
+	// Keys is the key column.
+	Keys []uint64 `json:"keys"`
+	// Vals is the optional payload column (same length as Keys).
+	Vals []uint64 `json:"vals,omitempty"`
+}
+
+// SortResponseJSON is the POST /v1/sort success body.
+type SortResponseJSON struct {
+	// Keys is the sorted key column; Vals the reordered payloads when
+	// the request carried any.
+	Keys []uint64 `json:"keys"`
+	Vals []uint64 `json:"vals,omitempty"`
+	// QueueNs and SortNs break the latency into queue wait and sort
+	// execution; Attempts/Stage/Degraded report the resilient
+	// supervisor's outcome; Batched/BatchRequests report coalescing.
+	QueueNs       int64 `json:"queue_ns"`
+	SortNs        int64 `json:"sort_ns"`
+	Attempts      int   `json:"attempts"`
+	Stage         int   `json:"stage"`
+	Degraded      bool  `json:"degraded,omitempty"`
+	Batched       bool  `json:"batched,omitempty"`
+	BatchRequests int   `json:"batch_requests,omitempty"`
+}
+
+// ErrorJSON is the error body of every non-2xx API response.
+type ErrorJSON struct {
+	// Error is the human-readable message; Code the stable machine tag
+	// ("bad-request", "too-large", "queue-full", "memory", "tenant-limit",
+	// "draining", "canceled", "resource", "internal").
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// StatsJSON is the GET /v1/stats body.
+type StatsJSON struct {
+	// UptimeSeconds is time since the server started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// QueueDepth, InflightJobs, PendingAuxBytes, and WorkspaceAuxBytes
+	// mirror the like-named gauges; Draining the admission state.
+	QueueDepth        int   `json:"queue_depth"`
+	InflightJobs      int64 `json:"inflight_jobs"`
+	PendingAuxBytes   int64 `json:"pending_aux_bytes"`
+	WorkspaceAuxBytes int64 `json:"workspace_aux_bytes"`
+	Draining          bool  `json:"draining"`
+}
+
+// Handler returns the server's HTTP API as a mountable http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sort", s.handleSort)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// handleSort decodes, submits, and encodes one sort request.
+func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "bad-request", "POST required")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<30))
+	dec.DisallowUnknownFields()
+	var body SortRequestJSON
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON: "+err.Error())
+		return
+	}
+	req, err := body.toRequest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+		return
+	}
+	res, err := s.Submit(r.Context(), req)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	resp := SortResponseJSON{
+		QueueNs:       res.QueueWait.Nanoseconds(),
+		SortNs:        res.SortTime.Nanoseconds(),
+		Attempts:      res.Attempts,
+		Stage:         res.Stage,
+		Degraded:      res.Degraded,
+		Batched:       res.Batched,
+		BatchRequests: res.BatchRequests,
+	}
+	if req.Keys64 != nil {
+		resp.Keys, resp.Vals = req.Keys64, req.Vals64
+	} else {
+		resp.Keys = widen(req.Keys32)
+		if req.Vals32 != nil {
+			resp.Vals = widen(req.Vals32)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// toRequest converts the wire body into a server Request.
+func (b *SortRequestJSON) toRequest() (*Request, error) {
+	req := &Request{Tenant: b.Tenant, Priority: b.Priority}
+	switch b.Algo {
+	case "lsb":
+		req.Algo = partsort.LSB
+	case "msb":
+		req.Algo = partsort.MSB
+	case "cmp":
+		req.Algo = partsort.CMP
+	default:
+		return nil, fmt.Errorf("unknown algo %q (want lsb, msb, or cmp)", b.Algo)
+	}
+	switch b.Width {
+	case 0, 64:
+		req.Keys64 = b.Keys
+		if req.Keys64 == nil {
+			req.Keys64 = []uint64{}
+		}
+		req.Vals64 = b.Vals
+	case 32:
+		var err error
+		if req.Keys32, err = narrow(b.Keys, "keys"); err != nil {
+			return nil, err
+		}
+		if b.Vals != nil {
+			if req.Vals32, err = narrow(b.Vals, "vals"); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("width %d; must be 32 or 64", b.Width)
+	}
+	return req, nil
+}
+
+// narrow converts a decoded uint64 column to uint32, rejecting overflow.
+func narrow(xs []uint64, field string) ([]uint32, error) {
+	out := make([]uint32, len(xs))
+	for i, x := range xs {
+		if x > 1<<32-1 {
+			return nil, fmt.Errorf("%s[%d] = %d does not fit width 32", field, i, x)
+		}
+		out[i] = uint32(x)
+	}
+	return out, nil
+}
+
+// widen converts a uint32 column to the uint64 wire form.
+func widen(xs []uint32) []uint64 {
+	out := make([]uint64, len(xs))
+	for i, x := range xs {
+		out[i] = uint64(x)
+	}
+	return out
+}
+
+// writeSubmitError maps a Submit error onto the HTTP status taxonomy.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var adm *AdmissionError
+	var tooLarge *TooLargeError
+	var argErr *partsort.ArgError
+	var resErr *partsort.ResourceError
+	switch {
+	case errors.As(err, &adm):
+		secs := int(adm.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		status := http.StatusServiceUnavailable
+		if adm.Reason == "tenant-limit" {
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, status, adm.Reason, err.Error())
+	case errors.As(err, &tooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, "too-large", err.Error())
+	case errors.As(err, &argErr):
+		writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "canceled", err.Error())
+	case errors.As(err, &resErr):
+		w.Header().Set("Retry-After", "2")
+		writeError(w, http.StatusServiceUnavailable, "resource", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// writeError writes one JSON error body.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorJSON{Error: msg, Code: code})
+}
+
+// handleHealth reports liveness: 200 "ok" while admitting, 503
+// "draining" once Drain started.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleStats serves the operational snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(StatsJSON{
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		QueueDepth:        s.QueueDepth(),
+		InflightJobs:      s.inflight.Load(),
+		PendingAuxBytes:   s.PendingAuxBytes(),
+		WorkspaceAuxBytes: s.AuxBytes(),
+		Draining:          s.Draining(),
+	})
+}

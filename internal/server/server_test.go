@@ -1,0 +1,482 @@
+// Lifecycle tests for the sort service: admission control under tiny
+// bounds, graceful and forced drain (no leaked goroutines, admission
+// ledger settled back to zero), coalescing correctness, and the
+// priority queue's ordering contract.
+
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	partsort "repro"
+	"repro/internal/obs"
+)
+
+// testConfig returns a config with a private registry so concurrent
+// tests do not share metric series.
+func testConfig() Config {
+	return Config{Registry: obs.NewRegistry()}
+}
+
+// randKeys returns n deterministic pseudo-random keys.
+func randKeys(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	return keys
+}
+
+// checkSorted fails unless keys is non-decreasing.
+func checkSorted(t *testing.T, keys []uint64) {
+	t.Helper()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("keys[%d]=%d > keys[%d]=%d", i-1, keys[i-1], i, keys[i])
+		}
+	}
+}
+
+// drainOK drains s with a generous budget and fails the test on error.
+func drainOK(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestSubmitSortsAllWidthsAndAlgos(t *testing.T) {
+	cfg := testConfig()
+	cfg.BatchMaxTuples = -1 // exercise the direct path
+	s := New(cfg)
+	defer drainOK(t, s)
+
+	for _, algo := range []partsort.Algorithm{partsort.LSB, partsort.MSB, partsort.CMP} {
+		keys := randKeys(10_000, int64(algo))
+		vals := make([]uint64, len(keys))
+		for i, k := range keys {
+			vals[i] = k ^ 0xabcdef // payload tied to its key
+		}
+		res, err := s.Submit(context.Background(), &Request{
+			Algo: algo, Keys64: keys, Vals64: vals,
+		})
+		if err != nil {
+			t.Fatalf("%v: Submit: %v", algo, err)
+		}
+		checkSorted(t, keys)
+		for i := range keys {
+			if vals[i] != keys[i]^0xabcdef {
+				t.Fatalf("%v: payload detached from key at %d", algo, i)
+			}
+		}
+		if res.Batched {
+			t.Fatalf("%v: request with vals must not coalesce", algo)
+		}
+	}
+
+	// 32-bit key-only path (RIDs payload synthesized server-side).
+	keys32 := make([]uint32, 5000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys32 {
+		keys32[i] = rng.Uint32()
+	}
+	if _, err := s.Submit(context.Background(), &Request{Algo: partsort.LSB, Keys32: keys32}); err != nil {
+		t.Fatalf("32-bit Submit: %v", err)
+	}
+	for i := 1; i < len(keys32); i++ {
+		if keys32[i-1] > keys32[i] {
+			t.Fatalf("keys32 not sorted at %d", i)
+		}
+	}
+
+	// Empty request short-circuits without touching the queue.
+	if _, err := s.Submit(context.Background(), &Request{Algo: partsort.LSB, Keys64: []uint64{}}); err != nil {
+		t.Fatalf("empty Submit: %v", err)
+	}
+}
+
+func TestAdmissionRejectsWhenQueueFull(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 2
+	cfg.Workers = 1
+	// Park admitted requests in the coalescer so they hold depth slots
+	// deterministically without executing.
+	cfg.BatchWindow = time.Hour
+	cfg.BatchMaxRequests = 100
+	cfg.BatchMaxTotal = 1 << 30
+	s := New(cfg)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			_, err := s.Submit(context.Background(), &Request{Algo: partsort.LSB, Keys64: randKeys(64, seed)})
+			if err != nil {
+				t.Errorf("held Submit: %v", err)
+			}
+		}(int64(i))
+	}
+	waitFor(t, time.Second, func() bool { return s.QueueDepth() == 2 })
+
+	_, err := s.Submit(context.Background(), &Request{Algo: partsort.LSB, Keys64: randKeys(64, 99)})
+	var adm *AdmissionError
+	if !errors.As(err, &adm) || adm.Reason != "queue-full" {
+		t.Fatalf("want queue-full AdmissionError, got %v", err)
+	}
+	if adm.RetryAfter <= 0 {
+		t.Fatalf("queue-full rejection carries no Retry-After hint")
+	}
+
+	drainOK(t, s) // flushes the held batch; the parked Submits settle
+	wg.Wait()
+	if got := s.PendingAuxBytes(); got != 0 {
+		t.Fatalf("ledger holds %d bytes after drain", got)
+	}
+}
+
+func TestAdmissionRejectsOnMemoryBudget(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxAuxBytes = 1 // below any request's estimate
+	s := New(cfg)
+	defer drainOK(t, s)
+
+	_, err := s.Submit(context.Background(), &Request{Algo: partsort.LSB, Keys64: randKeys(64, 1)})
+	var adm *AdmissionError
+	if !errors.As(err, &adm) || adm.Reason != "memory" {
+		t.Fatalf("want memory AdmissionError, got %v", err)
+	}
+	if got := s.PendingAuxBytes(); got != 0 {
+		t.Fatalf("rejected request left %d bytes on the ledger", got)
+	}
+	if got := s.QueueDepth(); got != 0 {
+		t.Fatalf("rejected request left depth at %d", got)
+	}
+}
+
+func TestAdmissionRejectsOverTenantCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxPerTenant = 1
+	cfg.BatchWindow = time.Hour // park the first request in the coalescer
+	s := New(cfg)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Submit(context.Background(), &Request{
+			Tenant: "acme", Algo: partsort.LSB, Keys64: randKeys(64, 1),
+		}); err != nil {
+			t.Errorf("held Submit: %v", err)
+		}
+	}()
+	waitFor(t, time.Second, func() bool { return s.QueueDepth() == 1 })
+
+	_, err := s.Submit(context.Background(), &Request{
+		Tenant: "acme", Algo: partsort.LSB, Keys64: randKeys(64, 2),
+	})
+	var adm *AdmissionError
+	if !errors.As(err, &adm) || adm.Reason != "tenant-limit" {
+		t.Fatalf("want tenant-limit AdmissionError, got %v", err)
+	}
+
+	// A different tenant is unaffected by acme's cap. Its request joins
+	// the parked batch; drain flushes both.
+	var other sync.WaitGroup
+	other.Add(1)
+	go func() {
+		defer other.Done()
+		if _, err := s.Submit(context.Background(), &Request{
+			Tenant: "globex", Algo: partsort.LSB, Keys64: randKeys(64, 3),
+		}); err != nil {
+			t.Errorf("other-tenant Submit: %v", err)
+		}
+	}()
+	waitFor(t, time.Second, func() bool { return s.QueueDepth() == 2 })
+
+	drainOK(t, s)
+	wg.Wait()
+	other.Wait()
+}
+
+func TestDrainGracefulNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	cfg := testConfig()
+	cfg.Workers = 4
+	cfg.BatchWindow = time.Millisecond
+	s := New(cfg)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			keys := randKeys(20_000, seed)
+			if _, err := s.Submit(context.Background(), &Request{Algo: partsort.MSB, Keys64: keys}); err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			for j := 1; j < len(keys); j++ {
+				if keys[j-1] > keys[j] {
+					t.Errorf("request %d not sorted", seed)
+					return
+				}
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+
+	drainOK(t, s)
+	if got := s.PendingAuxBytes(); got != 0 {
+		t.Fatalf("admission ledger holds %d bytes after drain", got)
+	}
+	if got := s.AuxBytes(); got != 0 {
+		t.Fatalf("workspace arenas hold %d bytes after drain", got)
+	}
+	// Submission after drain is rejected, not queued forever.
+	_, err := s.Submit(context.Background(), &Request{Algo: partsort.LSB, Keys64: randKeys(64, 1)})
+	var adm *AdmissionError
+	if !errors.As(err, &adm) || adm.Reason != "draining" {
+		t.Fatalf("want draining AdmissionError after drain, got %v", err)
+	}
+
+	waitFor(t, 5*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	})
+}
+
+func TestDrainDeadlineForceCancels(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.BatchMaxTuples = -1
+	s := New(cfg)
+
+	// A sort big enough to still be mid-flight when the drain deadline
+	// (1ms) fires.
+	keys := randKeys(1<<22, 42)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), &Request{Algo: partsort.CMP, Keys64: keys})
+		done <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return s.QueueDepth() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	err := s.Drain(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain under 1ms budget: want DeadlineExceeded, got %v", err)
+	}
+	subErr := <-done
+	if subErr == nil {
+		t.Logf("sort finished inside the drain budget; cancellation not observed")
+	} else if !errors.Is(subErr, context.Canceled) && !errors.Is(subErr, context.DeadlineExceeded) {
+		t.Fatalf("cancelled Submit returned %v", subErr)
+	}
+
+	if got := s.PendingAuxBytes(); got != 0 {
+		t.Fatalf("forced drain left %d bytes on the ledger", got)
+	}
+	if got := s.AuxBytes(); got != 0 {
+		t.Fatalf("forced drain left %d workspace bytes", got)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	})
+}
+
+func TestSubmitCancellation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.BatchMaxTuples = -1
+	s := New(cfg)
+	defer drainOK(t, s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Submit(ctx, &Request{Algo: partsort.LSB, Keys64: randKeys(4096, 1)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Submit: want context.Canceled, got %v", err)
+	}
+	// The abandoned job still settles its ledger charge via its executor.
+	waitFor(t, 5*time.Second, func() bool { return s.PendingAuxBytes() == 0 })
+}
+
+func TestCoalescingMergesSmallRequests(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 2
+	cfg.BatchWindow = 100 * time.Millisecond
+	s := New(cfg)
+	defer drainOK(t, s)
+
+	const reqs = 8
+	type out struct {
+		keys []uint64
+		res  Result
+	}
+	outs := make([]out, reqs)
+	var wg sync.WaitGroup
+	for i := 0; i < reqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			keys := randKeys(512, int64(i+1))
+			res, err := s.Submit(context.Background(), &Request{Algo: partsort.MSB, Keys64: keys})
+			if err != nil {
+				t.Errorf("Submit %d: %v", i, err)
+				return
+			}
+			outs[i] = out{keys: keys, res: res}
+		}(i)
+	}
+	wg.Wait()
+
+	merged := 0
+	for i, o := range outs {
+		if o.keys == nil {
+			continue
+		}
+		checkSorted(t, o.keys)
+		if o.res.Batched {
+			merged++
+			if o.res.BatchRequests < 2 {
+				t.Fatalf("request %d batched with BatchRequests=%d", i, o.res.BatchRequests)
+			}
+		}
+	}
+	if merged == 0 {
+		t.Fatalf("no request coalesced under a %s window", cfg.BatchWindow)
+	}
+}
+
+func TestValidateRequestTable(t *testing.T) {
+	cases := []struct {
+		name string
+		req  *Request
+		arg  bool // want *partsort.ArgError
+		big  bool // want *TooLargeError
+	}{
+		{name: "nil request", req: nil, arg: true},
+		{name: "bad algo", req: &Request{Algo: 9, Keys64: []uint64{1}}, arg: true},
+		{name: "bad priority", req: &Request{Algo: partsort.LSB, Priority: 3, Keys64: []uint64{1}}, arg: true},
+		{name: "no key column", req: &Request{Algo: partsort.LSB}, arg: true},
+		{name: "both key columns", req: &Request{Algo: partsort.LSB, Keys64: []uint64{1}, Keys32: []uint32{1}}, arg: true},
+		{name: "vals width mismatch", req: &Request{Algo: partsort.LSB, Keys64: []uint64{1}, Vals32: []uint32{1}}, arg: true},
+		{name: "vals length mismatch", req: &Request{Algo: partsort.LSB, Keys64: []uint64{1, 2}, Vals64: []uint64{1}}, arg: true},
+		{name: "tenant too long", req: &Request{Tenant: string(make([]byte, 65)), Algo: partsort.LSB, Keys64: []uint64{1}}, arg: true},
+		{name: "too large", req: &Request{Algo: partsort.LSB, Keys64: make([]uint64, 5)}, big: true},
+		{name: "ok", req: &Request{Algo: partsort.CMP, Keys64: []uint64{3, 1, 2}}},
+	}
+	for _, tc := range cases {
+		err := validateRequest(tc.req, 4)
+		var argErr *partsort.ArgError
+		var bigErr *TooLargeError
+		switch {
+		case tc.arg && !errors.As(err, &argErr):
+			t.Errorf("%s: want ArgError, got %v", tc.name, err)
+		case tc.big && !errors.As(err, &bigErr):
+			t.Errorf("%s: want TooLargeError, got %v", tc.name, err)
+		case !tc.arg && !tc.big && err != nil:
+			t.Errorf("%s: want nil, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestQueuePriorityOrdering(t *testing.T) {
+	q := newQueue()
+	for i, prio := range []int{2, 0, 1, 0, 2} {
+		q.push(&job{prio: prio, seq: uint64(i + 1)})
+	}
+	q.close()
+	want := []struct{ prio, seq int }{{0, 2}, {0, 4}, {1, 3}, {2, 1}, {2, 5}}
+	for i, w := range want {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue empty early", i)
+		}
+		if j.prio != w.prio || j.seq != uint64(w.seq) {
+			t.Fatalf("pop %d: got (prio %d, seq %d), want (prio %d, seq %d)",
+				i, j.prio, j.seq, w.prio, w.seq)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("closed empty queue still popping")
+	}
+}
+
+func TestArenaPoolReuseAndClose(t *testing.T) {
+	p := newArenaPool(2)
+	a := p.acquire(1 << 12)
+	if a == nil || a.w == nil {
+		t.Fatal("acquire returned no arena")
+	}
+	class := a.class
+	p.release(a)
+	b := p.acquire(1 << 12)
+	if b != a {
+		t.Fatalf("same-class acquire did not reuse the pooled arena (class %d)", class)
+	}
+	p.release(b)
+	p.closeAll()
+	if got := p.auxBytes(); got != 0 {
+		t.Fatalf("closed pool reports %d aux bytes", got)
+	}
+	if c := p.acquire(1 << 12); c != nil {
+		t.Fatal("closed pool handed out an arena")
+	}
+}
+
+func TestBatchSortSplitsExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cols := make([][]uint64, 5)
+	sums := make([]uint64, 5)
+	for i := range cols {
+		cols[i] = make([]uint64, 100+rng.Intn(400))
+		for j := range cols[i] {
+			cols[i][j] = rng.Uint64() >> 16
+			sums[i] += cols[i][j]
+		}
+	}
+	if err := batchSort(context.Background(), cols, &partsort.SortOptions{Threads: 1}, nil); err != nil {
+		t.Fatalf("batchSort: %v", err)
+	}
+	for i, c := range cols {
+		var sum uint64
+		for j := range c {
+			if j > 0 && c[j-1] > c[j] {
+				t.Fatalf("col %d not sorted at %d", i, j)
+			}
+			sum += c[j]
+		}
+		if sum != sums[i] {
+			t.Fatalf("col %d checksum changed: keys leaked across requests", i)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the budget expires.
+func waitFor(t *testing.T, budget time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %s", budget)
+}

@@ -5,7 +5,9 @@ set -eux
 
 go build ./...
 go vet ./...
-go run ./cmd/doccheck
+# Docs lint: godoc coverage, the cmd/* "Command <name>" convention, and
+# every registered metric family present in the operator runbook.
+go run ./cmd/doccheck -ops OPERATIONS.md
 go test ./...
 go test -race ./internal/part/ ./internal/sortalgo/ .
 go test -race -short ./internal/ws/
@@ -30,7 +32,9 @@ rm -f "$benchout"
 # newer file is >5% slower than the older. To check the working tree
 # against the recorded baseline, record a fresh file and diff it the same
 # way.
-go run ./cmd/benchdiff BENCH_PR7.json BENCH_PR8.json
+# -require-all: a recording that drops a baseline benchmark fails the
+# gate instead of passing silently.
+go run ./cmd/benchdiff -require-all BENCH_PR8.json BENCH_PR9.json
 
 # Observability smoke: spans + counters must produce a valid Chrome trace
 # whose LSB counters reconcile (tuples_partitioned == passes * n), with at
@@ -75,5 +79,20 @@ go test -race -short -count=1 -run 'TestResilient|TestScheduleConcurrentBudget|T
 # and in BENCH_PR4.json respectively).
 go run ./cmd/tunecli -quick -out "$obsdir/profile.json" -plan-n 1000000 > /dev/null
 go run ./cmd/tunecli -load "$obsdir/profile.json" -plan-maxbytes 1048576 > /dev/null
+
+# Sort-as-a-service smoke: start the daemon, drive it with concurrent
+# load (sortload verifies every response and scrapes /metrics mid-load,
+# failing unless the server families are being served), then SIGTERM —
+# a clean drain (ledger and arenas at zero) is sortd exit code 0.
+go test ./internal/server/
+go build -o "$obsdir/sortd" ./cmd/sortd
+go build -o "$obsdir/sortload" ./cmd/sortload
+"$obsdir/sortd" -addr 127.0.0.1:18070 -metrics-addr 127.0.0.1:18090 \
+    -drain-timeout 30s &
+sortd_pid=$!
+"$obsdir/sortload" -addr 127.0.0.1:18070 -clients 16 -requests 400 -n 2048 \
+    -wait 15s -metrics-url http://127.0.0.1:18090/metrics
+kill -TERM "$sortd_pid"
+wait "$sortd_pid"
 
 echo "verify: OK"
