@@ -59,6 +59,7 @@ func main() {
 		stdin = flag.Bool("stdin", false, "parse go test output from stdin instead of running go test")
 		agg   = flag.String("agg", "mean", "how to merge -count repeats: mean, or min (fastest repeat; robust to scheduler noise when recording baselines)")
 		mAddr = flag.String("metrics-addr", "", "serve live telemetry for the benchjson driver process on this address while the benchmarks run (Prometheus /metrics, expvar /debug/vars, pprof /debug/pprof/)")
+		reqEx = flag.String("require-extra", "", "comma-separated 'key>=v' / 'key<=v' assertions on ReportMetric extras; every result carrying the key must satisfy the bound and at least one result must carry it (CI gate, e.g. overlap_ratio>=0.5)")
 	)
 	flag.Parse()
 
@@ -113,6 +114,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown -agg %q (want mean or min)\n", *agg)
 		os.Exit(1)
+	}
+
+	if *reqEx != "" {
+		if err := checkExtras(rep.Results, *reqEx); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -175,6 +183,48 @@ func parse(r io.Reader) ([]Result, error) {
 		results = append(results, res)
 	}
 	return results, sc.Err()
+}
+
+// checkExtras enforces the -require-extra assertions against the merged
+// results. Each clause is "key>=value" or "key<=value"; a result without
+// the key is skipped, but a clause no result carries fails — a vanished
+// metric must not silently pass the gate.
+func checkExtras(results []Result, spec string) error {
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		op := ">="
+		i := strings.Index(clause, op)
+		if i < 0 {
+			op = "<="
+			i = strings.Index(clause, op)
+		}
+		if i <= 0 {
+			return fmt.Errorf("bad -require-extra clause %q (want key>=value or key<=value)", clause)
+		}
+		key := strings.TrimSpace(clause[:i])
+		bound, err := strconv.ParseFloat(strings.TrimSpace(clause[i+len(op):]), 64)
+		if err != nil {
+			return fmt.Errorf("bad -require-extra bound in %q: %v", clause, err)
+		}
+		carried := false
+		for _, r := range results {
+			v, ok := r.Extra[key]
+			if !ok {
+				continue
+			}
+			carried = true
+			if (op == ">=" && v < bound) || (op == "<=" && v > bound) {
+				return fmt.Errorf("require-extra: %s: %s = %g, want %s %g", r.Name, key, v, op, bound)
+			}
+		}
+		if !carried {
+			return fmt.Errorf("require-extra: no result reports metric %q", key)
+		}
+	}
+	return nil
 }
 
 // trimProcSuffix strips the trailing "-N" GOMAXPROCS marker from a

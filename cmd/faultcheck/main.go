@@ -51,6 +51,8 @@ var matrix = []cell{
 	{"cmp", fault.SiteBlockPermute, 1, 1 << 12},
 	{"cmp", fault.SiteBlockCleanup, 1, 1 << 12},
 	{"cmp", fault.SiteShuffleStart, 2, 1 << 12},
+	{"ext", fault.SiteExtSpill, 1, 0},
+	{"ext", fault.SiteExtMerge, 1, 0},
 }
 
 func runSort(algo string, ctx context.Context, keys, vals []uint32, opt *partsort.SortOptions) error {
@@ -61,6 +63,9 @@ func runSort(algo string, ctx context.Context, keys, vals []uint32, opt *partsor
 		return partsort.TrySortMSBCtx(ctx, keys, vals, opt)
 	case "cmp":
 		return partsort.TrySortCmpCtx(ctx, keys, vals, opt)
+	case "ext":
+		_, err := partsort.SortExternalCtx(ctx, keys, vals, opt)
+		return err
 	}
 	panic("unknown algo " + algo)
 }
@@ -77,14 +82,28 @@ func main() {
 	work := make([]uint32, *n)
 	workV := make([]uint32, *n)
 
+	spillDir, err := os.MkdirTemp("", "faultcheck-ext-")
+	if err != nil {
+		fail("spill dir: %v", err)
+	}
+	defer os.RemoveAll(spillDir)
+
 	covered := map[fault.Site]bool{}
 	for _, c := range matrix {
 		copy(work, keys)
 		copy(workV, vals)
 		base := runtime.NumGoroutine()
+		opt := &partsort.SortOptions{Threads: *threads, Regions: c.regions, CacheTuples: c.cache}
+		if c.algo == "ext" {
+			// Forced-spill shape: segments far below n so the run leaves
+			// RAM, a real fanout, and merges deep enough to probe.
+			opt.TempDir = spillDir
+			opt.SpillSegmentTuples = 1 << 12
+			opt.SpillBucketBits = 3
+			opt.SpillMergeWidth = 4
+		}
 		fault.Enable(c.site, 0)
-		err := runSort(c.algo, context.Background(), work, workV,
-			&partsort.SortOptions{Threads: *threads, Regions: c.regions, CacheTuples: c.cache})
+		err := runSort(c.algo, context.Background(), work, workV, opt)
 		fired := fault.Fired()
 		fault.Disable()
 
@@ -105,6 +124,14 @@ func main() {
 		if !partsort.SameMultiset(keys, vals, work, workV) {
 			fail("%s: keys/vals are not a permutation of the input after containment", name)
 		}
+		if err := fault.CheckResources(); err != nil {
+			fail("%s: resource ledger not drained after containment: %v", name, err)
+		}
+		if c.algo == "ext" {
+			if ents, err := os.ReadDir(spillDir); err != nil || len(ents) != 0 {
+				fail("%s: spill dir not cleaned after containment: %d entries (%v)", name, len(ents), err)
+			}
+		}
 		waitGoroutines(name, base)
 		covered[c.site] = true
 		if *verbose {
@@ -124,7 +151,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	err := partsort.TrySortLSBCtx(ctx, big, bigV, &partsort.SortOptions{Threads: *threads})
+	err = partsort.TrySortLSBCtx(ctx, big, bigV, &partsort.SortOptions{Threads: *threads})
 	elapsed := time.Since(start)
 	if err == nil {
 		fmt.Println("faultcheck: sort outran the 2ms deadline; cancellation latency not measured")

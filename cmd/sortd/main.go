@@ -7,7 +7,10 @@
 // ledger, optional per-tenant caps), small key-only requests coalesce
 // into merged batched runs, and every sort executes under the
 // SortResilient retry/fallback supervisor on pooled per-size-class
-// workspace arenas.
+// workspace arenas. With -spill-dir set, requests too large for the
+// memory ledger degrade onto the external disk-spilling sort (bounded by
+// the -max-spill-bytes disk ledger) instead of being rejected; without
+// it they answer 413 with a structured reason.
 //
 // SIGTERM or SIGINT starts a graceful drain: admission flips to
 // rejecting (503 + Retry-After, /healthz reports "draining"), queued
@@ -54,6 +57,9 @@ func run() int {
 		sortThreads  = flag.Int("sort-threads", 1, "worker threads per individual sort")
 		maxAux       = flag.Int64("max-aux", 0, "admission ledger budget in bytes (0: half of available memory)")
 		maxTuples    = flag.Int("max-tuples", 0, "per-request key-count cap (0: default 1<<26)")
+		spillDir     = flag.String("spill-dir", "", "spill directory for over-budget requests (empty: reject them with 413)")
+		maxSpill     = flag.Int64("max-spill-bytes", 0, "disk ledger shared by spilling requests in bytes (0: unlimited)")
+		spillSegment = flag.Int("spill-segment", 0, "external-sort segment tuples override (0: planned)")
 		tenantCap    = flag.Int("tenant-cap", 0, "per-tenant admitted-request cap (0: uncapped)")
 		batchMax     = flag.Int("batch-max", 4096, "coalesce key-only requests up to this many keys (negative: disable)")
 		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "coalescing window")
@@ -93,15 +99,18 @@ func run() int {
 	}
 
 	srv := server.New(server.Config{
-		QueueDepth:     *queueDepth,
-		Workers:        *workers,
-		SortThreads:    *sortThreads,
-		MaxAuxBytes:    *maxAux,
-		MaxTuples:      *maxTuples,
-		MaxPerTenant:   *tenantCap,
-		BatchMaxTuples: *batchMax,
-		BatchWindow:    *batchWindow,
-		AutoTune:       *autotune,
+		QueueDepth:         *queueDepth,
+		Workers:            *workers,
+		SortThreads:        *sortThreads,
+		MaxAuxBytes:        *maxAux,
+		MaxTuples:          *maxTuples,
+		SpillDir:           *spillDir,
+		MaxSpillBytes:      *maxSpill,
+		SpillSegmentTuples: *spillSegment,
+		MaxPerTenant:       *tenantCap,
+		BatchMaxTuples:     *batchMax,
+		BatchWindow:        *batchWindow,
+		AutoTune:           *autotune,
 	})
 
 	httpLis, err := net.Listen("tcp", *addr)

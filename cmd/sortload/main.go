@@ -21,6 +21,12 @@
 // into an existing report (BENCH_PR9.json carries the AutoTune family
 // plus these latency records).
 //
+// With -large-n set, roughly one request in -large-every carries that
+// many keys instead of -n, exercising the daemon's over-budget spill
+// degradation path; the large class is summarized and recorded
+// separately (record name suffix /class=large, spilled count in Extra)
+// so the standard-class record stays comparable across recordings.
+//
 // Example:
 //
 //	sortload -addr 127.0.0.1:8070 -clients 64 -duration 10s -n 4096 \
@@ -62,6 +68,7 @@ type sortResponse struct {
 	Stage         int      `json:"stage"`
 	Batched       bool     `json:"batched"`
 	BatchRequests int      `json:"batch_requests"`
+	Spilled       bool     `json:"spilled"`
 }
 
 // benchResult and benchReport mirror cmd/benchjson's schema so benchdiff
@@ -89,6 +96,8 @@ type outcome struct {
 	latency  time.Duration
 	batched  bool
 	rejected bool
+	spilled  bool
+	large    bool
 	err      error
 }
 
@@ -113,6 +122,8 @@ func run() int {
 		requests   = flag.Int("requests", 0, "total requests to send (0: run for -duration)")
 		duration   = flag.Duration("duration", 10*time.Second, "run length when -requests is 0")
 		n          = flag.Int("n", 4096, "keys per request")
+		largeN     = flag.Int("large-n", 0, "keys per -large-class request (0: class disabled)")
+		largeEvery = flag.Int("large-every", 16, "submit one large request per this many requests")
 		width      = flag.Int("width", 64, "key width in bits (32 or 64)")
 		algo       = flag.String("algo", "lsb", "algorithm: lsb, msb, or cmp")
 		tenants    = flag.Int("tenants", 4, "distinct tenant ids to spread requests over")
@@ -125,7 +136,7 @@ func run() int {
 		seed       = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
-	if *clients < 1 || *n < 1 || (*width != 32 && *width != 64) {
+	if *clients < 1 || *n < 1 || (*width != 32 && *width != 64) || *largeN < 0 || *largeEvery < 1 {
 		fmt.Fprintln(os.Stderr, "sortload: bad flags")
 		return 2
 	}
@@ -214,7 +225,13 @@ func run() int {
 					}
 					schedAt = time.Now()
 				}
-				o := oneRequest(client, base, *algo, *width, *n, *tenants, &rng, schedAt)
+				reqN := *n
+				large := *largeN > 0 && splitmix(&rng)%uint64(*largeEvery) == 0
+				if large {
+					reqN = *largeN
+				}
+				o := oneRequest(client, base, *algo, *width, reqN, *tenants, &rng, schedAt)
+				o.large = large
 				local = append(local, o)
 			}
 			mu.Lock()
@@ -231,7 +248,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "sortload: metrics scrape:", err)
 		return 1
 	}
-	return report(results, elapsed, *algo, *clients, *n, *out, *appendOut)
+	return report(results, elapsed, *algo, *clients, *n, *largeN, *out, *appendOut)
 }
 
 // oneRequest builds, submits, verifies, and measures a single request,
@@ -295,7 +312,7 @@ func oneRequest(client *http.Client, base, algo string, width, n, tenants int, r
 		if err := verify(sr.Keys, n, sum); err != nil {
 			return outcome{latency: lat, rejected: rejected, err: err}
 		}
-		return outcome{latency: lat, batched: sr.Batched, rejected: rejected}
+		return outcome{latency: lat, batched: sr.Batched, rejected: rejected, spilled: sr.Spilled}
 	}
 }
 
@@ -362,14 +379,53 @@ func scrapeMidLoad(client *http.Client, url string) error {
 	return nil
 }
 
-// report prints the latency summary and writes the benchjson recording.
-func report(results []outcome, elapsed time.Duration, algo string, clients, n int, out string, appendOut bool) int {
+// report prints the per-class latency summaries and writes the benchjson
+// recording — one record for the standard class and, when -large-n is
+// set, a second for the large class.
+func report(results []outcome, elapsed time.Duration, algo string, clients, n, largeN int, out string, appendOut bool) int {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "sortload: no requests completed")
 		return 1
 	}
+	classes := []struct {
+		label   string
+		n       int
+		results []outcome
+	}{{"", n, results}}
+	if largeN > 0 {
+		var small, large []outcome
+		for _, o := range results {
+			if o.large {
+				large = append(large, o)
+			} else {
+				small = append(small, o)
+			}
+		}
+		classes[0].results = small
+		classes = append(classes, struct {
+			label   string
+			n       int
+			results []outcome
+		}{"large", largeN, large})
+	}
+	appendNext := appendOut
+	for _, c := range classes {
+		if len(c.results) == 0 {
+			fmt.Fprintf(os.Stderr, "sortload: class %q sampled no requests; nothing recorded\n", c.label)
+			continue
+		}
+		if code := reportClass(c.results, elapsed, algo, c.label, clients, c.n, out, appendNext); code != 0 {
+			return code
+		}
+		appendNext = true // later classes merge into the file just written
+	}
+	return 0
+}
+
+// reportClass summarizes one request class and appends its record.
+func reportClass(results []outcome, elapsed time.Duration, algo, label string, clients, n int, out string, appendOut bool) int {
 	var lats []time.Duration
-	var errs, rejected, batched int
+	var errs, rejected, batched, spilled int
 	var firstErr error
 	for _, o := range results {
 		if o.err != nil {
@@ -386,9 +442,16 @@ func report(results []outcome, elapsed time.Duration, algo string, clients, n in
 		if o.rejected {
 			rejected++
 		}
+		if o.spilled {
+			spilled++
+		}
+	}
+	tag := ""
+	if label != "" {
+		tag = " [" + label + "]"
 	}
 	if len(lats) == 0 {
-		fmt.Fprintln(os.Stderr, "sortload: every request failed; first error:", firstErr)
+		fmt.Fprintf(os.Stderr, "sortload:%s every request failed; first error: %v\n", tag, firstErr)
 		return 1
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -406,17 +469,20 @@ func report(results []outcome, elapsed time.Duration, algo string, clients, n in
 	mean := total / time.Duration(len(lats))
 	rps := float64(len(lats)) / elapsed.Seconds()
 
-	fmt.Printf("sortload: %d ok, %d failed, %d retried-after-rejection, %d batched in %s (%.0f req/s)\n",
-		len(lats), errs, rejected, batched, elapsed.Round(time.Millisecond), rps)
-	fmt.Printf("latency: p50 %s  p95 %s  p99 %s  max %s  mean %s\n",
-		q(0.50), q(0.95), q(0.99), lats[len(lats)-1], mean)
+	fmt.Printf("sortload:%s %d ok, %d failed, %d retried-after-rejection, %d batched, %d spilled in %s (%.0f req/s)\n",
+		tag, len(lats), errs, rejected, batched, spilled, elapsed.Round(time.Millisecond), rps)
+	fmt.Printf("latency:%s p50 %s  p95 %s  p99 %s  max %s  mean %s\n",
+		tag, q(0.50), q(0.95), q(0.99), lats[len(lats)-1], mean)
 	if errs > 0 {
-		fmt.Fprintf(os.Stderr, "sortload: %d requests failed; first error: %v\n", errs, firstErr)
+		fmt.Fprintf(os.Stderr, "sortload:%s %d requests failed; first error: %v\n", tag, errs, firstErr)
 		return 1
 	}
 
 	if out != "" {
 		name := fmt.Sprintf("SortdLatency/algo=%s/clients=%d/n=%d", algo, clients, n)
+		if label != "" {
+			name += "/class=" + label
+		}
 		res := benchResult{
 			Name:    name,
 			Iters:   int64(len(lats)),
@@ -429,6 +495,7 @@ func report(results []outcome, elapsed time.Duration, algo string, clients, n in
 				"throughput_rps": rps,
 				"rejected":       float64(rejected),
 				"batched":        float64(batched),
+				"spilled":        float64(spilled),
 			},
 		}
 		if err := writeReport(out, appendOut, res); err != nil {

@@ -39,6 +39,25 @@ func (e *ResourceError) Error() string {
 		e.Op, e.Need, e.InUse, e.Budget)
 }
 
+// SpillError reports an external-sort I/O failure: creating, writing, or
+// reading back the spill files, crossing the disk budget (unwraps to
+// ErrSpillBudget), or a sealed run failing its checksum on read-back
+// (unwraps to ErrSpillCorrupt). The run was contained: the input arrays
+// hold a permutation of the input and every temp file was removed.
+type SpillError struct {
+	Op   string // the entry point, e.g. "SortExternal"
+	Path string // the spill file or directory involved
+	Err  error  // the underlying failure
+}
+
+// Error implements error, naming the operation and the spill path.
+func (e *SpillError) Error() string {
+	return fmt.Sprintf("partsort: %s: spill %s: %v", e.Op, e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying failure for errors.Is/As.
+func (e *SpillError) Unwrap() error { return e.Err }
+
 // InternalError reports a worker panic that the hardened execution layer
 // contained: instead of crashing the process, the panic was recovered, its
 // sibling workers were cancelled and drained, the input arrays were

@@ -1,0 +1,230 @@
+package partsort
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+)
+
+// extTestOpt forces the spill path at unit-test sizes.
+func extTestOpt(t *testing.T) *SortOptions {
+	return &SortOptions{
+		TempDir:            t.TempDir(),
+		SpillSegmentTuples: 1 << 12,
+		SpillBucketBits:    3,
+		SpillMergeWidth:    4,
+		Threads:            2,
+	}
+}
+
+// TestSortExternalForcedSpill sorts an input four times the configured
+// memory budget through the spill path and checks the full contract:
+// sorted, a permutation of the input, spill stats populated, temp dir
+// clean.
+func TestSortExternalForcedSpill(t *testing.T) {
+	n := 1 << 16 // 1 MiB of pairs
+	opt := extTestOpt(t)
+	opt.MaxAuxBytes = 256 << 10 // input is 4x this budget
+	keys := gen.Uniform[uint64](n, 0, 1)
+	vals := RIDs[uint64](n)
+	sumK := append([]uint64(nil), keys...)
+	sumV := append([]uint64(nil), vals...)
+
+	st, err := SortExternal(keys, vals, opt)
+	if err != nil {
+		t.Fatalf("SortExternal: %v", err)
+	}
+	if !st.Spilled {
+		t.Fatalf("expected spill at n=%d, budget=%d: %+v", n, opt.MaxAuxBytes, st)
+	}
+	if !IsSorted(keys) {
+		t.Fatal("output not sorted")
+	}
+	if !SameMultiset(keys, vals, sumK, sumV) {
+		t.Fatal("output not a permutation of the input")
+	}
+	if st.SpillBytes == 0 || st.ReadBytes == 0 || st.RunsWritten == 0 {
+		t.Fatalf("spill stats empty: %+v", st)
+	}
+	ents, _ := os.ReadDir(opt.TempDir)
+	if len(ents) != 0 {
+		t.Fatalf("temp files leaked: %v", ents)
+	}
+}
+
+// TestSortExternalInMemory checks that small inputs under a roomy budget
+// never touch disk, and still sort.
+func TestSortExternalInMemory(t *testing.T) {
+	n := 1 << 12
+	keys := gen.Uniform[uint64](n, 1, 1)
+	vals := RIDs[uint64](n)
+	opt := &SortOptions{TempDir: t.TempDir()}
+	st, err := SortExternal(keys, vals, opt)
+	if err != nil {
+		t.Fatalf("SortExternal: %v", err)
+	}
+	if st.Spilled {
+		t.Fatalf("small input spilled: %+v", st)
+	}
+	if !IsSorted(keys) {
+		t.Fatal("output not sorted")
+	}
+	ents, _ := os.ReadDir(opt.TempDir)
+	if len(ents) != 0 {
+		t.Fatalf("in-memory path touched the temp dir: %v", ents)
+	}
+}
+
+// TestSortExternalCancel checks cooperative cancellation: ctx.Err() comes
+// back, the input is a permutation, and no temp files remain.
+func TestSortExternalCancel(t *testing.T) {
+	n := 1 << 15
+	opt := extTestOpt(t)
+	keys := gen.Uniform[uint64](n, 0, 2)
+	vals := RIDs[uint64](n)
+	sumK := append([]uint64(nil), keys...)
+	sumV := append([]uint64(nil), vals...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SortExternalCtx(ctx, keys, vals, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !SameMultiset(keys, vals, sumK, sumV) {
+		t.Fatal("input not a permutation after cancellation")
+	}
+	ents, _ := os.ReadDir(opt.TempDir)
+	if len(ents) != 0 {
+		t.Fatalf("temp files leaked on cancel: %v", ents)
+	}
+}
+
+// TestSortExternalArgErrors checks the validation surface.
+func TestSortExternalArgErrors(t *testing.T) {
+	keys := []uint64{1, 2}
+	var ae *ArgError
+	if _, err := SortExternal(keys, []uint64{1}, nil); !errors.As(err, &ae) || ae.Field != "vals" {
+		t.Fatalf("mismatched vals: %v", err)
+	}
+	bad := []SortOptions{
+		{SpillSegmentTuples: -1},
+		{SpillBucketBits: 17},
+		{SpillMergeWidth: -2},
+		{MaxSpillBytes: -5},
+	}
+	for _, opt := range bad {
+		opt := opt
+		if _, err := SortExternal(keys, []uint64{1, 2}, &opt); !errors.As(err, &ae) {
+			t.Fatalf("opt %+v: err = %v, want *ArgError", opt, err)
+		}
+	}
+}
+
+// TestSortExternalSpillBudget checks disk-budget refusal: *SpillError
+// unwrapping ErrSpillBudget, input intact, nothing leaked.
+func TestSortExternalSpillBudget(t *testing.T) {
+	n := 1 << 15
+	opt := extTestOpt(t)
+	opt.MaxSpillBytes = 8 << 10
+	keys := gen.Uniform[uint64](n, 0, 3)
+	vals := RIDs[uint64](n)
+	sumK := append([]uint64(nil), keys...)
+	sumV := append([]uint64(nil), vals...)
+	_, err := SortExternal(keys, vals, opt)
+	var se *SpillError
+	if !errors.As(err, &se) || !errors.Is(err, ErrSpillBudget) {
+		t.Fatalf("err = %v, want *SpillError wrapping ErrSpillBudget", err)
+	}
+	if !SameMultiset(keys, vals, sumK, sumV) {
+		t.Fatal("input changed on budget refusal")
+	}
+	ents, _ := os.ReadDir(opt.TempDir)
+	if len(ents) != 0 {
+		t.Fatalf("temp files leaked: %v", ents)
+	}
+}
+
+// TestSortExternalFaultInjection checks that injected spill faults
+// surface as *InternalError wrapping fault.Injected, with the resource
+// ledger drained.
+func TestSortExternalFaultInjection(t *testing.T) {
+	n := 1 << 15
+	opt := extTestOpt(t)
+	keys := gen.Uniform[uint64](n, 0, 4)
+	vals := RIDs[uint64](n)
+	sumK := append([]uint64(nil), keys...)
+	sumV := append([]uint64(nil), vals...)
+	fault.Enable(fault.SiteExtSpill, 10)
+	defer fault.Disable()
+	_, err := SortExternal(keys, vals, opt)
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *InternalError", err)
+	}
+	if !errors.Is(err, fault.Injected{Site: fault.SiteExtSpill}) {
+		t.Fatalf("err does not wrap the injected site: %v", err)
+	}
+	if !SameMultiset(keys, vals, sumK, sumV) {
+		t.Fatal("input not a permutation after containment")
+	}
+	if err := fault.CheckResources(); err != nil {
+		t.Fatalf("resource ledger: %v", err)
+	}
+	ents, _ := os.ReadDir(opt.TempDir)
+	if len(ents) != 0 {
+		t.Fatalf("temp files leaked: %v", ents)
+	}
+}
+
+// TestSortExternalWorkspace runs repeated spills through one workspace
+// and checks steady state allocates nothing from the OS pools.
+func TestSortExternalWorkspace(t *testing.T) {
+	w := NewWorkspace()
+	defer w.Close()
+	opt := extTestOpt(t)
+	opt.Workspace = w
+	n := 1 << 15
+	keys := gen.Uniform[uint64](n, 0, 5)
+	vals := RIDs[uint64](n)
+	if _, err := SortExternal(keys, vals, opt); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		rand.New(rand.NewSource(int64(i))).Shuffle(n, func(a, b int) {
+			keys[a], keys[b] = keys[b], keys[a]
+			vals[a], vals[b] = vals[b], vals[a]
+		})
+		st, err := SortExternal(keys, vals, opt)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !st.Spilled || !IsSorted(keys) {
+			t.Fatalf("run %d: spilled=%v sorted=%v", i, st.Spilled, IsSorted(keys))
+		}
+	}
+}
+
+// TestPlanSpill checks the planner's decision boundary and that the
+// planned footprint respects the budget it was given.
+func TestPlanSpill(t *testing.T) {
+	budget := int64(1 << 20)
+	small := PlanSpill(1<<10, 64, budget)
+	if small.Spill {
+		t.Fatalf("1K tuples should fit a 1 MiB budget: %+v", small)
+	}
+	big := PlanSpill(1<<24, 64, budget)
+	if !big.Spill {
+		t.Fatalf("16M tuples must spill under a 1 MiB budget: %+v", big)
+	}
+	if big.MemBytes > budget+budget/2 {
+		t.Fatalf("planned footprint %d far exceeds budget %d", big.MemBytes, budget)
+	}
+	if big.SegmentTuples < 1 || big.MergeWidth < 2 || big.BucketBits < 1 {
+		t.Fatalf("degenerate plan: %+v", big)
+	}
+}

@@ -1,0 +1,227 @@
+// Run formation and delivery. Formation is the counting-free streaming
+// pass: classify each tuple by its top digit, buffer it in the bucket's
+// write-combining line, and flush full lines into file extents reserved
+// on first touch. Delivery walks the buckets in key order, sorting
+// one-segment buckets straight into their output range and cutting larger
+// ones into sealed segments for the merge.
+
+package extsort
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/hard"
+	"repro/internal/kv"
+	"repro/internal/obs"
+)
+
+// sampleStride bounds the digit-shift sample: a strided probe of at most
+// this many keys estimates the key domain without a counting pass.
+// Underestimates only cost balance — the top bucket absorbs the clamp —
+// never correctness, because the digit stays monotone in the key.
+const sampleKeys = 1024
+
+// formRuns is phase 1: the single streaming pass over the input.
+func (s *sorter[K]) formRuns(ctl *hard.Ctl, keys, vals []K) error {
+	s.planDigit(keys)
+	L := s.opt.LineTuples
+	for i := range keys {
+		ctl.Checkpoint()
+		d := s.digit(keys[i])
+		b := &s.buckets[d]
+		base := d*2*L + b.line*2
+		s.slab[base] = keys[i]
+		s.slab[base+1] = vals[i]
+		b.line++
+		if b.line == L {
+			if err := s.flushLine(d); err != nil {
+				return err
+			}
+		}
+	}
+	for d := range s.buckets {
+		if s.buckets[d].line > 0 {
+			if err := s.flushLine(d); err != nil {
+				return err
+			}
+		}
+		if s.buckets[d].count > 0 {
+			s.stats.Buckets++
+		}
+	}
+	return nil
+}
+
+// planDigit picks the digit shift from a strided key sample, so the
+// fanout covers the observed domain instead of the full key width.
+func (s *sorter[K]) planDigit(keys []K) {
+	stride := len(keys) / sampleKeys
+	if stride < 1 {
+		stride = 1
+	}
+	var max K
+	for i := 0; i < len(keys); i += stride {
+		if keys[i] > max {
+			max = keys[i]
+		}
+	}
+	bits := 1
+	for max>>bits != 0 && bits < kv.Width[K]() {
+		bits++
+	}
+	s.shift = 0
+	if bits > s.opt.BucketBits {
+		s.shift = uint(bits - s.opt.BucketBits)
+	}
+	s.maxDig = (1 << s.opt.BucketBits) - 1
+}
+
+// digit maps a key to its bucket. Clamping keeps keys above the sampled
+// domain in the top bucket; the map stays monotone, so concatenating
+// sorted buckets in index order yields a sorted array.
+func (s *sorter[K]) digit(k K) int {
+	d := int(k >> s.shift)
+	if d > s.maxDig {
+		d = s.maxDig
+	}
+	return d
+}
+
+// flushLine spills bucket d's line buffer into its extent chain,
+// reserving a fresh extent when the current one cannot hold the line.
+func (s *sorter[K]) flushLine(d int) error {
+	b := &s.buckets[d]
+	nb := int64(b.line) * s.pairB
+	e, err := s.extentFor(b, nb)
+	if err != nil {
+		return err
+	}
+	fault.Inject(fault.SiteExtSpill)
+	L := s.opt.LineTuples
+	line := s.slab[d*2*L : d*2*L+b.line*2]
+	if _, err := s.spillF.WriteAt(asBytes(line)[:nb], e.off+e.used); err != nil {
+		return ioErr("write", s.spillF, err)
+	}
+	e.used += nb
+	b.count += int64(b.line)
+	b.line = 0
+	s.stats.FormationBytes += nb
+	s.stats.FormationWrites++
+	s.stats.SpillBytes += nb
+	obs.AddExtSpillBytes(nb)
+	return nil
+}
+
+// extentFor returns the extent the next nb bytes of bucket b go to,
+// reserving file space on first touch (and on overflow) instead of
+// pre-counting bucket sizes.
+func (s *sorter[K]) extentFor(b *bucketState, nb int64) (*extent, error) {
+	if n := len(b.extents); n > 0 {
+		if e := &b.extents[n-1]; e.size-e.used >= nb {
+			return e, nil
+		}
+	}
+	size := int64(s.opt.ExtentTuples()) * s.pairB
+	if size < nb {
+		size = nb
+	}
+	if err := s.reserve(size, s.spillF); err != nil {
+		return nil, err
+	}
+	b.extents = append(b.extents, extent{off: s.spillTail, size: size})
+	s.spillTail += size
+	return &b.extents[len(b.extents)-1], nil
+}
+
+// ExtentTuples derives the reservation unit: half a segment, but at least
+// 16 lines so the chain bookkeeping stays negligible.
+func (o Options) ExtentTuples() int {
+	ext := o.SegmentTuples / 2
+	if min := 16 * o.LineTuples; ext < min {
+		ext = min
+	}
+	return ext
+}
+
+// deliver is phases 2 and 3: walk buckets in key order, sort each back
+// into its slice of the output, sealing and merging segments where a
+// bucket exceeds one.
+func (s *sorter[K]) deliver(ctl *hard.Ctl, keys, vals []K) error {
+	seg := s.opt.SegmentTuples
+	pos := 0
+	for d := range s.buckets {
+		b := &s.buckets[d]
+		c := int(b.count)
+		if c == 0 {
+			continue
+		}
+		if pos+c > s.n {
+			return ioErr("deliver", s.spillF, fmt.Errorf("%w: bucket counts exceed input (%d+%d > %d)", ErrCorrupt, pos, c, s.n))
+		}
+		outK := keys[pos : pos+c]
+		outV := vals[pos : pos+c]
+		r := extentReader{f: s.spillF, exts: b.extents, st: &s.stats}
+		if c <= seg {
+			// One-segment bucket: deinterleave straight into the output
+			// range and sort in place — no second spill, no merge.
+			pairs := s.readBuf[:2*c]
+			if err := r.read(asBytes(pairs)[:int64(c)*s.pairB]); err != nil {
+				return err
+			}
+			deinterleave(pairs, outK, outV)
+			sortChunk(ctl, outK, outV, s.w, s.opt)
+		} else {
+			s.segs = s.segs[:0]
+			for done := 0; done < c; {
+				cn := c - done
+				if cn > seg {
+					cn = seg
+				}
+				ck, cv := s.chunkK[:cn], s.chunkV[:cn]
+				pairs := s.readBuf[:2*cn]
+				if err := r.read(asBytes(pairs)[:int64(cn)*s.pairB]); err != nil {
+					return err
+				}
+				deinterleave(pairs, ck, cv)
+				sortChunk(ctl, ck, cv, s.w, s.opt)
+				sg, err := s.writeSegment(ck, cv)
+				if err != nil {
+					return err
+				}
+				s.segs = append(s.segs, sg)
+				done += cn
+			}
+			if err := s.mergeRounds(ctl, outK, outV); err != nil {
+				return err
+			}
+		}
+		pos += c
+	}
+	if pos != s.n {
+		return ioErr("deliver", s.spillF, fmt.Errorf("%w: delivered %d of %d tuples", ErrCorrupt, pos, s.n))
+	}
+	return nil
+}
+
+// writeSegment seals one sorted chunk: checksum, interleave, append to
+// the runs file in one streaming write.
+func (s *sorter[K]) writeSegment(ck, cv []K) (segment, error) {
+	nb := int64(len(ck)) * s.pairB
+	if err := s.reserve(nb, s.runsF); err != nil {
+		return segment{}, err
+	}
+	sg := segment{off: s.runsTail, count: int64(len(ck)), sum: kv.ChecksumPairs(ck, cv)}
+	pairs := s.readBuf[:2*len(ck)]
+	interleave(pairs, ck, cv)
+	fault.Inject(fault.SiteExtSpill)
+	if _, err := s.runsF.WriteAt(asBytes(pairs)[:nb], s.runsTail); err != nil {
+		return segment{}, ioErr("write", s.runsF, err)
+	}
+	s.runsTail += nb
+	s.stats.RunsWritten++
+	s.stats.SpillBytes += nb
+	obs.AddExtRuns(1)
+	obs.AddExtSpillBytes(nb)
+	return sg, nil
+}

@@ -259,6 +259,7 @@ func TestSitesCatalogueComplete(t *testing.T) {
 		SiteLSBPass: true, SiteMSBRecurse: true, SiteCMPPass: true,
 		SiteWorkerStart: true, SiteBlockRefill: true, SiteShuffleStart: true,
 		SiteBlockPermute: true, SiteBlockCleanup: true,
+		SiteExtSpill: true, SiteExtMerge: true,
 	}
 	got := Sites()
 	if len(got) != len(want) {

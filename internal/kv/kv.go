@@ -79,6 +79,17 @@ func ChecksumOf[K Key](keys []K) Checksum {
 	return c
 }
 
+// AddPair folds one (key, payload) pair into the fingerprint — the
+// streaming form of ChecksumPairs for consumers that see tuples block by
+// block (the external sort's segment iterators verify each sealed run
+// this way as they drain it).
+func (c *Checksum) AddPair(k, v uint64) {
+	m := mix64(mix64(k) + v)
+	c.Sum += m
+	c.Xor ^= m
+	c.Count++
+}
+
 // ChecksumPairs fingerprints the multiset of (key, payload) pairs, so that
 // tests can show payloads traveled with their keys.
 func ChecksumPairs[K Key](keys, vals []K) Checksum {

@@ -1,0 +1,165 @@
+// Package mergetest is the shared merge-conformance suite: one table of
+// fan-in boundary shapes (W=2, odd W, one-element runs, empty runs,
+// duplicate-heavy and sentinel-valued keys) that every W-way merge in the
+// tree must pass — the CMP path's in-memory lane merge and the external
+// sort's file-backed segment merge alike. Mergers that cannot express a
+// shape (the lane merge's run lengths are pinned by the interleaved
+// layout) skip it by returning ErrUnsupported; silently passing a shape a
+// merger never ran is what the per-case skip accounting prevents.
+package mergetest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+// ErrUnsupported marks a run shape a merger cannot express; the suite
+// skips the case instead of failing it.
+var ErrUnsupported = errors.New("mergetest: run shape unsupported by this merger")
+
+// MergeFunc merges the given sorted runs (parallel key/val columns, one
+// slice per run) into one sorted stream. The suite owns the inputs; the
+// merger must not mutate them.
+type MergeFunc func(runsK, runsV [][]uint64) (outK, outV []uint64, err error)
+
+// Case is one conformance shape: run lengths plus a key generator.
+type Case struct {
+	Name string
+	Lens []int
+	// Gen returns the i-th key of run r; runs are sorted by construction
+	// (the suite sorts each run after generation).
+	Gen func(r, i int) uint64
+}
+
+// Cases returns the conformance table. Shapes with more than maxW runs
+// are excluded so narrow mergers (the 4-lane CMP merge) still cover every
+// shape they can express.
+func Cases(maxW int) []Case {
+	mixed := func(r, i int) uint64 { return uint64(i)*2654435761 + uint64(r)*40503 }
+	dup := func(r, i int) uint64 { return uint64(i % 2) }
+	equal := func(r, i int) uint64 { return 42 }
+	sentinel := func(r, i int) uint64 {
+		if i%3 == 0 {
+			return math.MaxUint64 // a real MaxKey must never lose to a pad
+		}
+		return uint64(i) * 7919
+	}
+	all := []Case{
+		{Name: "W=2/balanced", Lens: []int{8, 8}, Gen: mixed},
+		{Name: "W=2/lane-skew", Lens: []int{5, 4}, Gen: mixed},
+		{Name: "W=2/one-element", Lens: []int{1, 1}, Gen: mixed},
+		{Name: "W=2/empty-run", Lens: []int{1, 0}, Gen: mixed},
+		{Name: "W=2/duplicate-heavy", Lens: []int{16, 15}, Gen: dup},
+		{Name: "W=2/all-equal", Lens: []int{8, 8}, Gen: equal},
+		{Name: "W=2/maxkey-sentinel", Lens: []int{6, 6}, Gen: sentinel},
+		{Name: "W=3/odd-balanced", Lens: []int{4, 4, 4}, Gen: mixed},
+		{Name: "W=3/odd-lane-skew", Lens: []int{5, 5, 4}, Gen: mixed},
+		{Name: "W=3/one-element", Lens: []int{1, 1, 1}, Gen: mixed},
+		{Name: "W=4/balanced", Lens: []int{4, 4, 4, 4}, Gen: mixed},
+		{Name: "W=4/lane-skew", Lens: []int{3, 2, 2, 2}, Gen: dup},
+		{Name: "W=1/single-run", Lens: []int{7}, Gen: mixed},
+		{Name: "W=3/arbitrary-skew", Lens: []int{10, 1, 3}, Gen: mixed},
+		{Name: "W=5/odd-wide", Lens: []int{3, 1, 4, 1, 5}, Gen: mixed},
+		{Name: "W=7/duplicate-heavy", Lens: []int{2, 2, 2, 2, 2, 2, 2}, Gen: dup},
+		{Name: "W=9/one-element-runs", Lens: []int{1, 1, 1, 1, 1, 1, 1, 1, 1}, Gen: mixed},
+	}
+	out := all[:0:0]
+	for _, c := range all {
+		if len(c.Lens) <= maxW {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Build materializes one case: sorted key runs plus val columns carrying
+// a unique id per tuple, so pair integrity survives duplicate keys.
+func Build(c Case) (runsK, runsV [][]uint64) {
+	id := uint64(1)
+	for r, ln := range c.Lens {
+		ks := make([]uint64, ln)
+		vs := make([]uint64, ln)
+		for i := range ks {
+			ks[i] = c.Gen(r, i)
+		}
+		sortRun(ks)
+		for i := range vs {
+			vs[i] = id
+			id++
+		}
+		runsK = append(runsK, ks)
+		runsV = append(runsV, vs)
+	}
+	return runsK, runsV
+}
+
+// Check validates a merge output against its input runs: exact length,
+// sorted keys, and the same key/val pair multiset (order-independent
+// checksum, so duplicates cannot hide a dropped or duplicated tuple).
+func Check(runsK, runsV [][]uint64, outK, outV []uint64) error {
+	want := 0
+	var inK, inV []uint64
+	for r := range runsK {
+		want += len(runsK[r])
+		inK = append(inK, runsK[r]...)
+		inV = append(inV, runsV[r]...)
+	}
+	if len(outK) != want || len(outV) != want {
+		return fmt.Errorf("merged %d keys / %d vals, want %d", len(outK), len(outV), want)
+	}
+	for i := 1; i < len(outK); i++ {
+		if outK[i-1] > outK[i] {
+			return fmt.Errorf("output not sorted at %d: %d > %d", i, outK[i-1], outK[i])
+		}
+	}
+	if kv.ChecksumPairs(inK, inV) != kv.ChecksumPairs(outK, outV) {
+		return fmt.Errorf("output pairs are not a permutation of the input runs")
+	}
+	return nil
+}
+
+// Conformance runs every case up to maxW against merge. At least one case
+// must actually execute — a merger that skips the whole table passes
+// nothing.
+func Conformance(t *testing.T, maxW int, merge MergeFunc) {
+	t.Helper()
+	ran := 0
+	for _, c := range Cases(maxW) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			runsK, runsV := Build(c)
+			outK, outV, err := merge(runsK, runsV)
+			if errors.Is(err, ErrUnsupported) {
+				t.Skipf("shape unsupported: %v", c.Lens)
+			}
+			if err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+			ran++
+			if err := Check(runsK, runsV, outK, outV); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("mergetest: merger skipped every conformance case")
+	}
+}
+
+// sortRun is insertion sort — runs are tiny and this keeps the package
+// dependency-light.
+func sortRun(ks []uint64) {
+	for i := 1; i < len(ks); i++ {
+		k := ks[i]
+		j := i - 1
+		for j >= 0 && ks[j] > k {
+			ks[j+1] = ks[j]
+			j--
+		}
+		ks[j+1] = k
+	}
+}

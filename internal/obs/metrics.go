@@ -463,6 +463,7 @@ func DefaultRegistry() *Registry {
 					return 0
 				}, L("outcome", o.outcome))
 		}
+		registerExtsort(r)
 		defaultRegistry.r = r
 	})
 	return defaultRegistry.r

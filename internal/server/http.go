@@ -1,9 +1,10 @@
 // The HTTP/JSON front end: POST /v1/sort submits one request and blocks
 // until its result, GET /healthz reports liveness/drain state, and
 // GET /v1/stats returns a JSON operational snapshot. Error mapping:
-// malformed requests 400, oversized 413, tenant cap 429, admission and
-// drain rejections 503 (both with Retry-After), contained sort failures
-// 500 — the same taxonomy sortcli maps to exit codes (OPERATIONS.md).
+// malformed requests 400, oversized and over-budget-can't-spill 413 (the
+// latter with a structured reason), tenant cap 429, admission and drain
+// rejections 503 (both with Retry-After), contained sort failures 500 —
+// the same taxonomy sortcli maps to exit codes (OPERATIONS.md).
 
 package server
 
@@ -52,15 +53,22 @@ type SortResponseJSON struct {
 	Degraded      bool  `json:"degraded,omitempty"`
 	Batched       bool  `json:"batched,omitempty"`
 	BatchRequests int   `json:"batch_requests,omitempty"`
+	// Spilled reports the request exceeded the memory ledger and ran
+	// through the external (disk-spilling) sort.
+	Spilled bool `json:"spilled,omitempty"`
 }
 
 // ErrorJSON is the error body of every non-2xx API response.
 type ErrorJSON struct {
 	// Error is the human-readable message; Code the stable machine tag
-	// ("bad-request", "too-large", "queue-full", "memory", "tenant-limit",
-	// "draining", "canceled", "resource", "internal").
+	// ("bad-request", "too-large", "over-budget", "queue-full", "memory",
+	// "tenant-limit", "draining", "canceled", "resource", "internal").
 	Error string `json:"error"`
 	Code  string `json:"code"`
+	// Reason refines "over-budget" rejections: "spill-disabled" (the
+	// server has no spill directory) or "disk-budget" (the request's
+	// spill estimate exceeds the disk ledger).
+	Reason string `json:"reason,omitempty"`
 }
 
 // StatsJSON is the GET /v1/stats body.
@@ -73,6 +81,9 @@ type StatsJSON struct {
 	InflightJobs      int64 `json:"inflight_jobs"`
 	PendingAuxBytes   int64 `json:"pending_aux_bytes"`
 	WorkspaceAuxBytes int64 `json:"workspace_aux_bytes"`
+	// PendingSpillBytes is the disk ledger's charge for admitted
+	// external (over-budget) jobs.
+	PendingSpillBytes int64 `json:"pending_spill_bytes"`
 	Draining          bool  `json:"draining"`
 }
 
@@ -117,6 +128,7 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		Degraded:      res.Degraded,
 		Batched:       res.Batched,
 		BatchRequests: res.BatchRequests,
+		Spilled:       res.Spilled,
 	}
 	if req.Keys64 != nil {
 		resp.Keys, resp.Vals = req.Keys64, req.Vals64
@@ -191,9 +203,16 @@ func widen(xs []uint32) []uint64 {
 func writeSubmitError(w http.ResponseWriter, err error) {
 	var adm *AdmissionError
 	var tooLarge *TooLargeError
+	var overBudget *OverBudgetError
 	var argErr *partsort.ArgError
 	var resErr *partsort.ResourceError
 	switch {
+	case errors.As(err, &overBudget):
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusRequestEntityTooLarge)
+		_ = json.NewEncoder(w).Encode(ErrorJSON{
+			Error: err.Error(), Code: "over-budget", Reason: overBudget.Reason,
+		})
 	case errors.As(err, &adm):
 		secs := int(adm.RetryAfter / time.Second)
 		if secs < 1 {
@@ -246,6 +265,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		InflightJobs:      s.inflight.Load(),
 		PendingAuxBytes:   s.PendingAuxBytes(),
 		WorkspaceAuxBytes: s.AuxBytes(),
+		PendingSpillBytes: s.PendingSpillBytes(),
 		Draining:          s.Draining(),
 	})
 }

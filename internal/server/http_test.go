@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -115,6 +116,10 @@ func TestHTTPMalformedRequestTable(t *testing.T) {
 func TestHTTPAdmissionRejectionCarriesRetryAfter(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxAuxBytes = 1 // every request over-budget: deterministic 503
+	// With spilling enabled the over-budget request degrades to an
+	// external job, whose planned resident footprint still cannot fit the
+	// 1-byte memory ledger — the classic retryable "memory" rejection.
+	cfg.SpillDir = t.TempDir()
 	s := New(cfg)
 	defer drainOK(t, s)
 	ts := httptest.NewServer(s.Handler())
@@ -135,6 +140,106 @@ func TestHTTPAdmissionRejectionCarriesRetryAfter(t *testing.T) {
 	var ej ErrorJSON
 	if err := json.NewDecoder(resp.Body).Decode(&ej); err != nil || ej.Code != "memory" {
 		t.Fatalf("error body: %+v (%v), want code memory", ej, err)
+	}
+}
+
+// TestHTTPOverBudget413 is the structured-reason table: a request whose
+// estimated aux exceeds the memory ledger and cannot spill answers 413
+// with code "over-budget" and the reason that closed the door.
+func TestHTTPOverBudget413(t *testing.T) {
+	cases := []struct {
+		name   string
+		shape  func(*Config, *testing.T)
+		reason string
+	}{
+		{"spill disabled", func(cfg *Config, t *testing.T) {
+			cfg.MaxAuxBytes = 1 // any request overflows; no SpillDir
+		}, "spill-disabled"},
+		{"disk budget", func(cfg *Config, t *testing.T) {
+			cfg.MaxAuxBytes = 256 << 10
+			cfg.SpillDir = t.TempDir()
+			cfg.MaxSpillBytes = 1 // the spill estimate can never fit
+		}, "disk-budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.shape(&cfg, t)
+			s := New(cfg)
+			defer drainOK(t, s)
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			// 8192 keys: est ≈ 36·n + 64 KiB overflows both ledgers above.
+			keys := make([]string, 8192)
+			for i := range keys {
+				keys[i] = strconv.Itoa(len(keys) - i)
+			}
+			body := `{"algo":"lsb","keys":[` + strings.Join(keys, ",") + `]}`
+			resp, err := http.Post(ts.URL+"/v1/sort", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				msg, _ := io.ReadAll(resp.Body)
+				t.Fatalf("HTTP %d, want 413: %s", resp.StatusCode, msg)
+			}
+			var ej ErrorJSON
+			if err := json.NewDecoder(resp.Body).Decode(&ej); err != nil {
+				t.Fatalf("error body: %v", err)
+			}
+			if ej.Code != "over-budget" || ej.Reason != tc.reason {
+				t.Fatalf("code/reason = %q/%q, want over-budget/%s", ej.Code, ej.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestHTTPSpillDegradation submits a request past the memory ledger with
+// spilling enabled and expects a sorted 200 flagged spilled=true.
+func TestHTTPSpillDegradation(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxAuxBytes = 256 << 10
+	cfg.SpillDir = t.TempDir()
+	cfg.SpillSegmentTuples = 1 << 10 // force real segments and a file-backed merge
+	s := New(cfg)
+	defer drainOK(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 8192
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = strconv.Itoa((i*2654435761 + 7) % 1000003)
+	}
+	body := `{"algo":"lsb","keys":[` + strings.Join(keys, ",") + `]}`
+	resp, err := http.Post(ts.URL+"/v1/sort", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var sr SortResponseJSON
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !sr.Spilled {
+		t.Fatal("response not flagged spilled")
+	}
+	if len(sr.Keys) != n {
+		t.Fatalf("got %d keys, want %d", len(sr.Keys), n)
+	}
+	for i := 1; i < n; i++ {
+		if sr.Keys[i-1] > sr.Keys[i] {
+			t.Fatalf("keys[%d]=%d > keys[%d]=%d", i-1, sr.Keys[i-1], i, sr.Keys[i])
+		}
+	}
+	if got := s.PendingSpillBytes(); got != 0 {
+		t.Fatalf("disk ledger holds %d bytes after completion", got)
 	}
 }
 

@@ -23,16 +23,20 @@ const maxTenantSeries = 64
 
 // metrics holds the server's registered metric handles.
 type metrics struct {
-	queueDepth *obs.Gauge
-	inflight   *obs.Gauge
-	pendingAux *obs.Gauge
+	queueDepth   *obs.Gauge
+	inflight     *obs.Gauge
+	pendingAux   *obs.Gauge
+	pendingSpill *obs.Gauge
 
-	admitted         *obs.Counter
-	rejectedQueue    *obs.Counter
-	rejectedMemory   *obs.Counter
-	rejectedTenant   *obs.Counter
-	rejectedDraining *obs.Counter
-	rejectedInvalid  *obs.Counter
+	admitted           *obs.Counter
+	rejectedQueue      *obs.Counter
+	rejectedMemory     *obs.Counter
+	rejectedTenant     *obs.Counter
+	rejectedDraining   *obs.Counter
+	rejectedInvalid    *obs.Counter
+	rejectedOverBudget *obs.Counter
+
+	spilled *obs.Counter
 
 	requestsOK       *obs.Counter
 	requestsErr      *obs.Counter
@@ -55,6 +59,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		"Jobs currently executing on the server's worker pool.")
 	m.pendingAux = reg.Gauge(serverPrefix+"pending_aux_bytes",
 		"Admission ledger: estimated auxiliary bytes of all admitted requests.")
+	m.pendingSpill = reg.Gauge(serverPrefix+"pending_spill_bytes",
+		"Disk ledger: estimated spill-file bytes of all admitted external (over-budget) jobs.")
 
 	adm := func(outcome string) *obs.Counter {
 		return reg.Counter(serverPrefix+"admissions_total",
@@ -66,6 +72,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 	m.rejectedTenant = adm("rejected_tenant")
 	m.rejectedDraining = adm("rejected_draining")
 	m.rejectedInvalid = adm("rejected_invalid")
+	m.rejectedOverBudget = adm("rejected_over_budget")
+
+	m.spilled = reg.Counter(serverPrefix+"spilled_total",
+		"Requests that exceeded the memory ledger and degraded onto the external (disk-spilling) sort.")
 
 	st := func(status string) *obs.Counter {
 		return reg.Counter(serverPrefix+"requests_total",

@@ -50,6 +50,22 @@ type Config struct {
 	// MaxTuples caps a single request's key count (default 1<<26);
 	// larger submissions are rejected as too large, never queued.
 	MaxTuples int
+	// SpillDir enables over-budget degradation: a request whose estimated
+	// auxiliary footprint exceeds MaxAuxBytes runs through the external
+	// (disk-spilling) sort under this directory instead of being rejected.
+	// "" (the default) disables spilling; such requests fail with an
+	// *OverBudgetError.
+	SpillDir string
+	// MaxSpillBytes is the disk ledger shared by every spilling request
+	// (0: unlimited): the summed spill estimates of admitted external jobs
+	// may not exceed it. Requests past it are rejected with an
+	// *OverBudgetError, never queued — disk, unlike the queue, does not
+	// drain on a retry-later timescale.
+	MaxSpillBytes int64
+	// SpillSegmentTuples overrides the external sort's sealed-run
+	// granularity (0: planned from the per-job memory budget). Mostly a
+	// test hook to force deep file-backed merges on small inputs.
+	SpillSegmentTuples int
 	// MaxPerTenant caps one tenant's admitted-but-unfinished requests
 	// (0: no per-tenant cap).
 	MaxPerTenant int
@@ -173,6 +189,9 @@ type Result struct {
 	// the number of requests sharing the merged run.
 	Batched       bool
 	BatchRequests int
+	// Spilled records that the request exceeded the memory ledger and ran
+	// through the external (disk-spilling) sort.
+	Spilled bool
 }
 
 // AdmissionError is a rejected submission: the queue, the memory ledger,
@@ -201,6 +220,27 @@ func (e *TooLargeError) Error() string {
 	return fmt.Sprintf("server: request of %d tuples exceeds the %d-tuple cap", e.N, e.Max)
 }
 
+// OverBudgetError is a submission whose estimated auxiliary footprint
+// exceeds the memory ledger and cannot degrade to the external (spill)
+// path. Unlike *AdmissionError it carries no retry hint: the request can
+// never fit this configuration. Front ends translate it to 413 with the
+// structured reason.
+type OverBudgetError struct {
+	// Need is the bytes the request requires; Budget the ceiling it
+	// crossed (memory or disk, per Reason).
+	Need, Budget int64
+	// Reason is "spill-disabled" (no Config.SpillDir, so the memory
+	// ledger is the hard cap) or "disk-budget" (spilling is enabled but
+	// the request's disk estimate does not fit Config.MaxSpillBytes).
+	Reason string
+}
+
+// Error implements error.
+func (e *OverBudgetError) Error() string {
+	return fmt.Sprintf("server: request needs %d bytes against a %d-byte budget (%s)",
+		e.Need, e.Budget, e.Reason)
+}
+
 // jobResult carries a finished job's outcome to its Submit frame.
 type jobResult struct {
 	res Result
@@ -220,6 +260,11 @@ type job struct {
 	done  chan jobResult // buffered(1); nil for batch containers
 	width int
 	subs  []*job // non-nil: this is a merged batch container
+
+	// external routes the job through the disk-spilling sort; spill is
+	// its estimated disk footprint charged to the spill ledger.
+	external bool
+	spill    int64
 }
 
 // Server is the sort service. Create with New, submit with Submit (or
@@ -243,11 +288,12 @@ type Server struct {
 	// into a queue the executors have already finished.
 	gate sync.RWMutex
 
-	seq        atomic.Uint64
-	depth      atomic.Int64 // admitted-but-unfinished requests
-	inflight   atomic.Int64 // requests currently executing
-	pendingAux atomic.Int64 // admission ledger: estimated aux bytes admitted
-	draining   atomic.Bool
+	seq          atomic.Uint64
+	depth        atomic.Int64 // admitted-but-unfinished requests
+	inflight     atomic.Int64 // requests currently executing
+	pendingAux   atomic.Int64 // admission ledger: estimated aux bytes admitted
+	pendingSpill atomic.Int64 // disk ledger: estimated spill bytes admitted
+	draining     atomic.Bool
 
 	cancelMu sync.Mutex
 	cancels  map[uint64]context.CancelFunc
@@ -331,12 +377,28 @@ func (s *Server) Submit(ctx context.Context, req *Request) (Result, error) {
 		done:  make(chan jobResult, 1),
 		width: width,
 	}
+	if j.est > s.cfg.MaxAuxBytes {
+		// Too big for the memory ledger even alone: degrade to the
+		// external spill path rather than rejecting, when configured.
+		if s.cfg.SpillDir == "" {
+			s.met.rejectedOverBudget.Inc()
+			return Result{}, &OverBudgetError{Need: j.est, Budget: s.cfg.MaxAuxBytes, Reason: "spill-disabled"}
+		}
+		// The external pipeline's resident footprint is bounded by its
+		// plan, not the input: charge the ledger what the run will
+		// actually hold, planned against half the budget so one spilling
+		// job cannot starve the in-memory traffic.
+		plan := tune.PlanSpill(n, width, s.cfg.MaxAuxBytes/2, nil)
+		j.external = true
+		j.spill = spillEst(n, width, plan)
+		j.est = plan.MemBytes
+	}
 	s.gate.RLock()
 	if err := s.admit(j); err != nil {
 		s.gate.RUnlock()
 		return Result{}, err
 	}
-	if s.cfg.BatchMaxTuples > 0 && !req.hasVals() && n <= s.cfg.BatchMaxTuples {
+	if !j.external && s.cfg.BatchMaxTuples > 0 && !req.hasVals() && n <= s.cfg.BatchMaxTuples {
 		s.batch.add(j)
 	} else {
 		s.q.push(j)
@@ -372,7 +434,21 @@ func (s *Server) admit(j *job) error {
 		s.met.rejectedMemory.Inc()
 		return &AdmissionError{Reason: "memory", RetryAfter: s.retryAfter()}
 	}
+	if j.spill > 0 {
+		if sp := s.pendingSpill.Add(j.spill); s.cfg.MaxSpillBytes > 0 && sp > s.cfg.MaxSpillBytes {
+			s.pendingSpill.Add(-j.spill)
+			s.pendingAux.Add(-j.est)
+			s.depth.Add(-1)
+			s.met.rejectedOverBudget.Inc()
+			return &OverBudgetError{Need: j.spill, Budget: s.cfg.MaxSpillBytes, Reason: "disk-budget"}
+		}
+		s.met.pendingSpill.Set(float64(s.pendingSpill.Load()))
+	}
 	if !s.tenants.acquire(j.req.Tenant, s.cfg.MaxPerTenant) {
+		if j.spill > 0 {
+			s.pendingSpill.Add(-j.spill)
+			s.met.pendingSpill.Set(float64(s.pendingSpill.Load()))
+		}
 		s.pendingAux.Add(-j.est)
 		s.depth.Add(-1)
 		s.met.rejectedTenant.Inc()
@@ -382,6 +458,18 @@ func (s *Server) admit(j *job) error {
 	s.met.queueDepth.Set(float64(s.depth.Load()))
 	s.met.pendingAux.Set(float64(s.pendingAux.Load()))
 	return nil
+}
+
+// spillEst bounds one external job's disk footprint, which doubles as
+// its per-run hard cap (SortOptions.MaxSpillBytes): the formation copy
+// of the input plus up to one reserved-but-unfilled extent per bucket,
+// the sealed segments, and three merge rounds of re-spill (fan-in up to
+// MergeWidth³ per bucket — far past what the planner's two-segment
+// buckets produce).
+func spillEst(n, width int, pl tune.SpillPlan) int64 {
+	pair := int64(width / 4)
+	extentSlack := (int64(1) << pl.BucketBits) * int64(pl.ExtentTuples) * pair
+	return 5*int64(n)*pair + extentSlack
 }
 
 // retryAfter scales the client backoff hint with queue pressure: an
@@ -399,6 +487,10 @@ func (s *Server) retryAfter() time.Duration {
 // and the submitter's done channel.
 func (s *Server) finish(j *job, res Result, err error) {
 	s.pendingAux.Add(-j.est)
+	if j.spill > 0 {
+		s.pendingSpill.Add(-j.spill)
+		s.met.pendingSpill.Set(float64(s.pendingSpill.Load()))
+	}
 	s.depth.Add(-1)
 	s.tenants.release(j.req.Tenant)
 	s.met.queueDepth.Set(float64(s.depth.Load()))
@@ -479,8 +571,9 @@ func (s *Server) forceCancelAll() {
 	s.cancelMu.Unlock()
 }
 
-// execute runs one single-request job under the resilient supervisor
-// with a pooled arena.
+// execute runs one single-request job: over-budget jobs through the
+// external spill pipeline, everything else under the resilient
+// supervisor. Both draw scratch from a pooled arena.
 func (s *Server) execute(j *job) (Result, error) {
 	if s.baseCtx.Err() != nil {
 		return Result{}, context.Canceled
@@ -490,6 +583,10 @@ func (s *Server) execute(j *job) (Result, error) {
 
 	arena := s.arenas.acquire(j.n)
 	defer s.arenas.release(arena)
+
+	if j.external {
+		return s.executeExternal(j, ctx, arena)
+	}
 
 	opt := &partsort.SortOptions{
 		Threads:     s.cfg.SortThreads,
@@ -529,6 +626,47 @@ func (s *Server) execute(j *job) (Result, error) {
 	return res, err
 }
 
+// executeExternal runs one over-budget job through the disk-spilling
+// sort. The retry supervisor does not apply: the external pipeline has
+// its own containment (permutation restore, temp-file cleanup), and an
+// input this size has no in-memory fallback to degrade onto.
+func (s *Server) executeExternal(j *job, ctx context.Context, arena *arena) (Result, error) {
+	opt := &partsort.SortOptions{
+		Threads:            s.cfg.SortThreads,
+		Workspace:          arena.pub(),
+		MaxAuxBytes:        j.est,
+		TempDir:            s.cfg.SpillDir,
+		MaxSpillBytes:      j.spill, // the run may not exceed its ledger charge
+		SpillSegmentTuples: s.cfg.SpillSegmentTuples,
+	}
+	start := time.Now()
+	var st partsort.ExternalStats
+	var err error
+	if j.width == 64 {
+		vals := j.req.Vals64
+		if vals == nil {
+			vals = partsort.RIDs[uint64](j.n)
+		}
+		st, err = partsort.SortExternalCtx(ctx, j.req.Keys64, vals, opt)
+	} else {
+		vals := j.req.Vals32
+		if vals == nil {
+			vals = partsort.RIDs[uint32](j.n)
+		}
+		st, err = partsort.SortExternalCtx(ctx, j.req.Keys32, vals, opt)
+	}
+	dur := time.Since(start)
+	s.met.sortDur(j.req.Algo).ObserveDuration(dur, 0)
+	if err == nil && st.Spilled {
+		s.met.spilled.Inc()
+	}
+	res := Result{SortTime: dur, Attempts: 1, Spilled: st.Spilled}
+	if err != nil && j.ctx != nil && j.ctx.Err() != nil {
+		err = j.ctx.Err()
+	}
+	return res, err
+}
+
 // retryPolicy instantiates the per-job policy from the config template.
 func (s *Server) retryPolicy(rs *partsort.RetryStats) *partsort.RetryPolicy {
 	var pol partsort.RetryPolicy
@@ -547,6 +685,10 @@ func (s *Server) QueueDepth() int { return int(s.depth.Load()) }
 
 // PendingAuxBytes returns the admission ledger's current charge.
 func (s *Server) PendingAuxBytes() int64 { return s.pendingAux.Load() }
+
+// PendingSpillBytes returns the disk ledger's current charge: the summed
+// spill estimates of admitted external jobs.
+func (s *Server) PendingSpillBytes() int64 { return s.pendingSpill.Load() }
 
 // AuxBytes returns the auxiliary scratch bytes currently checked out of
 // the server's workspace arenas (0 when the server is idle or drained).
@@ -588,6 +730,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.arenas.closeAll()
 		if aux := s.pendingAux.Load(); aux != 0 && s.drainErr == nil {
 			s.drainErr = fmt.Errorf("server: drain left %d aux bytes on the admission ledger", aux)
+		}
+		if sp := s.pendingSpill.Load(); sp != 0 && s.drainErr == nil {
+			s.drainErr = fmt.Errorf("server: drain left %d spill bytes on the disk ledger", sp)
 		}
 	})
 	<-s.drained

@@ -54,6 +54,44 @@ func drainOK(t *testing.T, s *Server) {
 	}
 }
 
+// TestSubmitSpillsOverBudgetRequest drives the degradation path end to
+// end: a request too big for the memory ledger runs through the external
+// sort, keeps its payloads attached, reports Spilled, and settles the
+// disk ledger.
+func TestSubmitSpillsOverBudgetRequest(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxAuxBytes = 256 << 10
+	cfg.SpillDir = t.TempDir()
+	cfg.SpillSegmentTuples = 1 << 10 // force real segments and file-backed merges
+	s := New(cfg)
+	defer drainOK(t, s)
+
+	const n = 16384 // est ≈ 36·n + 64 KiB, well past the 256 KiB ledger
+	keys := randKeys(n, 99)
+	vals := make([]uint64, n)
+	for i, k := range keys {
+		vals[i] = k ^ 0xabcdef
+	}
+	res, err := s.Submit(context.Background(), &Request{
+		Algo: partsort.LSB, Keys64: keys, Vals64: vals,
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if !res.Spilled {
+		t.Fatal("over-budget request did not report Spilled")
+	}
+	checkSorted(t, keys)
+	for i, k := range keys {
+		if vals[i] != k^0xabcdef {
+			t.Fatalf("payload detached from key at %d", i)
+		}
+	}
+	if got := s.PendingSpillBytes(); got != 0 {
+		t.Fatalf("disk ledger holds %d bytes after completion", got)
+	}
+}
+
 func TestSubmitSortsAllWidthsAndAlgos(t *testing.T) {
 	cfg := testConfig()
 	cfg.BatchMaxTuples = -1 // exercise the direct path
@@ -147,6 +185,10 @@ func TestAdmissionRejectsWhenQueueFull(t *testing.T) {
 func TestAdmissionRejectsOnMemoryBudget(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxAuxBytes = 1 // below any request's estimate
+	// Spilling enabled: the over-budget request degrades to an external
+	// job whose planned footprint still overflows the 1-byte ledger — the
+	// retryable "memory" rejection, not the terminal over-budget one.
+	cfg.SpillDir = t.TempDir()
 	s := New(cfg)
 	defer drainOK(t, s)
 
@@ -157,6 +199,31 @@ func TestAdmissionRejectsOnMemoryBudget(t *testing.T) {
 	}
 	if got := s.PendingAuxBytes(); got != 0 {
 		t.Fatalf("rejected request left %d bytes on the ledger", got)
+	}
+	if got := s.PendingSpillBytes(); got != 0 {
+		t.Fatalf("rejected request left %d bytes on the disk ledger", got)
+	}
+	if got := s.QueueDepth(); got != 0 {
+		t.Fatalf("rejected request left depth at %d", got)
+	}
+}
+
+// TestAdmissionRejectsWithoutSpillDir pins the terminal variant: the
+// same over-budget request with spilling disabled is an *OverBudgetError
+// with the spill-disabled reason, fully rolled back.
+func TestAdmissionRejectsWithoutSpillDir(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxAuxBytes = 1
+	s := New(cfg)
+	defer drainOK(t, s)
+
+	_, err := s.Submit(context.Background(), &Request{Algo: partsort.LSB, Keys64: randKeys(64, 1)})
+	var ob *OverBudgetError
+	if !errors.As(err, &ob) || ob.Reason != "spill-disabled" {
+		t.Fatalf("want spill-disabled OverBudgetError, got %v", err)
+	}
+	if ob.Need <= ob.Budget {
+		t.Fatalf("error fields inconsistent: need %d, budget %d", ob.Need, ob.Budget)
 	}
 	if got := s.QueueDepth(); got != 0 {
 		t.Fatalf("rejected request left depth at %d", got)

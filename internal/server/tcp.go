@@ -137,10 +137,11 @@ func (s *Server) serveTCPFrame(conn net.Conn, req *Request) error {
 	if err != nil {
 		var adm *AdmissionError
 		var tooLarge *TooLargeError
+		var overBudget *OverBudgetError
 		var argErr *partsort.ArgError
 		var resErr *partsort.ResourceError
 		switch {
-		case errors.As(err, &adm), errors.As(err, &tooLarge):
+		case errors.As(err, &adm), errors.As(err, &tooLarge), errors.As(err, &overBudget):
 			return writeTCPError(conn, TCPStatusAdmission, err.Error())
 		case errors.As(err, &argErr):
 			return writeTCPError(conn, TCPStatusBadReq, err.Error())

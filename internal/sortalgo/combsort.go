@@ -154,11 +154,20 @@ func (c *CombSorter[K]) SortInto(srcK, srcV, dstK, dstV []K) {
 	// the paper's min/max pair plus payload blends (see combsimd.go).
 	combLanes(pk, pv, nvec, w)
 
-	// W-way merge of the interleaved lane runs. Lane l's run occupies
-	// positions l, l+w, l+2w, ...; pads (MaxKey) sit at run tails and are
-	// excluded by per-lane counts. The merge state lives in fixed
-	// lane-count arrays (W is at most 4, see Lanes) so a leaf sort
-	// allocates nothing.
+	// W-way merge of the interleaved lane runs (laneMerge, shared with the
+	// merge-conformance suite).
+	laneMerge(dstK, dstV, pk, pv, w, nvec, n)
+}
+
+// laneMerge is the CMP path's W-way merge: it merges the w interleaved
+// sorted runs in pk/pv (lane l's run occupies positions l, l+w, l+2w, ...)
+// into dstK/dstV. Pads (MaxKey) sit at run tails and are excluded by
+// per-lane counts derived from n. The merge state lives in fixed
+// lane-count arrays (W is at most 4, see Lanes) so a leaf sort allocates
+// nothing. The external sort's file-backed merge generalizes this loop to
+// arbitrary fan-in over prefetching segment iterators; the shared
+// conformance suite in internal/mergetest pins both to the same contract.
+func laneMerge[K kv.Key](dstK, dstV, pk, pv []K, w, nvec, n int) {
 	var runLen, idx, emit [4]int // idx: next position of lane l (l + step*w)
 	var alive [4]bool            // lane still has real elements
 	var curK, curV [4]K

@@ -1,0 +1,110 @@
+package sortalgo
+
+import (
+	"testing"
+
+	"repro/internal/kv"
+	"repro/internal/mergetest"
+)
+
+// laneMergeAdapter expresses the interleaved lane merge as a
+// mergetest.MergeFunc. The lane layout pins run lengths — lane l holds
+// nvec tuples when l < n%w (or n%w == 0), nvec-1 otherwise — so shapes
+// outside that rule are reported unsupported and skipped by the suite.
+func laneMergeAdapter(runsK, runsV [][]uint64) ([]uint64, []uint64, error) {
+	w := len(runsK)
+	if w < 1 || w > 4 {
+		return nil, nil, mergetest.ErrUnsupported
+	}
+	n := 0
+	for _, r := range runsK {
+		n += len(r)
+	}
+	if n == 0 {
+		return nil, nil, mergetest.ErrUnsupported
+	}
+	nvec := (n + w - 1) / w
+	for l, r := range runsK {
+		want := nvec
+		if l >= n%w && n%w != 0 {
+			want = nvec - 1
+		}
+		if len(r) != want {
+			return nil, nil, mergetest.ErrUnsupported
+		}
+	}
+	padded := nvec * w
+	pk := make([]uint64, padded)
+	pv := make([]uint64, padded)
+	for i := range pk {
+		pk[i] = kv.MaxKey[uint64]()
+	}
+	for l := range runsK {
+		for i, k := range runsK[l] {
+			pk[l+i*w] = k
+			pv[l+i*w] = runsV[l][i]
+		}
+	}
+	outK := make([]uint64, n)
+	outV := make([]uint64, n)
+	laneMerge(outK, outV, pk, pv, w, nvec, n)
+	return outK, outV, nil
+}
+
+// TestLaneMergeConformance pins the CMP lane merge to the shared
+// conformance table at every expressible fan-in boundary.
+func TestLaneMergeConformance(t *testing.T) {
+	mergetest.Conformance(t, 4, laneMergeAdapter)
+}
+
+// FuzzLaneMerge drives laneMerge over fuzzer-chosen run boundaries (fan-in,
+// total length, and key bytes) and cross-checks the output against the
+// conformance validator: sorted, exact length, pair multiset preserved.
+func FuzzLaneMerge(f *testing.F) {
+	f.Add(2, 9, []byte{1, 2, 3, 4, 5})
+	f.Add(3, 14, []byte{0, 0, 0, 0})
+	f.Add(4, 4, []byte{255, 255})
+	f.Fuzz(func(t *testing.T, w, n int, raw []byte) {
+		if w < 1 || w > 4 || n < 1 || n > 512 {
+			t.Skip()
+		}
+		nvec := (n + w - 1) / w
+		key := func(i int) uint64 {
+			if len(raw) == 0 {
+				return uint64(i)
+			}
+			// Stretch the fuzz bytes over the key stream; adjacent equal
+			// bytes produce the duplicate-heavy runs the merge must not
+			// misorder.
+			b := raw[i%len(raw)]
+			return uint64(b)<<8 | uint64(i%7)
+		}
+		var runsK, runsV [][]uint64
+		id := uint64(1)
+		pos := 0
+		for l := 0; l < w; l++ {
+			ln := nvec
+			if l >= n%w && n%w != 0 {
+				ln = nvec - 1
+			}
+			ks := make([]uint64, ln)
+			vs := make([]uint64, ln)
+			for i := range ks {
+				ks[i] = key(pos)
+				pos++
+				vs[i] = id
+				id++
+			}
+			InsertionSort(ks, vs)
+			runsK = append(runsK, ks)
+			runsV = append(runsV, vs)
+		}
+		outK, outV, err := laneMergeAdapter(runsK, runsV)
+		if err != nil {
+			t.Fatalf("adapter rejected a lane-rule shape: w=%d n=%d: %v", w, n, err)
+		}
+		if err := mergetest.Check(runsK, runsV, outK, outV); err != nil {
+			t.Fatalf("w=%d n=%d: %v", w, n, err)
+		}
+	})
+}

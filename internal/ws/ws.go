@@ -555,6 +555,7 @@ const (
 	SlotCombSorter
 	SlotCtl
 	SlotBlockPerm
+	SlotExtSort
 	numSlots
 )
 

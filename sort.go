@@ -62,6 +62,24 @@ type SortOptions struct {
 	// SetMachineProfile, or LoadMachineProfile, or quick-calibrated
 	// lazily on first use). Ignored unless AutoTune is set.
 	Profile *MachineProfile
+
+	// TempDir is where SortExternal creates its per-run spill directory
+	// ("" selects os.TempDir()). Ignored by the in-memory sorts.
+	TempDir string
+	// SpillSegmentTuples overrides the external sort's sealed-run
+	// granularity (0: planned from MaxAuxBytes). Inputs at most one
+	// segment long are sorted in memory without touching disk.
+	SpillSegmentTuples int
+	// SpillBucketBits overrides the external run-formation fanout in bits
+	// (0: planned; at most 16).
+	SpillBucketBits int
+	// SpillMergeWidth overrides the external merge fan-in cap (0:
+	// planned; at most 16).
+	SpillMergeWidth int
+	// MaxSpillBytes caps SortExternal's total spill-file footprint on
+	// disk (0: unlimited). Exceeding it surfaces as a *SpillError
+	// wrapping ErrSpillBudget.
+	MaxSpillBytes int64
 }
 
 func (o *SortOptions) toInternal() (sortalgo.Options, *numa.Topology) {

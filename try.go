@@ -79,6 +79,22 @@ func validateOptions(fn string, opt *SortOptions) *ArgError {
 			return &ArgError{Func: fn, Field: "Profile", Reason: err.Error()}
 		}
 	}
+	if opt.SpillSegmentTuples < 0 {
+		return &ArgError{Func: fn, Field: "SpillSegmentTuples",
+			Reason: fmt.Sprintf("%d; must be non-negative (0 selects the planned size)", opt.SpillSegmentTuples)}
+	}
+	if opt.SpillBucketBits < 0 || opt.SpillBucketBits > 16 {
+		return &ArgError{Func: fn, Field: "SpillBucketBits",
+			Reason: fmt.Sprintf("%d; must be in [1, 16] (0 selects the planned fanout)", opt.SpillBucketBits)}
+	}
+	if opt.SpillMergeWidth < 0 || opt.SpillMergeWidth > 16 {
+		return &ArgError{Func: fn, Field: "SpillMergeWidth",
+			Reason: fmt.Sprintf("%d; must be in [2, 16] (0 selects the planned width)", opt.SpillMergeWidth)}
+	}
+	if opt.MaxSpillBytes < 0 {
+		return &ArgError{Func: fn, Field: "MaxSpillBytes",
+			Reason: fmt.Sprintf("%d; must be non-negative (0 means unlimited)", opt.MaxSpillBytes)}
+	}
 	return nil
 }
 

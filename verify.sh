@@ -34,7 +34,7 @@ rm -f "$benchout"
 # way.
 # -require-all: a recording that drops a baseline benchmark fails the
 # gate instead of passing silently.
-go run ./cmd/benchdiff -require-all BENCH_PR8.json BENCH_PR9.json
+go run ./cmd/benchdiff -require-all BENCH_PR9.json BENCH_PR10.json
 
 # Observability smoke: spans + counters must produce a valid Chrome trace
 # whose LSB counters reconcile (tuples_partitioned == passes * n), with at
@@ -62,6 +62,17 @@ go run ./cmd/metricscheck -n 500000
 go test -race -short -count=1 -run 'TestTryFaultMatrix|TestTryCancelRace|TestTryPartitionFault' .
 go run ./cmd/faultcheck
 
+# External sort: a forced spill several times the memory budget must
+# produce a sorted permutation with exactly one streaming formation pass,
+# an empty temp dir, no fd/goroutine leaks, and contained extsort faults
+# (extsortcheck); the merge pipeline's prefetch effectiveness must keep
+# the majority of block handoffs ready-before-needed (overlap >= 0.5 —
+# the block-level measure is scheduling-independent, so it gates even on
+# a single-core host where wall-clock overlap cannot exist).
+go run ./cmd/extsortcheck -n 200000
+go run ./cmd/benchjson -bench 'ExternalMerge' -benchtime 2x \
+    -require-extra 'overlap>=0.5' -out /dev/null
+
 # Resilient execution: the seeded chaos matrix ({LSB, MSB, CMP} x
 # {workspace, none}, fixed seed) must end every supervised run in a
 # retried success or a cleanly classified typed error — permutation
@@ -83,16 +94,24 @@ go run ./cmd/tunecli -load "$obsdir/profile.json" -plan-maxbytes 1048576 > /dev/
 # Sort-as-a-service smoke: start the daemon, drive it with concurrent
 # load (sortload verifies every response and scrapes /metrics mid-load,
 # failing unless the server families are being served), then SIGTERM —
-# a clean drain (ledger and arenas at zero) is sortd exit code 0.
+# a clean drain (ledger and arenas at zero) is sortd exit code 0. The
+# daemon runs with a 4 MiB memory ledger and a spill dir, and roughly
+# one request in eight is a 131072-key -large request that overflows the
+# ledger — exercising the over-budget degradation onto the external
+# sort under concurrent load (every response still verified sorted).
 go test ./internal/server/
 go build -o "$obsdir/sortd" ./cmd/sortd
 go build -o "$obsdir/sortload" ./cmd/sortload
+mkdir -p "$obsdir/spill"
 "$obsdir/sortd" -addr 127.0.0.1:18070 -metrics-addr 127.0.0.1:18090 \
-    -drain-timeout 30s &
+    -max-aux 4194304 -spill-dir "$obsdir/spill" -drain-timeout 30s &
 sortd_pid=$!
 "$obsdir/sortload" -addr 127.0.0.1:18070 -clients 16 -requests 400 -n 2048 \
+    -large-n 131072 -large-every 8 \
     -wait 15s -metrics-url http://127.0.0.1:18090/metrics
 kill -TERM "$sortd_pid"
 wait "$sortd_pid"
+# A drained daemon leaves no spill files behind.
+test -z "$(ls -A "$obsdir/spill")"
 
 echo "verify: OK"
